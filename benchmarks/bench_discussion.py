@@ -1,0 +1,27 @@
+"""Benchmark + reproduction of the Section VI threshold comparison.
+
+Regenerates the four profitability thresholds the paper quotes when replacing
+Ethereum's distance-based uncle reward with a flat ``Ku = 4/8``:
+0.054 -> 0.163 under scenario 1 and 0.270 -> 0.356 under scenario 2 (gamma = 0.5).
+"""
+
+from __future__ import annotations
+
+import pytest
+from report_utils import emit_report
+
+from repro.experiments.discussion import run_discussion
+
+
+def test_discussion_threshold_reproduction(benchmark):
+    result = benchmark.pedantic(run_discussion, kwargs={"max_lead": 40}, rounds=1, iterations=1)
+    emit_report("Section VI: thresholds under the current vs proposed uncle reward", result.report())
+
+    assert result.current_scenario1.alpha_star == pytest.approx(0.054, abs=0.005)
+    assert result.proposed_scenario1.alpha_star == pytest.approx(0.163, abs=0.005)
+    assert result.current_scenario2.alpha_star == pytest.approx(0.270, abs=0.01)
+    assert result.proposed_scenario2.alpha_star == pytest.approx(0.356, abs=0.01)
+
+    # The proposal strictly raises both thresholds.
+    assert result.improvement_scenario1() > 0.10
+    assert result.improvement_scenario2() > 0.07

@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the underlying engines.
+
+These do not correspond to a specific paper artifact; they track the cost of the
+building blocks every experiment rests on — the stationary solve, one analytical
+revenue evaluation, a threshold search, and the two simulator backends — so that
+performance regressions show up alongside the reproduction benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.absolute import Scenario
+from repro.analysis.revenue import RevenueModel
+from repro.analysis.threshold import profitable_threshold
+from repro.markov.stationary import stationary_distribution
+from repro.markov.transitions import build_selfish_mining_chain
+from repro.params import MiningParams
+from repro.rewards.schedule import EthereumByzantiumSchedule, FlatUncleSchedule
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import ChainSimulator
+from repro.simulation.fast import MarkovMonteCarlo
+
+PARAMS = MiningParams(alpha=0.35, gamma=0.5)
+
+
+def test_stationary_solve_benchmark(benchmark):
+    chain = build_selfish_mining_chain(PARAMS, max_lead=60)
+    result = benchmark(stationary_distribution, chain)
+    assert result.total_probability() == pytest.approx(1.0)
+
+
+def test_revenue_evaluation_benchmark(benchmark):
+    model = RevenueModel(EthereumByzantiumSchedule(), max_lead=60)
+    rates = benchmark(model.revenue_rates, PARAMS)
+    assert rates.block_rate == pytest.approx(1.0)
+
+
+def test_threshold_search_benchmark(benchmark):
+    model = RevenueModel(FlatUncleSchedule(0.5), max_lead=30)
+    result = benchmark.pedantic(
+        profitable_threshold,
+        args=(0.5,),
+        kwargs={"scenario": Scenario.REGULAR_ONLY, "model": model},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.alpha_star == pytest.approx(0.163, abs=0.005)
+
+
+def test_chain_simulator_benchmark(benchmark):
+    config = SimulationConfig(
+        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=20_000, seed=1
+    )
+    result = benchmark.pedantic(lambda: ChainSimulator(config).run(), rounds=1, iterations=1)
+    assert result.total_blocks == 20_000
+
+
+def test_markov_monte_carlo_benchmark(benchmark):
+    config = SimulationConfig(
+        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=100_000, seed=1
+    )
+    result = benchmark.pedantic(lambda: MarkovMonteCarlo(config).run(), rounds=1, iterations=1)
+    assert result.total_blocks == 100_000

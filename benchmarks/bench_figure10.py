@@ -1,0 +1,45 @@
+"""Benchmark + reproduction of Figure 10 (profitability thresholds vs gamma).
+
+Regenerates the three threshold curves — Bitcoin (Eyal-Sirer), Ethereum scenario 1 and
+Ethereum scenario 2 — over the paper's gamma axis and pins the figure's shape: all
+curves fall with gamma and vanish at gamma = 1, scenario 1 sits below Bitcoin
+everywhere, and scenario 2 crosses above Bitcoin near gamma ~ 0.39.
+"""
+
+from __future__ import annotations
+
+from report_utils import emit_report
+
+from repro.experiments.figure10 import run_figure10
+from repro.utils.grids import inclusive_range
+
+
+def test_figure10_reproduction(benchmark):
+    result = benchmark.pedantic(
+        run_figure10,
+        kwargs={"gammas": inclusive_range(0.0, 1.0, 0.1), "max_lead": 40},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("Figure 10: profitability threshold alpha* vs gamma", result.report())
+
+    bitcoin = result.bitcoin_thresholds()
+    scenario1 = result.scenario1_thresholds()
+    scenario2 = result.scenario2_thresholds()
+
+    # Every curve decreases with gamma and collapses to zero at gamma = 1.
+    for series in (bitcoin, scenario1, scenario2):
+        assert all(later <= earlier + 1e-6 for earlier, later in zip(series, series[1:]))
+        assert series[-1] < 0.01
+
+    # Scenario 1 is easier to attack than Bitcoin for every gamma.
+    assert all(s1 <= btc + 1e-6 for s1, btc in zip(scenario1, bitcoin))
+
+    # Scenario 2 crosses above Bitcoin between gamma = 0.3 and gamma = 0.5.
+    crossover = result.scenario2_crossover_gamma()
+    assert crossover is not None
+    assert 0.3 <= crossover <= 0.5
+
+    # Known endpoints: Bitcoin starts at 1/3, Ethereum scenario 1 near 0.09-0.11 at gamma=0.
+    assert abs(bitcoin[0] - 1 / 3) < 1e-9
+    assert scenario1[0] < 0.15

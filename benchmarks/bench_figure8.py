@@ -1,0 +1,44 @@
+"""Benchmark + reproduction of Figure 8 (absolute revenue vs pool size).
+
+Regenerates the figure's series — analytical curves plus a discrete-event simulation
+overlay at every grid point — and times the end-to-end driver.  The printed table is
+the artifact recorded in EXPERIMENTS.md; the assertions pin the figure's shape (the
+pool's curve crosses the honest-mining line between 0.15 and 0.20, honest revenue
+falls monotonically).
+"""
+
+from __future__ import annotations
+
+from report_utils import emit_report
+
+from repro.experiments.figure8 import run_figure8
+
+
+def test_figure8_reproduction(benchmark):
+    result = benchmark.pedantic(
+        run_figure8,
+        kwargs={
+            "include_simulation": True,
+            "simulation_blocks": 20_000,
+            "simulation_runs": 1,
+            "max_lead": 60,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("Figure 8: absolute revenue vs pool size (gamma=0.5, Ku=4/8)", result.report())
+
+    crossover = result.crossover_alpha()
+    assert crossover is not None
+    assert 0.15 <= crossover <= 0.20
+
+    honest_series = result.analysis.honest_absolute
+    assert honest_series == sorted(honest_series, reverse=True)
+
+    pool_series = result.analysis.pool_absolute
+    assert pool_series == sorted(pool_series)
+
+    # The simulation overlay tracks the analysis to a couple of percent.
+    simulated = result.simulation.pool_absolute_scenario1()
+    for analytical_point, simulated_value in zip(result.analysis.points, simulated):
+        assert abs(simulated_value - analytical_point.pool_absolute) < 0.03

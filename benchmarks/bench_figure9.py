@@ -1,0 +1,38 @@
+"""Benchmark + reproduction of Figure 9 (impact of the uncle-reward size).
+
+Regenerates the pool / honest / total revenue curves for the four uncle-reward
+functions the paper sweeps, and pins the figure's qualitative claims: revenue grows
+with the uncle reward, the total payout inflates to roughly 135% at ``Ku = 7/8`` and
+``alpha = 0.45``, and Ethereum's distance-based ``Ku(.)`` pays the attacker like the
+flat ``7/8`` rule does.
+"""
+
+from __future__ import annotations
+
+from report_utils import emit_report
+
+from repro.experiments.figure9 import run_figure9
+
+
+def test_figure9_reproduction(benchmark):
+    result = benchmark.pedantic(run_figure9, kwargs={"max_lead": 60}, rounds=1, iterations=1)
+    emit_report("Figure 9: revenue under different uncle rewards (gamma=0.5)", result.report())
+
+    final = len(result.alphas) - 1
+    small = result.sweeps["Ku=2/8"].points[final]
+    medium = result.sweeps["Ku=4/8"].points[final]
+    large = result.sweeps["Ku=7/8"].points[final]
+    ethereum = result.sweeps["Ku(.)"].points[final]
+
+    # Larger uncle rewards mean more revenue for everyone.
+    assert small.pool_absolute < medium.pool_absolute < large.pool_absolute
+    assert small.honest_absolute < medium.honest_absolute < large.honest_absolute
+
+    # Total revenue soars to ~135% of the no-attack payout at Ku = 7/8, alpha = 0.45.
+    assert abs(result.peak_total_revenue("Ku=7/8") - 1.35) < 0.05
+
+    # The pool's uncles always sit at distance 1, so Ku(.) behaves like 7/8 for it.
+    assert abs(ethereum.pool_absolute - large.pool_absolute) < 0.02
+
+    # For honest miners Ku(.) sits between the flat 4/8 and 7/8 rules at large alpha.
+    assert medium.honest_absolute - 0.02 <= ethereum.honest_absolute <= large.honest_absolute + 0.02

@@ -1,0 +1,45 @@
+"""Benchmark + reproduction of Table II (honest uncle referencing distances).
+
+Regenerates the distance distribution at ``alpha = 0.3`` and ``alpha = 0.45``
+(``gamma = 0.5``) from the analytical model with a simulation overlay, and pins the
+table's values and both expectation rows (1.75 and 2.72).
+"""
+
+from __future__ import annotations
+
+import pytest
+from report_utils import emit_report
+
+from repro.experiments.table2 import run_table2
+
+PAPER_ALPHA_030 = {1: 0.527, 2: 0.295, 3: 0.111, 4: 0.043, 5: 0.017, 6: 0.007}
+PAPER_ALPHA_045 = {1: 0.284, 2: 0.249, 3: 0.171, 4: 0.125, 5: 0.096, 6: 0.075}
+
+
+def test_table2_reproduction(benchmark):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={
+            "include_simulation": True,
+            "simulation_blocks": 30_000,
+            "simulation_runs": 1,
+            "max_lead": 60,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("Table II: honest uncle referencing-distance distribution (gamma=0.5)", result.report())
+
+    column_030, column_045 = result.columns
+    for distance, expected in PAPER_ALPHA_030.items():
+        assert column_030.analysis.probability(distance) == pytest.approx(expected, abs=0.005)
+    for distance, expected in PAPER_ALPHA_045.items():
+        assert column_045.analysis.probability(distance) == pytest.approx(expected, abs=0.005)
+
+    assert column_030.analysis.expectation == pytest.approx(1.75, abs=0.01)
+    assert column_045.analysis.expectation == pytest.approx(2.72, abs=0.01)
+
+    # The simulated histogram tracks the analytical one.
+    assert column_030.simulated is not None
+    for distance, expected in PAPER_ALPHA_030.items():
+        assert column_030.simulated.get(distance, 0.0) == pytest.approx(expected, abs=0.05)

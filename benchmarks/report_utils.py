@@ -1,0 +1,20 @@
+"""Reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or times one of the
+underlying engines).  The drivers return result objects with a ``report()`` method;
+:func:`emit_report` prints them with a banner so that the benchmark log doubles as the
+reproduction record quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def emit_report(title: str, text: str) -> None:
+    """Print a reproduced artifact with a visible banner."""
+    banner = "=" * 78
+    print()
+    print(banner)
+    print(f"== {title}")
+    print(banner)
+    print(text)
+    print(banner)

@@ -1,0 +1,80 @@
+"""Designing uncle-reward functions that resist selfish mining (Section VI).
+
+Run with::
+
+    python examples/reward_design.py
+
+The paper's mitigation replaces Ethereum's distance-based uncle reward (which pays the
+attacker the maximum 7/8 for every one of its uncles) with a flat 4/8.  This example
+treats that as one point in a design space: it evaluates several candidate uncle
+reward functions — the current rule, flat rewards of different sizes, and an
+*increasing*-with-distance rule that deliberately favours honest miners' uncles — and
+reports the profitability threshold each of them produces, under both
+difficulty-adjustment scenarios.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CustomSchedule,
+    EthereumByzantiumSchedule,
+    FlatUncleSchedule,
+    RevenueModel,
+    Scenario,
+    profitable_threshold,
+)
+from repro.constants import NEPHEW_REWARD_FRACTION
+from repro.utils.tables import Table
+
+#: gamma at which thresholds are compared (matches the paper's Section VI).
+GAMMA = 0.5
+
+
+def increasing_uncle_reward(distance: int) -> float:
+    """An uncle reward that *grows* with the referencing distance (2/8 .. 7/8).
+
+    The paper observes that the pool's uncles always sit at distance 1 while honest
+    miners' uncles drift to larger distances as the pool grows; paying more for larger
+    distances therefore shifts uncle income from the attacker to its victims.
+    """
+    return min(7, 1 + distance) / 8
+
+
+def candidate_schedules() -> dict[str, object]:
+    return {
+        "Ethereum Ku(.) = (8-d)/8": EthereumByzantiumSchedule(),
+        "Flat Ku = 7/8": FlatUncleSchedule(7 / 8),
+        "Flat Ku = 4/8 (paper's proposal)": FlatUncleSchedule(4 / 8),
+        "Flat Ku = 2/8": FlatUncleSchedule(2 / 8),
+        "Increasing Ku(d) = (1+d)/8": CustomSchedule(
+            uncle_fn=increasing_uncle_reward,
+            nephew_fn=lambda distance: NEPHEW_REWARD_FRACTION,
+        ),
+        "No uncle rewards (Bitcoin-like)": FlatUncleSchedule(0.0, nephew_fraction=0.0),
+    }
+
+
+def main() -> None:
+    table = Table(
+        headers=["uncle reward design", "threshold, scenario 1", "threshold, scenario 2"],
+        title=f"Profitability thresholds at gamma={GAMMA} under candidate reward designs",
+    )
+    for label, schedule in candidate_schedules().items():
+        model = RevenueModel(schedule, max_lead=40)
+        scenario1 = profitable_threshold(GAMMA, scenario=Scenario.REGULAR_ONLY, model=model)
+        scenario2 = profitable_threshold(GAMMA, scenario=Scenario.REGULAR_PLUS_UNCLE, model=model)
+        table.add_row(label, scenario1.alpha_star, scenario2.alpha_star)
+    print(table.render())
+    print()
+    print("Reading the table:")
+    print("  * a higher threshold means a larger pool is needed before cheating pays;")
+    print("  * the current Ethereum rule has the lowest scenario-1 threshold of all designs;")
+    print("  * the paper's flat 4/8 proposal roughly triples it (0.054 -> 0.163);")
+    print("  * a reward that grows with distance behaves, for the attacker, like a flat")
+    print("    reward equal to its distance-1 value (the pool's uncles always sit at")
+    print("    distance 1), so it raises the threshold further while still paying honest")
+    print("    miners' far-away uncles well — the design direction Section VI argues for.")
+
+
+if __name__ == "__main__":
+    main()

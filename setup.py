@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that the
+package can be installed in editable mode (``pip install -e .``) on machines without
+network access, where pip's PEP 517 editable path cannot fetch the ``wheel`` build
+backend: with a ``setup.py`` present pip falls back to the legacy
+``setup.py develop`` route, which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

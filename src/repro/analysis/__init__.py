@@ -1,0 +1,60 @@
+"""Analytical models: the paper's primary contribution.
+
+This subpackage turns the Markov substrate of :mod:`repro.markov` into the paper's
+results:
+
+* :mod:`repro.analysis.reward_cases` — the probabilistic reward tracking of
+  Appendix B (Cases 1–12), one expected-reward record per transition;
+* :mod:`repro.analysis.revenue` — long-run revenue rates for the pool and honest
+  miners, by reward type;
+* :mod:`repro.analysis.closed_form_revenue` — the literal closed forms of
+  Eqs. (3)–(9) for comparison;
+* :mod:`repro.analysis.absolute` — absolute revenues under the two
+  difficulty-adjustment scenarios of Section IV-E.2;
+* :mod:`repro.analysis.threshold` — the profitability threshold ``alpha*``;
+* :mod:`repro.analysis.uncle_distance` — the honest uncle-distance distribution
+  (Table II);
+* :mod:`repro.analysis.bitcoin` — the Eyal–Sirer Bitcoin baseline;
+* :mod:`repro.analysis.honest` — the protocol-following baseline;
+* :mod:`repro.analysis.sweep` — parameter-sweep helpers used by the experiment
+  drivers.
+"""
+
+from .absolute import AbsoluteRevenue, Scenario, absolute_revenue
+from .bitcoin import (
+    BitcoinSelfishMiningModel,
+    bitcoin_relative_revenue,
+    bitcoin_threshold,
+)
+from .closed_form_revenue import ClosedFormRevenue, closed_form_revenue
+from .honest import honest_absolute_revenue, honest_relative_revenue
+from .revenue import RevenueModel, RevenueRates
+from .reward_cases import TransitionRewards, transition_rewards
+from .sweep import AlphaSweep, GammaSweep, sweep_alpha, sweep_gamma
+from .threshold import ThresholdResult, profitable_threshold
+from .uncle_distance import UncleDistanceDistribution, honest_uncle_distance_distribution
+
+__all__ = [
+    "AbsoluteRevenue",
+    "AlphaSweep",
+    "BitcoinSelfishMiningModel",
+    "ClosedFormRevenue",
+    "GammaSweep",
+    "RevenueModel",
+    "RevenueRates",
+    "Scenario",
+    "ThresholdResult",
+    "TransitionRewards",
+    "UncleDistanceDistribution",
+    "absolute_revenue",
+    "bitcoin_relative_revenue",
+    "bitcoin_threshold",
+    "closed_form_revenue",
+    "honest_absolute_revenue",
+    "honest_relative_revenue",
+    "honest_uncle_distance_distribution",
+    "profitable_threshold",
+    "sweep_alpha",
+    "sweep_gamma",
+    "transition_rewards",
+]

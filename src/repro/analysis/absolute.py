@@ -1,0 +1,108 @@
+"""Absolute revenues under the two difficulty-adjustment scenarios (Section IV-E.2).
+
+Relative revenue (the pool's share of all rewards) is not what decides whether selfish
+mining pays off in Ethereum, because the *total* reward paid out per unit of real time
+depends on how the difficulty-adjustment algorithm reacts to the stale blocks the
+attack produces.  The paper therefore defines the *absolute* revenue after re-scaling
+time so that the difficulty target is met:
+
+* **Scenario 1** (pre-EIP100 view): difficulty keeps the *regular* block rate at one
+  block per time unit, so all reward rates are divided by the regular-block rate.
+* **Scenario 2** (EIP100 / Byzantium view): difficulty keeps the rate of regular plus
+  referenced-uncle blocks at one per time unit, so reward rates are divided by that
+  combined rate.
+
+Honest mining earns the pool an absolute revenue of ``alpha`` under either scenario
+(no stale blocks are produced without an attacker), which is the profitability
+reference used by :mod:`repro.analysis.threshold`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from .revenue import RevenueRates
+
+
+class Scenario(enum.Enum):
+    """Which block-production rate the difficulty-adjustment rule holds constant."""
+
+    #: Scenario 1 of the paper: only regular (main-chain) blocks count.
+    REGULAR_ONLY = "regular_only"
+
+    #: Scenario 2 of the paper: regular plus referenced uncle blocks count (EIP100).
+    REGULAR_PLUS_UNCLE = "regular_plus_uncle"
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        if self is Scenario.REGULAR_ONLY:
+            return "scenario 1: difficulty tracks regular blocks only"
+        return "scenario 2: difficulty tracks regular and uncle blocks (EIP100)"
+
+
+@dataclass(frozen=True)
+class AbsoluteRevenue:
+    """Absolute (difficulty-normalised) revenues at one parameter point."""
+
+    rates: RevenueRates
+    scenario: Scenario
+    normaliser: float
+    pool: float
+    honest: float
+
+    @property
+    def total(self) -> float:
+        """System-wide absolute revenue; exceeds 1 when the attack inflates payouts."""
+        return self.pool + self.honest
+
+    @property
+    def honest_mining_reference(self) -> float:
+        """What the pool would earn per time unit by mining honestly (``alpha``)."""
+        return self.rates.params.alpha
+
+    @property
+    def pool_gain(self) -> float:
+        """Absolute gain of the attack over honest mining (positive when profitable)."""
+        return self.pool - self.honest_mining_reference
+
+    @property
+    def profitable(self) -> bool:
+        """True when the attack earns at least as much as honest mining."""
+        return self.pool >= self.honest_mining_reference
+
+
+def scenario_normaliser(rates: RevenueRates, scenario: Scenario) -> float:
+    """The block rate the chosen difficulty rule keeps at one block per time unit."""
+    if scenario is Scenario.REGULAR_ONLY:
+        return rates.regular_rate
+    if scenario is Scenario.REGULAR_PLUS_UNCLE:
+        return rates.regular_rate + rates.uncle_rate
+    raise ParameterError(f"unknown scenario {scenario!r}")
+
+
+def absolute_revenue(rates: RevenueRates, scenario: Scenario = Scenario.REGULAR_ONLY) -> AbsoluteRevenue:
+    """Normalise ``rates`` according to ``scenario`` and return absolute revenues.
+
+    Parameters
+    ----------
+    rates:
+        Long-run reward and block rates from :class:`~repro.analysis.revenue.RevenueModel`
+        (or from the simulator's metrics converted to the same container).
+    scenario:
+        Which difficulty-adjustment rule to assume.
+    """
+    normaliser = scenario_normaliser(rates, scenario)
+    if normaliser <= 0:
+        raise ParameterError(
+            "cannot normalise: the selected block rate is zero; the parameter point "
+            f"{rates.params.describe()} produced no qualifying blocks"
+        )
+    return AbsoluteRevenue(
+        rates=rates,
+        scenario=scenario,
+        normaliser=normaliser,
+        pool=rates.pool.total / normaliser,
+        honest=rates.honest.total / normaliser,
+    )

@@ -1,0 +1,171 @@
+"""The paper's closed-form revenue expressions, Eqs. (3)-(9), transcribed verbatim.
+
+The primary revenue engine of this package (:mod:`repro.analysis.revenue`) computes
+revenues by summing per-transition expected rewards over the numerical stationary
+distribution — the "probabilistic tracking" the paper describes in Section IV-D.  The
+paper additionally prints closed-form expressions for the individual revenue
+components.  This module implements those printed formulas *as written* so the two can
+be compared:
+
+* Eq. (3) ``r_b^s`` and Eq. (4) ``r_b^h`` — static rewards (these match the case
+  engine and the Eyal–Sirer static analysis exactly);
+* Eq. (5) ``r_u^s`` — the pool's uncle reward;
+* Eq. (6) ``r_u^h`` — honest miners' uncle rewards;
+* Eq. (8) ``r_n^s`` and Eq. (9) ``r_n^h`` — nephew rewards.
+
+Two transcription notes, recorded here and in EXPERIMENTS.md:
+
+* The printed nephew equations write ``Ks(i)`` where the nephew reward function
+  ``Kn(i)`` is clearly meant (the nephew reward is the only distance-indexed reward
+  left); we use ``Kn``.
+* The printed sums in Eqs. (6), (8) and (9) run only over states ``(i+j, j)`` with
+  ``j >= 1`` and therefore omit the uncle/nephew rewards generated out of the
+  ``(i, 0)`` states (the paper's Appendix-B Cases 9 and 10), and the pool-side nephew
+  weight in Eq. (8) differs from the case analysis.  The case engine keeps those
+  terms.  The static-reward equations (3)-(4) and the pool uncle reward (5) are
+  unaffected and agree with the case engine to machine precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..markov.closed_form import pi_00, pi_i0, pi_ij
+from ..params import MiningParams
+from ..rewards.schedule import EthereumByzantiumSchedule, RewardSchedule
+
+#: Default truncation for the infinite sums in Eqs. (6), (8) and (9).
+DEFAULT_SUM_TRUNCATION = 60
+
+
+@dataclass(frozen=True)
+class ClosedFormRevenue:
+    """The six revenue components of Eqs. (3)-(9) at one parameter point."""
+
+    params: MiningParams
+    pool_static: float
+    honest_static: float
+    pool_uncle: float
+    honest_uncle: float
+    pool_nephew: float
+    honest_nephew: float
+
+    @property
+    def pool_total(self) -> float:
+        """``r_b^s + r_u^s + r_n^s``."""
+        return self.pool_static + self.pool_uncle + self.pool_nephew
+
+    @property
+    def honest_total(self) -> float:
+        """``r_b^h + r_u^h + r_n^h``."""
+        return self.honest_static + self.honest_uncle + self.honest_nephew
+
+    @property
+    def total(self) -> float:
+        """The paper's ``r_total`` (Eq. 10)."""
+        return self.pool_total + self.honest_total
+
+    @property
+    def relative_pool_revenue(self) -> float:
+        """The pool's revenue share ``Rs``."""
+        total = self.total
+        return self.pool_total / total if total > 0 else 0.0
+
+
+def pool_static_revenue(params: MiningParams) -> float:
+    """Eq. (3): the pool's long-run static reward rate ``r_b^s``."""
+    alpha, gamma = params.alpha, params.gamma
+    if not 0.0 < alpha < 0.5:
+        raise ParameterError(f"Eq. (3) requires 0 < alpha < 0.5, got {alpha}")
+    numerator = alpha * (1.0 - alpha) ** 2 * (4.0 * alpha + gamma * (1.0 - 2.0 * alpha)) - alpha**3
+    return numerator / (2.0 * alpha**3 - 4.0 * alpha**2 + 1.0)
+
+
+def honest_static_revenue(params: MiningParams) -> float:
+    """Eq. (4): honest miners' long-run static reward rate ``r_b^h``."""
+    alpha, gamma = params.alpha, params.gamma
+    if not 0.0 < alpha < 0.5:
+        raise ParameterError(f"Eq. (4) requires 0 < alpha < 0.5, got {alpha}")
+    numerator = (1.0 - 2.0 * alpha) * (1.0 - alpha) * (alpha * (1.0 - alpha) * (2.0 - gamma) + 1.0)
+    return numerator / (2.0 * alpha**3 - 4.0 * alpha**2 + 1.0)
+
+
+def pool_uncle_revenue(params: MiningParams, schedule: RewardSchedule) -> float:
+    """Eq. (5): the pool's uncle reward rate ``r_u^s`` (always referenced at distance 1)."""
+    alpha, gamma = params.alpha, params.gamma
+    if not 0.0 < alpha < 0.5:
+        raise ParameterError(f"Eq. (5) requires 0 < alpha < 0.5, got {alpha}")
+    coefficient = (1.0 - 2.0 * alpha) * (1.0 - alpha) ** 2 * alpha * (1.0 - gamma)
+    return coefficient / (2.0 * alpha**3 - 4.0 * alpha**2 + 1.0) * schedule.uncle_reward(1)
+
+
+def honest_uncle_revenue(
+    params: MiningParams, schedule: RewardSchedule, *, truncation: int = DEFAULT_SUM_TRUNCATION
+) -> float:
+    """Eq. (6): honest miners' uncle reward rate ``r_u^h`` (sums truncated at ``truncation``)."""
+    alpha, beta, gamma = params.alpha, params.beta, params.gamma
+    total = (alpha * beta + beta**2 * gamma) * schedule.uncle_reward(1) * pi_i0(alpha, 1)
+    for i in range(2, truncation + 1):
+        total += beta * schedule.uncle_reward(i) * pi_i0(alpha, i)
+    for i in range(2, truncation + 1):
+        for j in range(1, truncation + 1):
+            total += beta * gamma * schedule.uncle_reward(i) * pi_ij(alpha, gamma, i + j, j)
+    return total
+
+
+def pool_nephew_revenue(
+    params: MiningParams, schedule: RewardSchedule, *, truncation: int = DEFAULT_SUM_TRUNCATION
+) -> float:
+    """Eq. (8): the pool's nephew reward rate ``r_n^s`` as printed in the paper."""
+    alpha, beta, gamma = params.alpha, params.beta, params.gamma
+    total = alpha * beta * schedule.nephew_reward(1) * pi_i0(alpha, 1)
+    for i in range(2, truncation + 1):
+        for j in range(1, truncation + 1):
+            total += (
+                beta ** (i - 1)
+                * gamma
+                * (alpha - alpha * beta**2 * (1.0 - gamma))
+                * schedule.nephew_reward(i)
+                * pi_ij(alpha, gamma, i + j, j)
+            )
+    return total
+
+
+def honest_nephew_revenue(
+    params: MiningParams, schedule: RewardSchedule, *, truncation: int = DEFAULT_SUM_TRUNCATION
+) -> float:
+    """Eq. (9): honest miners' nephew reward rate ``r_n^h`` as printed in the paper."""
+    alpha, beta, gamma = params.alpha, params.beta, params.gamma
+    total = alpha * beta**2 * (1.0 - gamma) * schedule.nephew_reward(1) * pi_00(alpha)
+    total += beta**2 * gamma * schedule.nephew_reward(1) * pi_i0(alpha, 1)
+    for i in range(2, truncation + 1):
+        for j in range(1, truncation + 1):
+            total += (
+                beta**i
+                * gamma
+                * (1.0 + alpha * beta * (1.0 - gamma))
+                * schedule.nephew_reward(i)
+                * pi_ij(alpha, gamma, i + j, j)
+            )
+    return total
+
+
+def closed_form_revenue(
+    params: MiningParams,
+    schedule: RewardSchedule | None = None,
+    *,
+    truncation: int = DEFAULT_SUM_TRUNCATION,
+) -> ClosedFormRevenue:
+    """Evaluate all six printed revenue expressions at one parameter point."""
+    if schedule is None:
+        schedule = EthereumByzantiumSchedule()
+    return ClosedFormRevenue(
+        params=params,
+        pool_static=pool_static_revenue(params),
+        honest_static=honest_static_revenue(params),
+        pool_uncle=pool_uncle_revenue(params, schedule),
+        honest_uncle=honest_uncle_revenue(params, schedule, truncation=truncation),
+        pool_nephew=pool_nephew_revenue(params, schedule, truncation=truncation),
+        honest_nephew=honest_nephew_revenue(params, schedule, truncation=truncation),
+    )

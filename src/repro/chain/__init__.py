@@ -1,0 +1,31 @@
+"""Blockchain substrate: blocks, block trees, fork choice, uncles and settlement.
+
+The discrete-event simulator of :mod:`repro.simulation` is built on top of this
+subpackage, which knows nothing about mining strategies: it only implements the data
+structures and protocol rules of an Ethereum-style chain with uncle references —
+block/tree bookkeeping, longest-chain and GHOST fork choice, uncle-eligibility rules,
+and the end-of-run reward settlement that walks the main chain and pays static, uncle
+and nephew rewards.
+"""
+
+from .block import Block, GENESIS_ID, MinerKind
+from .blocktree import BlockTree
+from .fork_choice import ForkChoiceRule, GhostRule, LongestChainRule
+from .rewards import ChainSettlement, settle_rewards
+from .uncles import eligible_uncles, is_eligible_uncle
+from .validation import validate_tree
+
+__all__ = [
+    "Block",
+    "BlockTree",
+    "ChainSettlement",
+    "ForkChoiceRule",
+    "GENESIS_ID",
+    "GhostRule",
+    "LongestChainRule",
+    "MinerKind",
+    "eligible_uncles",
+    "is_eligible_uncle",
+    "settle_rewards",
+    "validate_tree",
+]

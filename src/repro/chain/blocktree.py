@@ -1,0 +1,232 @@
+"""The block tree: every block ever mined, plus publication bookkeeping.
+
+The tree is append-only.  It tracks, for every block,
+
+* its children (for fork-choice walks),
+* whether it has been *published* (visible to honest miners) — the selfish pool's
+  withheld blocks exist in the tree but are unpublished until the strategy releases
+  them,
+* the usual structural data (height, parent, uncle references) carried by the
+  immutable :class:`~repro.chain.block.Block` records.
+
+The tree enforces structural invariants on insertion (parent exists, height is
+parent's height plus one, uncle references are sane) but it does *not* enforce the
+protocol's uncle-eligibility rules — that is the job of :mod:`repro.chain.uncles`,
+which the simulator consults when composing a new block.  Keeping the two separate
+makes it possible to unit-test eligibility violations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import ChainStructureError, UnknownBlockError
+from .block import Block, GENESIS_ID, MinerKind, make_genesis
+
+
+class BlockTree:
+    """An append-only tree of blocks rooted at the genesis block."""
+
+    def __init__(self) -> None:
+        genesis = make_genesis()
+        self._blocks: dict[int, Block] = {genesis.block_id: genesis}
+        self._children: dict[int, list[int]] = {genesis.block_id: []}
+        self._published: set[int] = {genesis.block_id}
+        self._by_height: dict[int, list[int]] = {0: [genesis.block_id]}
+        self._next_id: int = GENESIS_ID + 1
+
+    # ------------------------------------------------------------------ basic access
+    @property
+    def genesis(self) -> Block:
+        """The genesis block."""
+        return self._blocks[GENESIS_ID]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks.values())
+
+    def block(self, block_id: int) -> Block:
+        """Return the block with identifier ``block_id``."""
+        try:
+            return self._blocks[block_id]
+        except KeyError as exc:
+            raise UnknownBlockError(f"block {block_id} is not in the tree") from exc
+
+    def blocks(self) -> list[Block]:
+        """All blocks in insertion (creation) order."""
+        return [self._blocks[block_id] for block_id in sorted(self._blocks)]
+
+    def children(self, block_id: int) -> list[Block]:
+        """Children of ``block_id`` in insertion order."""
+        self.block(block_id)
+        return [self._blocks[child] for child in self._children.get(block_id, [])]
+
+    # ------------------------------------------------------------------ insertion
+    def add_block(
+        self,
+        parent_id: int,
+        miner: MinerKind,
+        *,
+        miner_index: int = 0,
+        created_at: int = 0,
+        uncle_ids: Iterable[int] = (),
+        published: bool = True,
+    ) -> Block:
+        """Append a new block on top of ``parent_id`` and return it.
+
+        Structural checks only: the parent and every referenced uncle must already be
+        in the tree, and a block cannot reference itself or its own parent as an
+        uncle.  Protocol-level eligibility (distance window, "not already referenced",
+        per-block cap) is enforced by the caller via :mod:`repro.chain.uncles`.
+        """
+        parent = self.block(parent_id)
+        uncle_tuple = tuple(uncle_ids)
+        seen: set[int] = set()
+        for uncle_id in uncle_tuple:
+            if uncle_id not in self._blocks:
+                raise UnknownBlockError(f"uncle {uncle_id} is not in the tree")
+            if uncle_id in seen:
+                raise ChainStructureError(f"uncle {uncle_id} referenced twice by the same block")
+            if uncle_id == parent_id:
+                raise ChainStructureError("a block cannot reference its own parent as an uncle")
+            seen.add(uncle_id)
+
+        block = Block(
+            block_id=self._next_id,
+            parent_id=parent.block_id,
+            height=parent.height + 1,
+            miner=miner,
+            miner_index=miner_index,
+            created_at=created_at,
+            uncle_ids=uncle_tuple,
+        )
+        self._blocks[block.block_id] = block
+        self._children[block.block_id] = []
+        self._children[parent.block_id].append(block.block_id)
+        self._by_height.setdefault(block.height, []).append(block.block_id)
+        if published:
+            self._published.add(block.block_id)
+        self._next_id += 1
+        return block
+
+    # ------------------------------------------------------------------ publication
+    def publish(self, block_id: int) -> None:
+        """Mark ``block_id`` as published (visible to honest miners)."""
+        self.block(block_id)
+        self._published.add(block_id)
+
+    def is_published(self, block_id: int) -> bool:
+        """True if ``block_id`` has been published."""
+        self.block(block_id)
+        return block_id in self._published
+
+    def published_blocks(self) -> list[Block]:
+        """All published blocks in creation order."""
+        return [block for block in self.blocks() if block.block_id in self._published]
+
+    # ------------------------------------------------------------------ chain walks
+    def ancestors(self, block_id: int, *, include_self: bool = False) -> Iterator[Block]:
+        """Yield the ancestors of ``block_id`` walking towards the genesis block."""
+        block = self.block(block_id)
+        if include_self:
+            yield block
+        while block.parent_id is not None:
+            block = self.block(block.parent_id)
+            yield block
+
+    def chain_to(self, block_id: int) -> list[Block]:
+        """The path from the genesis block to ``block_id``, inclusive, root first."""
+        path = list(self.ancestors(block_id, include_self=True))
+        path.reverse()
+        return path
+
+    def is_ancestor(self, ancestor_id: int, descendant_id: int) -> bool:
+        """True when ``ancestor_id`` lies on the path from genesis to ``descendant_id``."""
+        self.block(ancestor_id)
+        ancestor_height = self.block(ancestor_id).height
+        for block in self.ancestors(descendant_id, include_self=True):
+            if block.block_id == ancestor_id:
+                return True
+            if block.height < ancestor_height:
+                return False
+        return False
+
+    def common_ancestor(self, first_id: int, second_id: int) -> Block:
+        """The deepest block that is an ancestor of both arguments."""
+        first_path = {block.block_id for block in self.ancestors(first_id, include_self=True)}
+        for block in self.ancestors(second_id, include_self=True):
+            if block.block_id in first_path:
+                return block
+        return self.genesis
+
+    # ------------------------------------------------------------------ tips and heights
+    def tips(self, *, published_only: bool = False) -> list[Block]:
+        """Leaf blocks (blocks with no children), optionally restricted to published ones.
+
+        When ``published_only`` is set, a published block whose only children are
+        unpublished still counts as a tip — it is the deepest block an honest miner
+        can see on that branch.
+        """
+        result: list[Block] = []
+        for block in self.blocks():
+            if published_only and block.block_id not in self._published:
+                continue
+            children = self._children.get(block.block_id, [])
+            if published_only:
+                children = [child for child in children if child in self._published]
+            if not children:
+                result.append(block)
+        return result
+
+    def max_height(self, *, published_only: bool = False) -> int:
+        """Largest height present in the tree (optionally among published blocks)."""
+        blocks = self.published_blocks() if published_only else self.blocks()
+        return max(block.height for block in blocks)
+
+    def blocks_at_height(self, height: int, *, published_only: bool = False) -> list[Block]:
+        """All blocks at a given height, in creation order."""
+        block_ids = self._by_height.get(height, [])
+        blocks = [self._blocks[block_id] for block_id in block_ids]
+        if published_only:
+            blocks = [block for block in blocks if block.block_id in self._published]
+        return blocks
+
+    def blocks_in_height_range(
+        self, low: int, high: int, *, published_only: bool = False
+    ) -> list[Block]:
+        """All blocks with ``low <= height <= high`` (used for uncle-candidate lookup).
+
+        The range lookup is backed by a height index, so the cost is proportional to
+        the number of blocks in the window, not to the size of the whole tree — this
+        is what keeps 100 000-block simulation runs linear-time.
+        """
+        result: list[Block] = []
+        for height in range(max(low, 0), high + 1):
+            result.extend(self.blocks_at_height(height, published_only=published_only))
+        return result
+
+    # ------------------------------------------------------------------ statistics
+    def count_by_miner(self) -> dict[MinerKind, int]:
+        """Number of non-genesis blocks mined by each party."""
+        counts = {MinerKind.POOL: 0, MinerKind.HONEST: 0}
+        for block in self.blocks():
+            if block.is_genesis:
+                continue
+            counts[block.miner] += 1
+        return counts
+
+    def describe(self) -> str:
+        """Short human-readable summary of the tree."""
+        counts = self.count_by_miner()
+        return (
+            f"BlockTree(blocks={len(self) - 1}, pool={counts[MinerKind.POOL]}, "
+            f"honest={counts[MinerKind.HONEST]}, max_height={self.max_height()})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return self.describe()

@@ -1,0 +1,107 @@
+"""Fork-choice rules: how a miner picks the chain tip to mine on.
+
+The paper's honest miners use the longest-chain rule (footnote 2 of the paper notes
+that although Ethereum describes GHOST, its implementation effectively follows the
+longest chain).  Ties between equally long public branches are the whole point of the
+``gamma`` parameter, so the rules here return *all* best tips and leave tie-breaking
+to the caller (the simulator breaks ties with its ``gamma`` coin; tests can break them
+deterministically).
+
+A GHOST (heaviest-subtree) rule is included as well: it is not used by the paper's
+main analysis, but having it allows the example scripts and extension experiments to
+contrast the two rules on the same simulated trees.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ChainStructureError
+from .block import Block
+from .blocktree import BlockTree
+
+
+class ForkChoiceRule(ABC):
+    """Interface: given a tree, return the best tip(s) visible to a miner."""
+
+    @abstractmethod
+    def best_tips(self, tree: BlockTree, *, published_only: bool = True) -> list[Block]:
+        """Return every tip that is maximal under the rule (ties preserved)."""
+
+    def best_tip(self, tree: BlockTree, *, published_only: bool = True) -> Block:
+        """Return a single best tip, breaking ties by earliest creation.
+
+        Deterministic tie-breaking is convenient for settlement and tests; the
+        simulator never relies on it for honest miners (it applies the ``gamma`` rule
+        instead).
+        """
+        tips = self.best_tips(tree, published_only=published_only)
+        if not tips:
+            raise ChainStructureError("fork choice found no eligible tips")
+        return min(tips, key=lambda block: (block.created_at, block.block_id))
+
+
+class LongestChainRule(ForkChoiceRule):
+    """The longest-chain rule: the tip(s) of maximum height win."""
+
+    def best_tips(self, tree: BlockTree, *, published_only: bool = True) -> list[Block]:
+        tips = tree.tips(published_only=published_only)
+        if not tips:
+            return []
+        best_height = max(tip.height for tip in tips)
+        return [tip for tip in tips if tip.height == best_height]
+
+
+class GhostRule(ForkChoiceRule):
+    """The GHOST rule: repeatedly descend into the child with the heaviest subtree.
+
+    The weight of a subtree is its number of blocks (uncle references do not add
+    weight here; the simulated trees are small enough that the distinction does not
+    matter for the comparisons the examples draw).
+    """
+
+    def best_tips(self, tree: BlockTree, *, published_only: bool = True) -> list[Block]:
+        def visible(block: Block) -> bool:
+            return (not published_only) or tree.is_published(block.block_id)
+
+        def subtree_weight(block: Block) -> int:
+            weight = 1
+            for child in tree.children(block.block_id):
+                if visible(child):
+                    weight += subtree_weight(child)
+            return weight
+
+        current = tree.genesis
+        while True:
+            children = [child for child in tree.children(current.block_id) if visible(child)]
+            if not children:
+                return [current]
+            weights = {child.block_id: subtree_weight(child) for child in children}
+            best_weight = max(weights.values())
+            heaviest = [child for child in children if weights[child.block_id] == best_weight]
+            if len(heaviest) > 1:
+                # A tie at this level produces one best tip per heaviest child branch.
+                tips: list[Block] = []
+                for child in heaviest:
+                    tips.extend(self._descend(tree, child, visible))
+                return tips
+            current = heaviest[0]
+
+    def _descend(self, tree: BlockTree, block: Block, visible) -> list[Block]:
+        children = [child for child in tree.children(block.block_id) if visible(child)]
+        if not children:
+            return [block]
+        weights = {child.block_id: self._weight(tree, child, visible) for child in children}
+        best_weight = max(weights.values())
+        tips: list[Block] = []
+        for child in children:
+            if weights[child.block_id] == best_weight:
+                tips.extend(self._descend(tree, child, visible))
+        return tips
+
+    def _weight(self, tree: BlockTree, block: Block, visible) -> int:
+        weight = 1
+        for child in tree.children(block.block_id):
+            if visible(child):
+                weight += self._weight(tree, child, visible)
+        return weight

@@ -1,0 +1,167 @@
+"""End-of-run reward settlement over a finished block tree.
+
+Given the final tree and the winning tip, settlement walks the main chain and pays
+
+* the static reward to the miner of every main-chain block,
+* for every uncle reference carried by a main-chain block: the distance-dependent
+  uncle reward to the uncle's miner and the nephew reward to the referencing block's
+  miner.
+
+It also classifies every block (regular / referenced uncle / plain stale) and collects
+the per-distance histogram of honest referenced uncles, which is what Table II of the
+paper reports.  The result is a :class:`ChainSettlement` that the simulation metrics
+convert into the same revenue containers the analytical model produces, so that the
+two can be compared number for number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import ChainStructureError
+from ..rewards.breakdown import PartyRewards, RevenueSplit
+from ..rewards.schedule import RewardSchedule
+from .block import Block, MinerKind
+from .blocktree import BlockTree
+
+
+@dataclass(frozen=True)
+class ChainSettlement:
+    """The outcome of settling one finished block tree."""
+
+    split: RevenueSplit
+    per_miner: Mapping[tuple[MinerKind, int], PartyRewards]
+    regular_blocks: int
+    pool_regular_blocks: int
+    honest_regular_blocks: int
+    uncle_blocks: int
+    pool_uncle_blocks: int
+    honest_uncle_blocks: int
+    stale_blocks: int
+    total_blocks: int
+    honest_uncle_distance_counts: Mapping[int, int] = field(default_factory=dict)
+    pool_uncle_distance_counts: Mapping[int, int] = field(default_factory=dict)
+
+    @property
+    def main_chain_length(self) -> int:
+        """Number of non-genesis blocks on the main chain."""
+        return self.regular_blocks
+
+    @property
+    def pool_relative_revenue(self) -> float:
+        """The pool's share of all settled rewards."""
+        return self.split.pool_share()
+
+    def blocks_accounted(self) -> int:
+        """Regular + uncle + stale; must equal ``total_blocks`` (tests assert this)."""
+        return self.regular_blocks + self.uncle_blocks + self.stale_blocks
+
+
+def settle_rewards(
+    tree: BlockTree,
+    tip_id: int,
+    schedule: RewardSchedule,
+    *,
+    skip_heights_below: int = 0,
+) -> ChainSettlement:
+    """Settle rewards for the chain ending at ``tip_id``.
+
+    Parameters
+    ----------
+    tree:
+        The finished block tree.
+    tip_id:
+        Identifier of the main-chain tip (normally the longest published tip).
+    schedule:
+        Reward schedule used for static/uncle/nephew amounts.
+    skip_heights_below:
+        Blocks at heights below this value are excluded from both rewards and counts.
+        The simulator uses it to discard a warm-up prefix so that long-run averages are
+        not biased by the empty-tree start.
+    """
+    if tip_id not in tree:
+        raise ChainStructureError(f"settlement tip {tip_id} is not in the tree")
+
+    main_chain = tree.chain_to(tip_id)
+    main_ids = {block.block_id for block in main_chain}
+
+    per_miner: dict[tuple[MinerKind, int], PartyRewards] = {}
+    pool = PartyRewards()
+    honest = PartyRewards()
+
+    def credit(block: Block, rewards: PartyRewards) -> None:
+        nonlocal pool, honest
+        key = (block.miner, block.miner_index)
+        per_miner[key] = per_miner.get(key, PartyRewards()) + rewards
+        if block.miner.is_pool:
+            pool = pool + rewards
+        else:
+            honest = honest + rewards
+
+    referenced: dict[int, int] = {}  # uncle id -> referencing distance
+    pool_regular = 0
+    honest_regular = 0
+
+    # Pass 1: static rewards and uncle references along the main chain.
+    for block in main_chain:
+        if block.is_genesis or block.height < skip_heights_below:
+            continue
+        credit(block, PartyRewards(static=schedule.static_reward))
+        if block.miner.is_pool:
+            pool_regular += 1
+        else:
+            honest_regular += 1
+        for uncle_id in block.uncle_ids:
+            uncle = tree.block(uncle_id)
+            if uncle.block_id in main_ids:
+                raise ChainStructureError(
+                    f"main-chain block {uncle_id} referenced as an uncle by block {block.block_id}"
+                )
+            if uncle_id in referenced:
+                raise ChainStructureError(f"uncle {uncle_id} referenced twice along the main chain")
+            distance = block.height - uncle.height
+            referenced[uncle_id] = distance
+            if uncle.height >= skip_heights_below:
+                credit(uncle, PartyRewards(uncle=schedule.uncle_reward(distance)))
+                credit(block, PartyRewards(nephew=schedule.nephew_reward(distance)))
+
+    # Pass 2: classify every block.
+    pool_uncles = 0
+    honest_uncles = 0
+    stale = 0
+    total = 0
+    honest_distance_counts: dict[int, int] = {}
+    pool_distance_counts: dict[int, int] = {}
+    for block in tree.blocks():
+        if block.is_genesis or block.height < skip_heights_below:
+            continue
+        total += 1
+        if block.block_id in main_ids:
+            continue
+        if block.block_id in referenced:
+            distance = referenced[block.block_id]
+            if block.miner.is_pool:
+                pool_uncles += 1
+                pool_distance_counts[distance] = pool_distance_counts.get(distance, 0) + 1
+            else:
+                honest_uncles += 1
+                honest_distance_counts[distance] = honest_distance_counts.get(distance, 0) + 1
+        else:
+            stale += 1
+
+    regular = pool_regular + honest_regular
+    return ChainSettlement(
+        split=RevenueSplit(pool=pool, honest=honest),
+        per_miner=per_miner,
+        regular_blocks=regular,
+        pool_regular_blocks=pool_regular,
+        honest_regular_blocks=honest_regular,
+        uncle_blocks=pool_uncles + honest_uncles,
+        pool_uncle_blocks=pool_uncles,
+        honest_uncle_blocks=honest_uncles,
+        stale_blocks=stale,
+        total_blocks=total,
+        honest_uncle_distance_counts=dict(sorted(honest_distance_counts.items())),
+        pool_uncle_distance_counts=dict(sorted(pool_distance_counts.items())),
+    )

@@ -1,0 +1,99 @@
+"""Uncle-eligibility rules and reference selection (Ethereum protocol rules).
+
+A block ``U`` may be referenced as an uncle by a new block ``B`` (mined on parent
+``P``) when all of the following hold:
+
+1. ``U`` is not ``B`` itself and not an ancestor of ``B`` — it is a *stale* block from
+   ``B``'s point of view;
+2. ``U``'s parent *is* an ancestor of ``B`` (an uncle must be a direct child of the
+   chain being extended);
+3. the referencing distance ``height(B) - height(U)`` is at least 1 and at most the
+   protocol maximum (6 in Ethereum);
+4. ``U`` has not already been referenced by an ancestor of ``B``;
+5. ``B`` carries at most the protocol maximum number of references (2 in Ethereum).
+
+:func:`eligible_uncles` evaluates rules 1-4 for every candidate a miner knows about
+and returns them ordered oldest-first (smallest height first), which maximises the
+chance of a reference landing before its window expires — this is the "reference all
+(unreferenced) uncle blocks" behaviour of Algorithm 1 lines 1 and 8.  The per-block
+cap (rule 5) is applied by the caller because it is a property of the new block, not
+of the candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..constants import MAX_UNCLE_DISTANCE
+from .block import Block
+from .blocktree import BlockTree
+
+
+def is_eligible_uncle(
+    tree: BlockTree,
+    uncle_id: int,
+    parent_id: int,
+    *,
+    max_distance: int = MAX_UNCLE_DISTANCE,
+) -> bool:
+    """True if ``uncle_id`` may be referenced by a new block mined on ``parent_id``.
+
+    Implements rules 1-4 of the module docstring for a single candidate.  The new
+    block's height is ``height(parent) + 1``.
+    """
+    uncle = tree.block(uncle_id)
+    parent = tree.block(parent_id)
+    if uncle.is_genesis:
+        return False
+    new_height = parent.height + 1
+    distance = new_height - uncle.height
+    if distance < 1 or distance > max_distance:
+        return False
+    # Rule 1: the uncle must not be on the chain being extended.
+    if tree.is_ancestor(uncle_id, parent_id) or uncle_id == parent_id:
+        return False
+    # Rule 2: the uncle's parent must be on the chain being extended.
+    if uncle.parent_id is None or not tree.is_ancestor(uncle.parent_id, parent_id):
+        return False
+    # Rule 4: not already referenced by an ancestor of the new block.
+    for ancestor in tree.ancestors(parent_id, include_self=True):
+        if uncle_id in ancestor.uncle_ids:
+            return False
+        if ancestor.height < uncle.height - 1:
+            break
+    return True
+
+
+def eligible_uncles(
+    tree: BlockTree,
+    parent_id: int,
+    candidates: Iterable[Block],
+    *,
+    max_distance: int = MAX_UNCLE_DISTANCE,
+) -> list[Block]:
+    """All candidates that a block mined on ``parent_id`` may reference, oldest first.
+
+    Parameters
+    ----------
+    tree:
+        The block tree.
+    parent_id:
+        Parent of the block being composed.
+    candidates:
+        Blocks the composing miner knows about (honest miners only know published
+        blocks; the pool knows everything).
+    max_distance:
+        Protocol inclusion window.
+    """
+    selected = [
+        candidate
+        for candidate in candidates
+        if is_eligible_uncle(tree, candidate.block_id, parent_id, max_distance=max_distance)
+    ]
+    selected.sort(key=lambda block: (block.height, block.created_at, block.block_id))
+    return selected
+
+
+def referencing_distance(tree: BlockTree, nephew_id: int, uncle_id: int) -> int:
+    """The referencing distance ``height(nephew) - height(uncle)``."""
+    return tree.block(nephew_id).height - tree.block(uncle_id).height

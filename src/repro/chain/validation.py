@@ -1,0 +1,111 @@
+"""Structural validation of block trees.
+
+:func:`validate_tree` walks an entire tree and checks the invariants that every other
+chain component relies on.  The simulator calls it (optionally) at the end of a run
+and the property-based tests call it after every generated operation sequence, so a
+violation anywhere in the pipeline surfaces as a precise error message rather than as
+a silently wrong revenue number.
+"""
+
+from __future__ import annotations
+
+from ..constants import MAX_UNCLE_DISTANCE, MAX_UNCLES_PER_BLOCK
+from ..errors import ChainStructureError
+from .block import GENESIS_ID
+from .blocktree import BlockTree
+
+
+def validate_tree(
+    tree: BlockTree,
+    *,
+    max_uncles_per_block: int = MAX_UNCLES_PER_BLOCK,
+    max_uncle_distance: int = MAX_UNCLE_DISTANCE,
+    enforce_uncle_rules: bool = True,
+) -> None:
+    """Check structural and protocol invariants of ``tree``; raise on violation.
+
+    Checks performed:
+
+    * exactly one genesis block, which is block 0 with height 0;
+    * every non-genesis block has a parent in the tree and height = parent height + 1;
+    * children lists and parent pointers agree;
+    * no block references itself, its parent or a descendant as an uncle;
+    * (optionally) every uncle reference satisfies the protocol rules: the uncle's
+      parent is an ancestor of the referencing block, the distance is within the
+      window, no double references along any ancestry path, and no block carries more
+      than ``max_uncles_per_block`` references.
+    """
+    genesis = tree.genesis
+    if genesis.block_id != GENESIS_ID or genesis.height != 0 or genesis.parent_id is not None:
+        raise ChainStructureError("malformed genesis block")
+
+    for block in tree.blocks():
+        if block.is_genesis:
+            continue
+        if block.parent_id is None:
+            raise ChainStructureError(f"non-genesis block {block.block_id} has no parent")
+        parent = tree.block(block.parent_id)
+        if block.height != parent.height + 1:
+            raise ChainStructureError(
+                f"block {block.block_id} has height {block.height}, expected {parent.height + 1}"
+            )
+        if block.block_id not in [child.block_id for child in tree.children(parent.block_id)]:
+            raise ChainStructureError(
+                f"block {block.block_id} missing from the children of its parent {parent.block_id}"
+            )
+        if len(block.uncle_ids) > max_uncles_per_block:
+            raise ChainStructureError(
+                f"block {block.block_id} references {len(block.uncle_ids)} uncles "
+                f"(protocol maximum is {max_uncles_per_block})"
+            )
+        for uncle_id in block.uncle_ids:
+            _validate_uncle_reference(
+                tree,
+                block_id=block.block_id,
+                uncle_id=uncle_id,
+                max_uncle_distance=max_uncle_distance,
+                enforce_uncle_rules=enforce_uncle_rules,
+            )
+
+
+def _validate_uncle_reference(
+    tree: BlockTree,
+    *,
+    block_id: int,
+    uncle_id: int,
+    max_uncle_distance: int,
+    enforce_uncle_rules: bool,
+) -> None:
+    block = tree.block(block_id)
+    uncle = tree.block(uncle_id)
+    if uncle_id == block_id:
+        raise ChainStructureError(f"block {block_id} references itself as an uncle")
+    if uncle_id == block.parent_id:
+        raise ChainStructureError(f"block {block_id} references its parent as an uncle")
+    if not enforce_uncle_rules:
+        return
+    if uncle.is_genesis:
+        raise ChainStructureError(f"block {block_id} references the genesis block as an uncle")
+    distance = block.height - uncle.height
+    if distance < 1 or distance > max_uncle_distance:
+        raise ChainStructureError(
+            f"block {block_id} references uncle {uncle_id} at distance {distance} "
+            f"(allowed range 1..{max_uncle_distance})"
+        )
+    assert block.parent_id is not None  # guaranteed by caller
+    if tree.is_ancestor(uncle_id, block.parent_id):
+        raise ChainStructureError(
+            f"block {block_id} references its own ancestor {uncle_id} as an uncle"
+        )
+    if uncle.parent_id is None or not tree.is_ancestor(uncle.parent_id, block.parent_id):
+        raise ChainStructureError(
+            f"uncle {uncle_id} referenced by block {block_id} is not a child of the block's ancestry"
+        )
+    for ancestor in tree.ancestors(block.parent_id, include_self=True):
+        if uncle_id in ancestor.uncle_ids:
+            raise ChainStructureError(
+                f"uncle {uncle_id} referenced by block {block_id} was already referenced "
+                f"by its ancestor {ancestor.block_id}"
+            )
+        if ancestor.height < uncle.height:
+            break

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so callers can
+catch a single base class.  More specific subclasses are raised where a caller can
+reasonably react to the particular failure (bad parameters, an invalid chain
+structure, a solver that failed to converge, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or simulation parameter is outside its valid domain."""
+
+
+class StateSpaceError(ReproError, ValueError):
+    """A Markov state or state-space specification is invalid."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A numerical solver failed to produce a usable result."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver did not converge within its iteration budget."""
+
+
+class ChainStructureError(ReproError, ValueError):
+    """A block-tree operation would violate the blockchain structure invariants."""
+
+
+class UnknownBlockError(ChainStructureError, KeyError):
+    """A referenced block hash/identifier is not present in the block tree."""
+
+
+class UncleRuleError(ChainStructureError):
+    """An uncle reference violates the protocol's uncle-eligibility rules."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent internal state."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment driver could not produce its artifact."""

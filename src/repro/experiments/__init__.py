@@ -1,0 +1,39 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every driver follows the same pattern: a ``run_*`` function evaluates the analytical
+model (and, where the paper does, the simulator) over the grid the paper used and
+returns a result dataclass with a ``report()`` method that renders the same rows or
+series the paper presents.  The benchmark harness under ``benchmarks/`` simply times
+and prints these drivers, and EXPERIMENTS.md records their output next to the paper's
+numbers.
+
+Fidelity knobs: every driver accepts a ``fast`` flag (coarser grids, shorter
+simulations) so that the full suite can be exercised quickly in CI; the defaults used
+by the benchmarks correspond to the numbers recorded in EXPERIMENTS.md.
+"""
+
+from .discussion import DiscussionResult, run_discussion
+from .figure8 import Figure8Result, run_figure8
+from .figure9 import Figure9Result, run_figure9
+from .figure10 import Figure10Result, run_figure10
+from .pools import MiningPool, TOP_POOLS_2018, pool_concentration_report
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+
+__all__ = [
+    "DiscussionResult",
+    "Figure10Result",
+    "Figure8Result",
+    "Figure9Result",
+    "MiningPool",
+    "TOP_POOLS_2018",
+    "Table1Result",
+    "Table2Result",
+    "pool_concentration_report",
+    "run_discussion",
+    "run_figure10",
+    "run_figure8",
+    "run_figure9",
+    "run_table1",
+    "run_table2",
+]

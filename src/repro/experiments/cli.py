@@ -1,0 +1,79 @@
+"""Command-line entry point: regenerate any of the paper's tables and figures.
+
+Installed as the ``repro-experiments`` console script::
+
+    repro-experiments figure8            # full-fidelity run of the Fig. 8 driver
+    repro-experiments figure10 --fast    # quick smoke version of Fig. 10
+    repro-experiments all --fast         # every artifact, fast settings
+
+Each sub-command prints the corresponding driver's text report to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from .discussion import run_discussion
+from .figure8 import run_figure8
+from .figure9 import run_figure9
+from .figure10 import run_figure10
+from .pools import pool_concentration_report
+from .table1 import run_table1
+from .table2 import run_table2
+
+#: Mapping of sub-command name to a callable producing the report text.
+_EXPERIMENTS: dict[str, Callable[[bool], str]] = {
+    "figure6": lambda fast: pool_concentration_report(),
+    "figure8": lambda fast: run_figure8(fast=fast).report(),
+    "figure9": lambda fast: run_figure9(fast=fast).report(),
+    "figure10": lambda fast: run_figure10(fast=fast).report(),
+    "table1": lambda fast: run_table1().report(),
+    "table2": lambda fast: run_table2(fast=fast, include_simulation=not fast).report(),
+    "discussion": lambda fast: run_discussion(fast=fast).report(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of 'Selfish Mining in Ethereum' (ICDCS 2019).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate ('all' runs every driver)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use coarse grids and short simulations (smoke-test fidelity)",
+    )
+    return parser
+
+
+def run_experiment(name: str, *, fast: bool = False) -> str:
+    """Run one named experiment and return its report text."""
+    return _EXPERIMENTS[name](fast)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    for name in names:
+        started = time.time()
+        report = run_experiment(name, fast=arguments.fast)
+        elapsed = time.time() - started
+        print(f"==== {name} ({elapsed:.1f}s) ====")
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation only
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Figure 6: hash-power concentration of Ethereum mining pools (September 2018).
+
+The paper motivates its threat model with the observed concentration of Ethereum hash
+power: the largest pool alone held more than a quarter of it, the top two roughly
+half, and the top five more than 80%.  The data set below reproduces the numbers the
+paper quotes (its Fig. 6, sourced from Etherscan) and the helpers compute the
+concentration statistics referenced in Section III-D, so that the motivation can be
+re-derived rather than just re-stated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParameterError
+from ..utils.tables import Table
+
+
+@dataclass(frozen=True)
+class MiningPool:
+    """One mining pool and its share of the total hash power."""
+
+    name: str
+    hash_share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hash_share <= 1.0:
+            raise ParameterError(f"hash_share must lie in [0, 1], got {self.hash_share}")
+
+
+#: The paper's Fig. 6 data set (shares of total hash power, September 2018).
+TOP_POOLS_2018: tuple[MiningPool, ...] = (
+    MiningPool(name="Ethermine", hash_share=0.2634),
+    MiningPool(name="SparkPool", hash_share=0.2246),
+    MiningPool(name="F2Pool", hash_share=0.1337),
+    MiningPool(name="Nanopool", hash_share=0.1033),
+    MiningPool(name="MiningPoolHub", hash_share=0.0878),
+    MiningPool(name="Others", hash_share=0.1872),
+)
+
+
+def top_k_share(pools: tuple[MiningPool, ...] = TOP_POOLS_2018, k: int = 2) -> float:
+    """Combined hash share of the ``k`` largest named pools (excluding "Others")."""
+    if k < 1:
+        raise ParameterError(f"k must be positive, got {k}")
+    named = [pool for pool in pools if pool.name.lower() != "others"]
+    named.sort(key=lambda pool: pool.hash_share, reverse=True)
+    return sum(pool.hash_share for pool in named[:k])
+
+
+def pool_concentration_report(pools: tuple[MiningPool, ...] = TOP_POOLS_2018) -> str:
+    """Render the Fig. 6 data set and the concentration facts quoted in Section III-D."""
+    table = Table(
+        headers=["Pool", "Hash share"],
+        title="Figure 6 - Ethereum mining pool hash power (2018-09)",
+        float_format=".2%",
+    )
+    for pool in pools:
+        table.add_row(pool.name, pool.hash_share)
+    lines = [table.render()]
+    lines.append(f"Largest pool:        {top_k_share(pools, 1):.2%} of total hash power")
+    lines.append(f"Top two pools:       {top_k_share(pools, 2):.2%} of total hash power")
+    lines.append(f"Top five pools:      {top_k_share(pools, 5):.2%} of total hash power")
+    lines.append(
+        "Any of the large pools is big enough that the thresholds of Fig. 10 are a practical concern."
+    )
+    return "\n".join(lines)

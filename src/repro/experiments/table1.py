@@ -1,0 +1,92 @@
+"""Table I: the reward types available in Ethereum and Bitcoin.
+
+Table I of the paper is descriptive — it lists which reward types exist on each chain
+and what they are for.  Reproducing it from the code (rather than hard-coding the
+check marks) doubles as a sanity check that the reward schedules expose the right
+structure: the Ethereum schedule must have non-zero uncle and nephew rewards, the
+Bitcoin schedule must not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rewards.schedule import BitcoinSchedule, EthereumByzantiumSchedule, RewardSchedule
+from ..utils.tables import Table
+
+
+@dataclass(frozen=True)
+class RewardTypeRow:
+    """One row of Table I."""
+
+    reward_type: str
+    in_ethereum: bool
+    in_bitcoin: bool
+    purpose: str
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The reproduced Table I."""
+
+    rows: tuple[RewardTypeRow, ...]
+
+    def report(self) -> str:
+        """Render the table."""
+        table = Table(
+            headers=["Reward", "Ethereum", "Bitcoin", "Purpose"],
+            title="Table I - mining rewards in Ethereum and Bitcoin",
+        )
+        for row in self.rows:
+            table.add_row(row.reward_type, row.in_ethereum, row.in_bitcoin, row.purpose)
+        return table.render()
+
+
+def _has_static(schedule: RewardSchedule) -> bool:
+    return schedule.static_reward > 0
+
+
+def _has_uncle(schedule: RewardSchedule) -> bool:
+    return schedule.has_uncle_rewards
+
+
+def _has_nephew(schedule: RewardSchedule) -> bool:
+    probe_limit = min(max(schedule.max_uncle_distance, 1), 16)
+    return any(schedule.nephew_reward(d) > 0 for d in range(1, probe_limit + 1))
+
+
+def run_table1(
+    ethereum: RewardSchedule | None = None, bitcoin: RewardSchedule | None = None
+) -> Table1Result:
+    """Reproduce Table I from the reward schedules themselves."""
+    if ethereum is None:
+        ethereum = EthereumByzantiumSchedule()
+    if bitcoin is None:
+        bitcoin = BitcoinSchedule()
+    rows = (
+        RewardTypeRow(
+            reward_type="Static reward",
+            in_ethereum=_has_static(ethereum),
+            in_bitcoin=_has_static(bitcoin),
+            purpose="Compensate miners' mining cost",
+        ),
+        RewardTypeRow(
+            reward_type="Uncle reward",
+            in_ethereum=_has_uncle(ethereum),
+            in_bitcoin=_has_uncle(bitcoin),
+            purpose="Reduce the centralisation trend of mining",
+        ),
+        RewardTypeRow(
+            reward_type="Nephew reward",
+            in_ethereum=_has_nephew(ethereum),
+            in_bitcoin=_has_nephew(bitcoin),
+            purpose="Encourage miners to reference uncle blocks",
+        ),
+        RewardTypeRow(
+            reward_type="Transaction fee (gas)",
+            in_ethereum=True,
+            in_bitcoin=True,
+            purpose="Pay for execution; ignored by the analysis (dwarfed by block rewards)",
+        ),
+    )
+    return Table1Result(rows=rows)

@@ -1,0 +1,37 @@
+"""Markov-chain substrate for the selfish-mining analysis.
+
+The paper models the race between the selfish pool and honest miners as a
+2-dimensional continuous-time Markov process over states ``(Ls, Lh)`` (private and
+public branch lengths, Section IV-B).  This subpackage provides:
+
+* :mod:`repro.markov.state` — the state type and truncated state-space enumeration,
+* :mod:`repro.markov.transitions` — the transition rates of Section IV-C,
+* :mod:`repro.markov.chain` — a generic finite Markov-chain container,
+* :mod:`repro.markov.stationary` — stationary-distribution solvers,
+* :mod:`repro.markov.closed_form` — the closed-form distribution of Eq. (2) and the
+  multiple-summation helper ``f(x, y, z)`` of Appendix A.
+"""
+
+from .chain import MarkovChain, Transition
+from .closed_form import closed_form_distribution, multiple_summation, pi_00, pi_11, pi_i0, pi_ij
+from .state import State, StateSpace, ZERO_STATE
+from .stationary import StationaryResult, stationary_distribution
+from .transitions import build_selfish_mining_chain, selfish_mining_transitions
+
+__all__ = [
+    "MarkovChain",
+    "State",
+    "StateSpace",
+    "StationaryResult",
+    "Transition",
+    "ZERO_STATE",
+    "build_selfish_mining_chain",
+    "closed_form_distribution",
+    "multiple_summation",
+    "pi_00",
+    "pi_11",
+    "pi_i0",
+    "pi_ij",
+    "selfish_mining_transitions",
+    "stationary_distribution",
+]

@@ -1,0 +1,143 @@
+"""States of the 2-dimensional selfish-mining Markov process.
+
+A state is the pair ``(Ls, Lh)`` where ``Ls`` is the length of the selfish pool's
+private branch and ``Lh`` the (common) length of the public branches (Section IV-B).
+The reachable state space under Algorithm 1 is
+
+* ``(0, 0)`` — no race in progress, everyone mines on the consensus tip,
+* ``(1, 0)`` — the pool holds one private block,
+* ``(1, 1)`` — a tie: one private (now published) block against one honest block,
+* ``(i, j)`` with ``i - j >= 2`` and ``j >= 0`` — the pool leads by at least two.
+
+The state space is infinite; for numerical work we truncate the private-branch length
+at ``max_lead`` (the paper uses 200, footnote 3) and :class:`StateSpace` enumerates the
+truncated set with a stable index assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..constants import DEFAULT_STATE_TRUNCATION
+from ..errors import StateSpaceError
+
+
+@dataclass(frozen=True, order=True)
+class State:
+    """A ``(private_length, public_length)`` pair, i.e. ``(Ls, Lh)``.
+
+    The ordering (lexicographic on ``(private, public)``) is only used to make state
+    enumeration deterministic; it has no modelling meaning.
+    """
+
+    private: int
+    public: int
+
+    def __post_init__(self) -> None:
+        if self.private < 0 or self.public < 0:
+            raise StateSpaceError(f"branch lengths must be non-negative, got {self}")
+
+    @property
+    def lead(self) -> int:
+        """The pool's advantage ``Ls - Lh`` (may be negative for invalid states)."""
+        return self.private - self.public
+
+    def is_valid(self) -> bool:
+        """True if the state is reachable under the selfish-mining strategy."""
+        if self == State(0, 0) or self == State(1, 0) or self == State(1, 1):
+            return True
+        return self.lead >= 2 and self.public >= 0
+
+    def __str__(self) -> str:
+        return f"({self.private},{self.public})"
+
+
+#: The idle state in which every miner works on the consensus tip.
+ZERO_STATE = State(0, 0)
+
+
+def enumerate_states(max_lead: int) -> list[State]:
+    """Enumerate all reachable states with private-branch length at most ``max_lead``.
+
+    The enumeration is deterministic: the three special states first, then the
+    ``(i, j)`` states ordered by ``i`` and then ``j``.
+
+    Parameters
+    ----------
+    max_lead:
+        Largest private-branch length ``Ls`` to keep.  Must be at least 2 so that the
+        chain retains at least one "pool leads by two" state.
+    """
+    if max_lead < 2:
+        raise StateSpaceError(f"max_lead must be at least 2, got {max_lead}")
+    states: list[State] = [State(0, 0), State(1, 0), State(1, 1)]
+    for i in range(2, max_lead + 1):
+        for j in range(0, i - 1):  # j <= i - 2
+            states.append(State(i, j))
+    return states
+
+
+class StateSpace:
+    """A truncated, indexed enumeration of the selfish-mining state space.
+
+    The class maps between :class:`State` objects and dense integer indices so that
+    transition matrices can be stored as sparse arrays.
+
+    Parameters
+    ----------
+    max_lead:
+        Truncation level for the private-branch length.  States with
+        ``Ls > max_lead`` are dropped; transitions that would leave the truncated set
+        are redirected back to the source state by the transition builder (their
+        probability mass is negligible for ``alpha <= 0.45`` and ``max_lead >= 60``).
+    """
+
+    def __init__(self, max_lead: int = DEFAULT_STATE_TRUNCATION) -> None:
+        self._max_lead = int(max_lead)
+        self._states = enumerate_states(self._max_lead)
+        self._index = {state: position for position, state in enumerate(self._states)}
+
+    @property
+    def max_lead(self) -> int:
+        """The truncation level used to build this state space."""
+        return self._max_lead
+
+    @property
+    def states(self) -> tuple[State, ...]:
+        """All states in index order."""
+        return tuple(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._states)
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._index
+
+    def index_of(self, state: State) -> int:
+        """Return the dense index of ``state``; raise if it is not in the space."""
+        try:
+            return self._index[state]
+        except KeyError as exc:
+            raise StateSpaceError(f"state {state} is not in the truncated state space") from exc
+
+    def state_at(self, index: int) -> State:
+        """Return the state stored at dense index ``index``."""
+        try:
+            return self._states[index]
+        except IndexError as exc:
+            raise StateSpaceError(f"index {index} out of range for state space of size {len(self)}") from exc
+
+    def lead_states(self, lead: int) -> list[State]:
+        """Return all states in the space whose pool advantage equals ``lead``."""
+        return [state for state in self._states if state.lead == lead]
+
+    def describe(self) -> str:
+        """Short human-readable summary of the truncated space."""
+        return f"StateSpace(max_lead={self._max_lead}, states={len(self)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return self.describe()

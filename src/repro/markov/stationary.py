@@ -1,0 +1,188 @@
+"""Stationary-distribution solvers for finite Markov chains.
+
+Two solvers are provided:
+
+* a direct sparse linear solve of the global balance equations ``pi Q = 0`` with the
+  normalisation ``sum(pi) = 1`` (the default), and
+* a power-iteration fallback on the uniformised transition matrix, useful as an
+  independent cross-check and for extremely large truncations where the direct solve
+  becomes memory-hungry.
+
+Both return a :class:`StationaryResult` that maps states to probabilities and records
+which method produced it plus its residual, so the experiment drivers can report the
+numerical quality alongside the reproduced figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, Mapping, TypeVar
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from ..errors import ConvergenceError, SolverError
+from .chain import MarkovChain
+
+StateT = TypeVar("StateT", bound=Hashable)
+
+#: Default convergence tolerance for the iterative solver.
+DEFAULT_TOLERANCE = 1e-12
+
+#: Default iteration budget for the iterative solver.
+DEFAULT_MAX_ITERATIONS = 200_000
+
+
+@dataclass(frozen=True)
+class StationaryResult(Generic[StateT]):
+    """The stationary distribution of a chain, with solver metadata."""
+
+    chain: MarkovChain[StateT]
+    probabilities: tuple[float, ...]
+    method: str
+    residual: float
+
+    def probability(self, state: StateT) -> float:
+        """Stationary probability of ``state``."""
+        return self.probabilities[self.chain.index_of(state)]
+
+    def __getitem__(self, state: StateT) -> float:
+        return self.probability(state)
+
+    def get(self, state: StateT, default: float = 0.0) -> float:
+        """Stationary probability of ``state`` or ``default`` if it is not in the chain."""
+        try:
+            return self.probability(state)
+        except Exception:
+            return default
+
+    def as_mapping(self) -> Mapping[StateT, float]:
+        """Return a plain ``state -> probability`` dictionary."""
+        return {state: self.probabilities[idx] for idx, state in enumerate(self.chain.states)}
+
+    def total_probability(self) -> float:
+        """Sum of all probabilities (should be 1 up to numerical error)."""
+        return float(sum(self.probabilities))
+
+    def support(self, threshold: float = 0.0) -> list[StateT]:
+        """States whose probability strictly exceeds ``threshold``."""
+        return [state for idx, state in enumerate(self.chain.states) if self.probabilities[idx] > threshold]
+
+
+def _clean_distribution(vector: np.ndarray) -> np.ndarray:
+    """Clip tiny negative round-off values and renormalise to sum 1."""
+    vector = np.asarray(vector, dtype=float).copy()
+    vector[vector < 0] = np.where(vector[vector < 0] > -1e-10, 0.0, vector[vector < 0])
+    if np.any(vector < 0):
+        raise SolverError("stationary solve produced significantly negative probabilities")
+    total = vector.sum()
+    if total <= 0:
+        raise SolverError("stationary solve produced an all-zero distribution")
+    return vector / total
+
+
+def _residual(chain: MarkovChain[StateT], distribution: np.ndarray) -> float:
+    generator = chain.generator_matrix()
+    return float(np.max(np.abs(distribution @ generator)))
+
+
+def solve_direct(chain: MarkovChain[StateT]) -> StationaryResult[StateT]:
+    """Solve ``pi Q = 0, sum(pi) = 1`` with a sparse LU factorisation.
+
+    The singular system is made non-singular by replacing one balance equation with
+    the normalisation constraint, the standard trick for ergodic chains.
+    """
+    size = len(chain)
+    generator = chain.generator_matrix().transpose().tolil()
+    # Replace the last equation with the normalisation constraint sum(pi) = 1.
+    generator[size - 1, :] = 1.0
+    rhs = np.zeros(size)
+    rhs[size - 1] = 1.0
+    try:
+        solution = sparse_linalg.spsolve(generator.tocsc(), rhs)
+    except Exception as exc:  # pragma: no cover - scipy failure path
+        raise SolverError(f"sparse direct solve failed: {exc}") from exc
+    distribution = _clean_distribution(solution)
+    return StationaryResult(
+        chain=chain,
+        probabilities=tuple(distribution.tolist()),
+        method="direct",
+        residual=_residual(chain, distribution),
+    )
+
+
+def solve_power_iteration(
+    chain: MarkovChain[StateT],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> StationaryResult[StateT]:
+    """Solve for the stationary distribution by iterating the jump-chain matrix.
+
+    For the chains in this package the jump chain and the continuous-time chain share
+    their stationary distribution because every state has unit exit rate; the solver
+    nevertheless works for general chains by uniformising the generator first.
+    """
+    size = len(chain)
+    rate = chain.rate_matrix()
+    out_rates = np.asarray(rate.sum(axis=1)).ravel()
+    uniform_rate = float(out_rates.max()) if out_rates.size else 1.0
+    if uniform_rate <= 0:
+        raise SolverError("chain has no outgoing rates; cannot uniformise")
+    # Uniformised transition matrix P = I + Q / uniform_rate.
+    generator = chain.generator_matrix()
+    transition = sparse.identity(size, format="csr") + generator / uniform_rate
+
+    distribution = np.full(size, 1.0 / size)
+    for iteration in range(1, max_iterations + 1):
+        updated = distribution @ transition
+        updated = np.asarray(updated).ravel()
+        total = updated.sum()
+        if total <= 0:
+            raise SolverError("power iteration collapsed to the zero vector")
+        updated /= total
+        change = float(np.max(np.abs(updated - distribution)))
+        distribution = updated
+        if change < tolerance:
+            cleaned = _clean_distribution(distribution)
+            return StationaryResult(
+                chain=chain,
+                probabilities=tuple(cleaned.tolist()),
+                method=f"power_iteration[{iteration}]",
+                residual=_residual(chain, cleaned),
+            )
+    raise ConvergenceError(
+        f"power iteration did not converge within {max_iterations} iterations (last change above {tolerance})"
+    )
+
+
+def stationary_distribution(
+    chain: MarkovChain[StateT],
+    *,
+    method: str = "direct",
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> StationaryResult[StateT]:
+    """Compute the stationary distribution of ``chain``.
+
+    Parameters
+    ----------
+    chain:
+        The chain to solve.
+    method:
+        ``"direct"`` (sparse LU, default), ``"power"`` (power iteration) or
+        ``"auto"`` (direct with a power-iteration fallback).
+    tolerance, max_iterations:
+        Only used by the iterative solver.
+    """
+    if method == "direct":
+        return solve_direct(chain)
+    if method == "power":
+        return solve_power_iteration(chain, tolerance=tolerance, max_iterations=max_iterations)
+    if method == "auto":
+        try:
+            return solve_direct(chain)
+        except SolverError:
+            return solve_power_iteration(chain, tolerance=tolerance, max_iterations=max_iterations)
+    raise SolverError(f"unknown stationary solver method {method!r}; expected 'direct', 'power' or 'auto'")

@@ -1,0 +1,102 @@
+"""Mining-model parameters shared by the analysis and the simulator.
+
+The paper's model is governed by two dimensionless parameters:
+
+* ``alpha`` — fraction of the total hash power controlled by the selfish pool,
+* ``gamma`` — fraction of honest hash power that mines on the pool's branch whenever
+  honest miners observe a fork of two equal-length branches (the pool's network
+  capability, Section IV-A).
+
+:class:`MiningParams` validates and carries these two numbers, plus a few convenience
+properties (``beta``, re-scaled rates) used all over the analysis code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ParameterError
+
+#: Largest selfish-pool share for which the truncated analysis is known to be accurate
+#: (the paper evaluates alpha up to 0.45 and truncates the chain at 200 states).
+MAX_SUPPORTED_ALPHA = 0.4999
+
+
+def _check_unit_interval(name: str, value: float, *, closed: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) when ``closed`` is False)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a real number, got {value!r}") from exc
+    if value != value:  # NaN check
+        raise ParameterError(f"{name} must not be NaN")
+    if closed:
+        if not 0.0 <= value <= 1.0:
+            raise ParameterError(f"{name} must lie in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ParameterError(f"{name} must lie in (0, 1), got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class MiningParams:
+    """Hash-power split and network capability of the selfish pool.
+
+    Parameters
+    ----------
+    alpha:
+        Fraction of total hash power controlled by the selfish pool.  Must lie in
+        ``[0, 0.5)`` — at one half or above the pool can trivially control the chain
+        and the stationary analysis no longer applies.
+    gamma:
+        Fraction of honest miners that mine on the pool's branch during a tie.
+        Must lie in ``[0, 1]``.
+
+    Examples
+    --------
+    >>> p = MiningParams(alpha=0.3, gamma=0.5)
+    >>> p.beta
+    0.7
+    """
+
+    alpha: float
+    gamma: float = 0.5
+
+    def __post_init__(self) -> None:
+        alpha = _check_unit_interval("alpha", self.alpha)
+        gamma = _check_unit_interval("gamma", self.gamma)
+        if alpha > MAX_SUPPORTED_ALPHA:
+            raise ParameterError(
+                "alpha must be below 0.5: a pool with at least half of the hash power "
+                f"controls the chain outright (got alpha={alpha})"
+            )
+        object.__setattr__(self, "alpha", alpha)
+        object.__setattr__(self, "gamma", gamma)
+
+    @property
+    def beta(self) -> float:
+        """Fraction of total hash power controlled by honest miners (``1 - alpha``)."""
+        return 1.0 - self.alpha
+
+    @property
+    def honest_on_pool_branch_rate(self) -> float:
+        """Rate at which honest miners extend the pool's branch during a tie."""
+        return self.beta * self.gamma
+
+    @property
+    def honest_on_honest_branch_rate(self) -> float:
+        """Rate at which honest miners extend an honest branch during a tie."""
+        return self.beta * (1.0 - self.gamma)
+
+    def with_alpha(self, alpha: float) -> "MiningParams":
+        """Return a copy of these parameters with a different pool share."""
+        return MiningParams(alpha=alpha, gamma=self.gamma)
+
+    def with_gamma(self, gamma: float) -> "MiningParams":
+        """Return a copy of these parameters with a different tie-breaking ratio."""
+        return MiningParams(alpha=self.alpha, gamma=gamma)
+
+    def describe(self) -> str:
+        """Return a short human-readable description of the parameter point."""
+        return f"alpha={self.alpha:.4f}, beta={self.beta:.4f}, gamma={self.gamma:.4f}"

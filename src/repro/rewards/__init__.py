@@ -1,0 +1,30 @@
+"""Reward schedules and reward bookkeeping containers.
+
+The paper treats the static reward ``Ks``, the distance-dependent uncle reward
+``Ku(d)`` and the nephew reward ``Kn(d)`` as pluggable functions (Remarks 6 and 7).
+This subpackage provides those functions as :class:`~repro.rewards.schedule.RewardSchedule`
+objects plus small arithmetic containers used to accumulate rewards per party.
+"""
+
+from .breakdown import PartyRewards, RevenueSplit
+from .schedule import (
+    BitcoinSchedule,
+    CustomSchedule,
+    EthereumByzantiumSchedule,
+    FlatUncleSchedule,
+    RewardSchedule,
+    ethereum_schedule,
+    flat_uncle_schedule,
+)
+
+__all__ = [
+    "BitcoinSchedule",
+    "CustomSchedule",
+    "EthereumByzantiumSchedule",
+    "FlatUncleSchedule",
+    "PartyRewards",
+    "RevenueSplit",
+    "RewardSchedule",
+    "ethereum_schedule",
+    "flat_uncle_schedule",
+]

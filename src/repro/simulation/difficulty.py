@@ -1,0 +1,83 @@
+"""Difficulty-adjustment rules as applied to finished simulation runs.
+
+Ethereum's difficulty-adjustment algorithm decides how the rewards accumulated in a
+run translate into revenue *per unit of real time*: the network re-targets so that a
+fixed number of "difficulty-counted" blocks is produced per time unit, and a selfish
+miner cares about its income per time unit, not per event.
+
+The paper studies two rules (Section IV-E.2):
+
+* **pre-Byzantium** — only main-chain (regular) blocks count, the historical rule and
+  the paper's Scenario 1;
+* **EIP-100 / Byzantium** — regular *plus referenced uncle* blocks count, the rule
+  adopted by the Byzantium release and the paper's Scenario 2.
+
+Each rule exposes the count it would hold constant for a given
+:class:`~repro.simulation.metrics.SimulationResult`, so the same simulation run can be
+evaluated under either scenario (that is how Fig. 10's two Ethereum curves are both
+produced from one analytical/simulated pipeline).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..analysis.absolute import Scenario
+from ..errors import ParameterError
+from .metrics import SimulationResult
+
+
+class DifficultyRule(ABC):
+    """Interface: which blocks does the difficulty-adjustment algorithm count?"""
+
+    #: The analytical scenario this rule corresponds to.
+    scenario: Scenario
+
+    @abstractmethod
+    def counted_blocks(self, result: SimulationResult) -> float:
+        """Number of difficulty-counted blocks in ``result``."""
+
+    def pool_absolute_revenue(self, result: SimulationResult) -> float:
+        """The pool's reward per difficulty-counted block under this rule."""
+        counted = self.counted_blocks(result)
+        if counted <= 0:
+            raise ParameterError("run produced no difficulty-counted blocks")
+        return result.pool_rewards.total / counted
+
+    def honest_absolute_revenue(self, result: SimulationResult) -> float:
+        """Honest miners' reward per difficulty-counted block under this rule."""
+        counted = self.counted_blocks(result)
+        if counted <= 0:
+            raise ParameterError("run produced no difficulty-counted blocks")
+        return result.honest_rewards.total / counted
+
+    def describe(self) -> str:
+        """Human-readable name used in experiment reports."""
+        return type(self).__name__
+
+
+class PreByzantiumRule(DifficultyRule):
+    """Scenario 1: the difficulty target only tracks regular blocks."""
+
+    scenario = Scenario.REGULAR_ONLY
+
+    def counted_blocks(self, result: SimulationResult) -> float:
+        return result.regular_blocks
+
+
+class EIP100Rule(DifficultyRule):
+    """Scenario 2: the difficulty target tracks regular plus referenced uncle blocks."""
+
+    scenario = Scenario.REGULAR_PLUS_UNCLE
+
+    def counted_blocks(self, result: SimulationResult) -> float:
+        return result.regular_blocks + result.uncle_blocks
+
+
+def difficulty_rule_for(scenario: Scenario) -> DifficultyRule:
+    """Return the difficulty rule matching an analytical scenario."""
+    if scenario is Scenario.REGULAR_ONLY:
+        return PreByzantiumRule()
+    if scenario is Scenario.REGULAR_PLUS_UNCLE:
+        return EIP100Rule()
+    raise ParameterError(f"unknown scenario {scenario!r}")

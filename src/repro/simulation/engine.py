@@ -1,0 +1,285 @@
+"""The full-fidelity selfish-mining simulator (Section V of the paper).
+
+The simulator materialises every mined block in a :class:`~repro.chain.blocktree.BlockTree`
+and plays out Algorithm 1 of the paper:
+
+* the selfish pool withholds its blocks, publishes the last one to create a tie when
+  the honest chain catches up, overrides with its whole branch when its lead shrinks
+  to one, and otherwise answers each honest block by publishing its first unpublished
+  block;
+* honest miners always mine on a longest *published* branch; when two published
+  branches of equal length compete, a fraction ``gamma`` of honest hash power works on
+  the pool's branch (the tie-breaking model of Section IV-A);
+* both sides attach uncle references to the blocks they create, subject to the
+  Ethereum eligibility rules (window of 6, at most 2 per block, no double
+  references) — the pool from its private chain's point of view, honest miners from
+  the published blocks they can see.
+
+Because broadcast is instantaneous in the paper's network model, a "mining event" is
+the only event type: each event mines exactly one block, attributed to the pool with
+probability ``alpha``.  At the end of the run the pool publishes whatever it still
+withholds, the longest published chain wins, and rewards are settled by
+:func:`repro.chain.rewards.settle_rewards`.
+
+This module intentionally shares no code with the analytical reward engine
+(:mod:`repro.analysis.reward_cases`); the agreement between the two is the paper's
+validation claim and this repository's integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.block import MinerKind
+from ..chain.blocktree import BlockTree
+from ..chain.fork_choice import LongestChainRule
+from ..chain.rewards import ChainSettlement, settle_rewards
+from ..chain.uncles import eligible_uncles
+from ..chain.validation import validate_tree
+from ..errors import SimulationError
+from .config import SimulationConfig
+from .metrics import SimulationResult
+from .rng import RandomSource
+
+
+@dataclass
+class RaceState:
+    """Mutable bookkeeping of the ongoing race between the pool and honest miners.
+
+    ``root_id`` is the last block both sides agree on; ``pool_branch`` are the pool's
+    blocks built on top of it (oldest first), of which the first ``published_count``
+    have been released; ``honest_branch`` are the honest blocks built on top of
+    ``root_id`` (the strategy guarantees there is at most one competing honest
+    branch).
+    """
+
+    root_id: int
+    pool_branch: list[int] = field(default_factory=list)
+    published_count: int = 0
+    honest_branch: list[int] = field(default_factory=list)
+
+    @property
+    def private_length(self) -> int:
+        """``Ls`` — length of the pool's private branch."""
+        return len(self.pool_branch)
+
+    @property
+    def public_length(self) -> int:
+        """``Lh`` — length of the public branches (pool prefix and honest branch agree)."""
+        return len(self.honest_branch)
+
+    def pool_tip(self) -> int:
+        """Block the pool mines on (its own private tip)."""
+        return self.pool_branch[-1] if self.pool_branch else self.root_id
+
+    def pool_published_tip(self) -> int:
+        """Tip of the pool's published prefix."""
+        if self.published_count == 0:
+            return self.root_id
+        return self.pool_branch[self.published_count - 1]
+
+    def honest_tip(self) -> int:
+        """Tip of the honest public branch."""
+        return self.honest_branch[-1] if self.honest_branch else self.root_id
+
+    def check_invariants(self) -> None:
+        """Raise if the internal bookkeeping violates the strategy's invariants."""
+        if self.published_count > len(self.pool_branch):
+            raise SimulationError("published more pool blocks than exist in the private branch")
+        if self.published_count != len(self.honest_branch):
+            raise SimulationError(
+                "public branches out of sync: pool published "
+                f"{self.published_count} but the honest branch has {len(self.honest_branch)} blocks"
+            )
+
+
+class ChainSimulator:
+    """Simulate one run of selfish mining against honest miners."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.tree = BlockTree()
+        self.rng = RandomSource(config.seed)
+        self.race = RaceState(root_id=self.tree.genesis.block_id)
+        self._events_run = 0
+
+    # ------------------------------------------------------------------ public API
+    def run(self) -> SimulationResult:
+        """Mine ``config.num_blocks`` blocks, settle rewards, and return the result."""
+        for _ in range(self.config.num_blocks):
+            self.step()
+        self.finalise()
+        settlement = self.settle()
+        return SimulationResult.from_settlement(self.config, settlement, self._events_run)
+
+    def step(self) -> None:
+        """Advance the simulation by one mining event."""
+        event_index = self._events_run
+        if self.rng.pool_mines_next(self.config.params.alpha):
+            if self.config.selfish:
+                self._pool_mines_selfishly(event_index)
+            else:
+                self._mine_on_consensus(event_index, MinerKind.POOL, miner_index=0)
+        else:
+            miner_index = self.rng.honest_miner_index(self.config.num_honest_miners)
+            if self.config.selfish:
+                self._honest_mines(event_index, miner_index)
+            else:
+                self._mine_on_consensus(event_index, MinerKind.HONEST, miner_index=miner_index)
+        self._events_run += 1
+        self.race.check_invariants()
+
+    def finalise(self) -> None:
+        """Publish whatever the pool still withholds (end-of-run cleanup)."""
+        self._publish_pool_blocks(upto=self.race.private_length)
+
+    def settle(self) -> ChainSettlement:
+        """Validate the finished tree (optionally) and settle rewards on the longest chain."""
+        if self.config.validate_chain:
+            validate_tree(
+                self.tree,
+                max_uncles_per_block=self.config.max_uncles_per_block,
+                max_uncle_distance=self.config.max_uncle_distance,
+            )
+        tip = LongestChainRule().best_tip(self.tree, published_only=True)
+        return settle_rewards(
+            self.tree,
+            tip.block_id,
+            self.config.schedule,
+            skip_heights_below=self.config.warmup_blocks,
+        )
+
+    # ------------------------------------------------------------------ block creation
+    def _select_uncles(self, parent_id: int, *, published_only: bool) -> list[int]:
+        """Uncle references for a block mined on ``parent_id``, protocol-capped."""
+        if self.config.max_uncles_per_block == 0 or self.config.max_uncle_distance == 0:
+            return []
+        new_height = self.tree.block(parent_id).height + 1
+        candidates = self.tree.blocks_in_height_range(
+            new_height - self.config.max_uncle_distance,
+            new_height - 1,
+            published_only=published_only,
+        )
+        chosen = eligible_uncles(
+            self.tree, parent_id, candidates, max_distance=self.config.max_uncle_distance
+        )
+        return [block.block_id for block in chosen[: self.config.max_uncles_per_block]]
+
+    def _mine_on_consensus(self, event_index: int, miner: MinerKind, *, miner_index: int) -> None:
+        """Honest-mode mining: extend the consensus tip and publish immediately."""
+        parent_id = self.race.root_id
+        uncle_ids = self._select_uncles(parent_id, published_only=True)
+        block = self.tree.add_block(
+            parent_id,
+            miner,
+            miner_index=miner_index,
+            created_at=event_index,
+            uncle_ids=uncle_ids,
+            published=True,
+        )
+        self.race.root_id = block.block_id
+
+    def _pool_mines_selfishly(self, event_index: int) -> None:
+        """Algorithm 1, lines 1-7: the pool extends its private branch."""
+        parent_id = self.race.pool_tip()
+        # The pool has a complete view of the tree, including its own withheld blocks.
+        uncle_ids = self._select_uncles(parent_id, published_only=False)
+        block = self.tree.add_block(
+            parent_id,
+            MinerKind.POOL,
+            miner_index=0,
+            created_at=event_index,
+            uncle_ids=uncle_ids,
+            published=False,
+        )
+        self.race.pool_branch.append(block.block_id)
+        if (
+            self.race.private_length == 2
+            and self.race.published_count == 1
+            and self.race.public_length == 1
+        ):
+            # (Ls, Lh) = (2, 1): the advantage is too slim to keep racing; publish and win.
+            self._pool_wins_race()
+
+    def _honest_mines(self, event_index: int, miner_index: int) -> None:
+        """Algorithm 1, lines 8-20: an honest miner extends a longest published branch."""
+        race = self.race
+        on_pool_prefix = False
+        if race.public_length == 0:
+            parent_id = race.root_id
+        elif self.rng.honest_mines_on_pool_branch(self.config.params.gamma):
+            parent_id = race.pool_published_tip()
+            on_pool_prefix = True
+        else:
+            parent_id = race.honest_tip()
+
+        uncle_ids = self._select_uncles(parent_id, published_only=True)
+        block = self.tree.add_block(
+            parent_id,
+            MinerKind.HONEST,
+            miner_index=miner_index,
+            created_at=event_index,
+            uncle_ids=uncle_ids,
+            published=True,
+        )
+
+        if on_pool_prefix:
+            if race.published_count == race.private_length:
+                # The pool has nothing withheld (the 1-vs-1 tie): the public chain
+                # through the pool's published block is now the longest; adopt it.
+                self._adopt_public_chain(block.block_id)
+                return
+            # The fork point moves up to the pool's published tip; the pool's withheld
+            # blocks become the new (shorter) private branch and the honest block is
+            # the first block of the new public branch.
+            new_root = race.pool_published_tip()
+            race.pool_branch = race.pool_branch[race.published_count :]
+            race.published_count = 0
+            race.honest_branch = [block.block_id]
+            race.root_id = new_root
+        else:
+            race.honest_branch.append(block.block_id)
+
+        self._pool_reacts_to_honest_block()
+
+    # ------------------------------------------------------------------ pool reactions
+    def _pool_reacts_to_honest_block(self) -> None:
+        """Lines 10-20 of Algorithm 1, after the honest block has been added."""
+        race = self.race
+        private_length = race.private_length
+        public_length = race.public_length
+        if private_length < public_length:
+            self._adopt_public_chain(race.honest_tip())
+        elif private_length == public_length:
+            # Publish the remainder of the private branch, creating a tie the honest
+            # miners will split gamma / (1 - gamma).
+            self._publish_pool_blocks(upto=private_length)
+        elif private_length == public_length + 1:
+            self._pool_wins_race()
+        else:
+            self._publish_pool_blocks(upto=race.published_count + 1)
+
+    def _publish_pool_blocks(self, *, upto: int) -> None:
+        """Publish the pool's private blocks up to index ``upto`` (exclusive end count)."""
+        race = self.race
+        upto = min(upto, race.private_length)
+        for position in range(race.published_count, upto):
+            self.tree.publish(race.pool_branch[position])
+        race.published_count = max(race.published_count, upto)
+
+    def _pool_wins_race(self) -> None:
+        """Publish the whole private branch; every miner adopts it as the main chain."""
+        race = self.race
+        self._publish_pool_blocks(upto=race.private_length)
+        race.root_id = race.pool_tip()
+        race.pool_branch = []
+        race.published_count = 0
+        race.honest_branch = []
+
+    def _adopt_public_chain(self, new_root_id: int) -> None:
+        """The pool abandons its private branch and mines on the public chain."""
+        race = self.race
+        race.root_id = new_root_id
+        race.pool_branch = []
+        race.published_count = 0
+        race.honest_branch = []

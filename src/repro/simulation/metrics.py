@@ -1,0 +1,211 @@
+"""Result containers for simulation runs and multi-run aggregates.
+
+A :class:`SimulationResult` captures everything a single run produced: accumulated
+rewards per party, block classification counts, and the honest uncle-distance
+histogram.  From those it derives the quantities the paper plots — relative revenue,
+and absolute revenue under either difficulty-adjustment scenario.
+
+:func:`aggregate_results` averages several runs (the paper averages 10) and reports
+the sample standard deviation alongside each mean so experiment reports can show the
+statistical error of the simulation next to the analytical prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..analysis.absolute import Scenario
+from ..chain.rewards import ChainSettlement
+from ..errors import SimulationError
+from ..rewards.breakdown import PartyRewards, RevenueSplit
+from .config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of a single simulation run."""
+
+    config: SimulationConfig
+    pool_rewards: PartyRewards
+    honest_rewards: PartyRewards
+    regular_blocks: float
+    pool_regular_blocks: float
+    honest_regular_blocks: float
+    uncle_blocks: float
+    pool_uncle_blocks: float
+    honest_uncle_blocks: float
+    stale_blocks: float
+    total_blocks: float
+    num_events: int
+    honest_uncle_distance_counts: Mapping[int, float] = field(default_factory=dict)
+    pool_uncle_distance_counts: Mapping[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ revenue views
+    @property
+    def split(self) -> RevenueSplit:
+        """Rewards of both parties as a :class:`RevenueSplit`."""
+        return RevenueSplit(pool=self.pool_rewards, honest=self.honest_rewards)
+
+    @property
+    def total_reward(self) -> float:
+        """All rewards paid out during the run."""
+        return self.pool_rewards.total + self.honest_rewards.total
+
+    @property
+    def relative_pool_revenue(self) -> float:
+        """The pool's share of all rewards (the paper's ``Rs``)."""
+        total = self.total_reward
+        return self.pool_rewards.total / total if total > 0 else 0.0
+
+    def normaliser(self, scenario: Scenario) -> float:
+        """Block count the chosen difficulty rule holds constant (per Section IV-E.2)."""
+        if scenario is Scenario.REGULAR_ONLY:
+            return self.regular_blocks
+        if scenario is Scenario.REGULAR_PLUS_UNCLE:
+            return self.regular_blocks + self.uncle_blocks
+        raise SimulationError(f"unknown scenario {scenario!r}")
+
+    def pool_absolute_revenue(self, scenario: Scenario = Scenario.REGULAR_ONLY) -> float:
+        """Pool reward per difficulty-counted block (the paper's ``Us``)."""
+        normaliser = self.normaliser(scenario)
+        if normaliser <= 0:
+            raise SimulationError("run produced no qualifying blocks; cannot normalise")
+        return self.pool_rewards.total / normaliser
+
+    def honest_absolute_revenue(self, scenario: Scenario = Scenario.REGULAR_ONLY) -> float:
+        """Honest reward per difficulty-counted block (the paper's ``Uh``)."""
+        normaliser = self.normaliser(scenario)
+        if normaliser <= 0:
+            raise SimulationError("run produced no qualifying blocks; cannot normalise")
+        return self.honest_rewards.total / normaliser
+
+    def total_absolute_revenue(self, scenario: Scenario = Scenario.REGULAR_ONLY) -> float:
+        """System-wide reward per difficulty-counted block (the "Total" curves of Fig. 9)."""
+        return self.pool_absolute_revenue(scenario) + self.honest_absolute_revenue(scenario)
+
+    # ------------------------------------------------------------------ block statistics
+    @property
+    def stale_fraction(self) -> float:
+        """Fraction of all blocks that ended up neither regular nor referenced uncles."""
+        return self.stale_blocks / self.total_blocks if self.total_blocks > 0 else 0.0
+
+    @property
+    def uncle_fraction(self) -> float:
+        """Fraction of all blocks that ended up as referenced uncles."""
+        return self.uncle_blocks / self.total_blocks if self.total_blocks > 0 else 0.0
+
+    def honest_uncle_distance_distribution(self) -> dict[int, float]:
+        """Normalised distribution of honest uncles over referencing distances (Table II)."""
+        total = sum(self.honest_uncle_distance_counts.values())
+        if total <= 0:
+            return {}
+        return {
+            distance: count / total
+            for distance, count in sorted(self.honest_uncle_distance_counts.items())
+        }
+
+    def expected_honest_uncle_distance(self) -> float:
+        """Mean referencing distance of honest uncles (the Table II "Expectation" row)."""
+        distribution = self.honest_uncle_distance_distribution()
+        return sum(distance * probability for distance, probability in distribution.items())
+
+    @classmethod
+    def from_settlement(
+        cls, config: SimulationConfig, settlement: ChainSettlement, num_events: int
+    ) -> "SimulationResult":
+        """Build a result from a chain settlement (used by the full simulator)."""
+        return cls(
+            config=config,
+            pool_rewards=settlement.split.pool,
+            honest_rewards=settlement.split.honest,
+            regular_blocks=float(settlement.regular_blocks),
+            pool_regular_blocks=float(settlement.pool_regular_blocks),
+            honest_regular_blocks=float(settlement.honest_regular_blocks),
+            uncle_blocks=float(settlement.uncle_blocks),
+            pool_uncle_blocks=float(settlement.pool_uncle_blocks),
+            honest_uncle_blocks=float(settlement.honest_uncle_blocks),
+            stale_blocks=float(settlement.stale_blocks),
+            total_blocks=float(settlement.total_blocks),
+            num_events=num_events,
+            honest_uncle_distance_counts=dict(settlement.honest_uncle_distance_counts),
+            pool_uncle_distance_counts=dict(settlement.pool_uncle_distance_counts),
+        )
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """A sample mean together with its sample standard deviation."""
+
+    mean: float
+    std: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} +/- {self.std:.4f} (n={self.count})"
+
+
+def _mean_std(values: Sequence[float]) -> MeanStd:
+    count = len(values)
+    if count == 0:
+        return MeanStd(mean=0.0, std=0.0, count=0)
+    mean = sum(values) / count
+    if count == 1:
+        return MeanStd(mean=mean, std=0.0, count=1)
+    variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    return MeanStd(mean=mean, std=math.sqrt(variance), count=count)
+
+
+@dataclass(frozen=True)
+class AggregatedResult:
+    """Mean and spread of the headline quantities over several runs."""
+
+    results: tuple[SimulationResult, ...]
+    pool_absolute_scenario1: MeanStd
+    pool_absolute_scenario2: MeanStd
+    honest_absolute_scenario1: MeanStd
+    honest_absolute_scenario2: MeanStd
+    relative_pool_revenue: MeanStd
+    uncle_fraction: MeanStd
+    stale_fraction: MeanStd
+    expected_honest_uncle_distance: MeanStd
+
+    @property
+    def num_runs(self) -> int:
+        """Number of runs aggregated."""
+        return len(self.results)
+
+    def honest_uncle_distance_distribution(self) -> dict[int, float]:
+        """Run-averaged distribution of honest uncle referencing distances."""
+        pooled: dict[int, float] = {}
+        for result in self.results:
+            for distance, count in result.honest_uncle_distance_counts.items():
+                pooled[distance] = pooled.get(distance, 0.0) + count
+        total = sum(pooled.values())
+        if total <= 0:
+            return {}
+        return {distance: count / total for distance, count in sorted(pooled.items())}
+
+
+def aggregate_results(results: Sequence[SimulationResult]) -> AggregatedResult:
+    """Aggregate several runs of the *same* configuration (different seeds)."""
+    if not results:
+        raise SimulationError("cannot aggregate an empty list of simulation results")
+    return AggregatedResult(
+        results=tuple(results),
+        pool_absolute_scenario1=_mean_std([r.pool_absolute_revenue(Scenario.REGULAR_ONLY) for r in results]),
+        pool_absolute_scenario2=_mean_std(
+            [r.pool_absolute_revenue(Scenario.REGULAR_PLUS_UNCLE) for r in results]
+        ),
+        honest_absolute_scenario1=_mean_std(
+            [r.honest_absolute_revenue(Scenario.REGULAR_ONLY) for r in results]
+        ),
+        honest_absolute_scenario2=_mean_std(
+            [r.honest_absolute_revenue(Scenario.REGULAR_PLUS_UNCLE) for r in results]
+        ),
+        relative_pool_revenue=_mean_std([r.relative_pool_revenue for r in results]),
+        uncle_fraction=_mean_std([r.uncle_fraction for r in results]),
+        stale_fraction=_mean_std([r.stale_fraction for r in results]),
+        expected_honest_uncle_distance=_mean_std([r.expected_honest_uncle_distance() for r in results]),
+    )

@@ -1,0 +1,79 @@
+"""Random source used by the simulators.
+
+All randomness flows through :class:`RandomSource` so that
+
+* a run is exactly reproducible from its seed,
+* the distinct random decisions (who mines the next block, which branch wins a tie,
+  which individual honest miner found the block) are easy to audit and test,
+* multi-run experiments can derive independent per-run sources from one master seed.
+
+The implementation wraps :class:`numpy.random.Generator` (PCG64), which is both fast
+and statistically solid for the millions of draws a 100 000-block run makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+class RandomSource:
+    """Seeded source of the simulator's random decisions."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._generator = np.random.Generator(np.random.PCG64(self._seed))
+
+    @property
+    def seed(self) -> int:
+        """The seed this source was created with."""
+        return self._seed
+
+    # ------------------------------------------------------------------ decisions
+    def pool_mines_next(self, alpha: float) -> bool:
+        """True when the next block is found by the selfish pool (probability ``alpha``)."""
+        if not 0.0 <= alpha <= 1.0:
+            raise ParameterError(f"alpha must lie in [0, 1], got {alpha}")
+        return bool(self._generator.random() < alpha)
+
+    def honest_mines_on_pool_branch(self, gamma: float) -> bool:
+        """True when an honest tie-break lands on the pool's branch (probability ``gamma``)."""
+        if not 0.0 <= gamma <= 1.0:
+            raise ParameterError(f"gamma must lie in [0, 1], got {gamma}")
+        return bool(self._generator.random() < gamma)
+
+    def honest_miner_index(self, num_honest_miners: int) -> int:
+        """Index of the individual honest miner that found a block (uniform)."""
+        if num_honest_miners < 1:
+            raise ParameterError(f"num_honest_miners must be positive, got {num_honest_miners}")
+        return int(self._generator.integers(0, num_honest_miners))
+
+    def choice_index(self, count: int) -> int:
+        """Uniform index into a collection of ``count`` items."""
+        if count < 1:
+            raise ParameterError(f"count must be positive, got {count}")
+        return int(self._generator.integers(0, count))
+
+    def uniform(self) -> float:
+        """A uniform draw in [0, 1) (exposed for strategy extensions)."""
+        return float(self._generator.random())
+
+    # ------------------------------------------------------------------ derivation
+    def spawn(self, run_index: int) -> "RandomSource":
+        """Derive an independent source for run ``run_index`` of a multi-run experiment.
+
+        Uses :class:`numpy.random.SeedSequence` spawning semantics via a simple
+        deterministic mix, so different run indices give uncorrelated streams while
+        remaining reproducible from the master seed.
+        """
+        if run_index < 0:
+            raise ParameterError(f"run_index must be non-negative, got {run_index}")
+        sequence = np.random.SeedSequence(entropy=self._seed, spawn_key=(run_index,))
+        child = RandomSource.__new__(RandomSource)
+        child._seed = int(sequence.generate_state(1)[0])
+        child._generator = np.random.Generator(np.random.PCG64(sequence))
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"RandomSource(seed={self._seed})"

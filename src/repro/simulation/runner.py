@@ -1,0 +1,134 @@
+"""Multi-run orchestration: seeds, repetition and parameter sweeps.
+
+The paper's evaluation averages 10 independent runs of 100 000 blocks for every
+parameter point.  :func:`run_many` reproduces that protocol (with configurable run
+counts and lengths), deriving an independent random stream for every run from one
+master seed so that experiments are exactly reproducible.  :func:`simulate_alpha_sweep`
+is the simulation-side counterpart of :func:`repro.analysis.sweep.sweep_alpha`, used
+for the simulation overlays in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import SimulationError
+from ..params import MiningParams
+from .config import SimulationConfig
+from .engine import ChainSimulator
+from .fast import MarkovMonteCarlo
+from .metrics import AggregatedResult, SimulationResult, aggregate_results
+from .rng import RandomSource
+
+#: Names of the available simulator backends.
+BACKENDS = ("chain", "markov")
+
+
+def _build_simulator(config: SimulationConfig, backend: str):
+    if backend == "chain":
+        return ChainSimulator(config)
+    if backend == "markov":
+        return MarkovMonteCarlo(config)
+    raise SimulationError(f"unknown simulator backend {backend!r}; expected one of {BACKENDS}")
+
+
+def run_once(config: SimulationConfig, *, backend: str = "chain") -> SimulationResult:
+    """Run a single simulation with the given configuration."""
+    return _build_simulator(config, backend).run()
+
+
+def run_many(
+    config: SimulationConfig,
+    num_runs: int,
+    *,
+    backend: str = "chain",
+) -> AggregatedResult:
+    """Run ``num_runs`` independent simulations and aggregate their results.
+
+    Every run uses a random stream derived from ``config.seed`` and the run index, so
+    the whole experiment is reproducible from the single master seed while the runs
+    remain statistically independent.
+    """
+    if num_runs < 1:
+        raise SimulationError(f"num_runs must be positive, got {num_runs}")
+    master = RandomSource(config.seed)
+    results: list[SimulationResult] = []
+    for run_index in range(num_runs):
+        run_seed = master.spawn(run_index).seed
+        results.append(run_once(config.with_seed(run_seed), backend=backend))
+    return aggregate_results(results)
+
+
+@dataclass(frozen=True)
+class SimulatedSweepPoint:
+    """Aggregated simulation output at one ``alpha`` value."""
+
+    params: MiningParams
+    aggregate: AggregatedResult
+
+
+@dataclass(frozen=True)
+class SimulatedAlphaSweep:
+    """Simulation results over a grid of pool sizes (the dots of Fig. 8)."""
+
+    gamma: float
+    points: tuple[SimulatedSweepPoint, ...]
+
+    @property
+    def alphas(self) -> list[float]:
+        """The swept ``alpha`` values."""
+        return [point.params.alpha for point in self.points]
+
+    def pool_absolute_scenario1(self) -> list[float]:
+        """Mean pool absolute revenue (scenario 1) per swept point."""
+        return [point.aggregate.pool_absolute_scenario1.mean for point in self.points]
+
+    def honest_absolute_scenario1(self) -> list[float]:
+        """Mean honest absolute revenue (scenario 1) per swept point."""
+        return [point.aggregate.honest_absolute_scenario1.mean for point in self.points]
+
+
+def simulate_alpha_sweep(
+    alphas: Iterable[float],
+    base_config: SimulationConfig,
+    *,
+    num_runs: int = 3,
+    backend: str = "chain",
+) -> SimulatedAlphaSweep:
+    """Run the simulator over a grid of pool sizes at the base configuration's ``gamma``."""
+    points: list[SimulatedSweepPoint] = []
+    for alpha in alphas:
+        params = MiningParams(alpha=alpha, gamma=base_config.params.gamma)
+        config = base_config.with_params(params)
+        points.append(SimulatedSweepPoint(params=params, aggregate=run_many(config, num_runs, backend=backend)))
+    return SimulatedAlphaSweep(gamma=base_config.params.gamma, points=tuple(points))
+
+
+def compare_backends(
+    config: SimulationConfig, *, num_runs: int = 3
+) -> dict[str, AggregatedResult]:
+    """Run both simulator backends on the same configuration (used by tests/examples)."""
+    return {backend: run_many(config, num_runs, backend=backend) for backend in BACKENDS}
+
+
+def honest_baseline_config(config: SimulationConfig) -> SimulationConfig:
+    """A copy of ``config`` in which the pool mines honestly (baseline runs)."""
+    return SimulationConfig(
+        params=config.params,
+        schedule=config.schedule,
+        num_blocks=config.num_blocks,
+        seed=config.seed,
+        num_honest_miners=config.num_honest_miners,
+        selfish=False,
+        max_uncles_per_block=config.max_uncles_per_block,
+        max_uncle_distance=config.max_uncle_distance,
+        warmup_blocks=config.warmup_blocks,
+        validate_chain=config.validate_chain,
+    )
+
+
+def sequential_seeds(master_seed: int, count: int) -> Sequence[int]:
+    """Derive ``count`` independent seeds from a master seed (exposed for examples)."""
+    master = RandomSource(master_seed)
+    return [master.spawn(index).seed for index in range(count)]

@@ -1,0 +1,15 @@
+"""Small shared utilities: ASCII tables, numeric grids and validation helpers."""
+
+from .grids import linspace, inclusive_range
+from .tables import Table, format_table
+from .validation import require, require_probability, require_positive
+
+__all__ = [
+    "Table",
+    "format_table",
+    "inclusive_range",
+    "linspace",
+    "require",
+    "require_positive",
+    "require_probability",
+]

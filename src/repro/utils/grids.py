@@ -1,0 +1,27 @@
+"""Dependency-light numeric grid helpers used by experiments and examples."""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+
+def linspace(start: float, stop: float, count: int) -> list[float]:
+    """``count`` evenly spaced values from ``start`` to ``stop`` inclusive."""
+    if count < 1:
+        raise ParameterError(f"count must be positive, got {count}")
+    if count == 1:
+        return [float(start)]
+    step = (stop - start) / (count - 1)
+    return [start + step * index for index in range(count)]
+
+
+def inclusive_range(start: float, stop: float, step: float) -> list[float]:
+    """Float range that includes ``stop`` (up to floating-point slack)."""
+    if step <= 0:
+        raise ParameterError(f"step must be positive, got {step}")
+    values: list[float] = []
+    current = float(start)
+    while current <= stop + 1e-12:
+        values.append(round(current, 12))
+        current += step
+    return values

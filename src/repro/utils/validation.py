@@ -1,0 +1,27 @@
+"""Tiny argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ParameterError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ParameterError(message)
+
+
+def require_probability(name: str, value: float) -> float:
+    """Validate that ``value`` is a probability in [0, 1] and return it as a float."""
+    value = float(value)
+    if value != value or not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def require_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive and return it as a float."""
+    value = float(value)
+    if not value > 0:
+        raise ParameterError(f"{name} must be positive, got {value}")
+    return value

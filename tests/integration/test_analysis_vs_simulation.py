@@ -1,0 +1,104 @@
+"""Integration: the analytical model and the chain simulator must agree.
+
+This is the paper's own validation claim (Section V, Fig. 8): the Markov/reward
+analysis and an independent discrete-event simulation of Algorithm 1 produce the same
+long-run revenues.  The chain simulator shares no code with the analytical reward
+engine, so agreement here exercises the whole pipeline end to end.
+
+Run lengths are chosen so that the Monte Carlo error is a few parts in a thousand;
+tolerances are set accordingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.absolute import Scenario, absolute_revenue
+from repro.analysis.revenue import RevenueModel
+from repro.analysis.uncle_distance import distribution_from_rates
+from repro.params import MiningParams
+from repro.rewards.schedule import EthereumByzantiumSchedule, FlatUncleSchedule
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import ChainSimulator
+
+RUN_BLOCKS = 60_000
+
+
+def simulate(params: MiningParams, schedule, seed: int = 20_19) -> "SimulationResult":
+    config = SimulationConfig(params=params, schedule=schedule, num_blocks=RUN_BLOCKS, seed=seed)
+    return ChainSimulator(config).run()
+
+
+class TestRevenueAgreement:
+    @pytest.mark.parametrize(
+        "alpha,gamma",
+        [(0.15, 0.5), (0.3, 0.5), (0.4, 0.2), (0.45, 0.8)],
+    )
+    def test_absolute_and_relative_revenue_match(self, alpha, gamma):
+        params = MiningParams(alpha=alpha, gamma=gamma)
+        schedule = EthereumByzantiumSchedule()
+        analytical = RevenueModel(schedule, max_lead=60).revenue_rates(params)
+        simulated = simulate(params, schedule)
+
+        expected_scenario1 = absolute_revenue(analytical, Scenario.REGULAR_ONLY)
+        assert simulated.pool_absolute_revenue(Scenario.REGULAR_ONLY) == pytest.approx(
+            expected_scenario1.pool, abs=0.015
+        )
+        assert simulated.honest_absolute_revenue(Scenario.REGULAR_ONLY) == pytest.approx(
+            expected_scenario1.honest, abs=0.015
+        )
+        assert simulated.relative_pool_revenue == pytest.approx(analytical.relative_pool_revenue, abs=0.01)
+
+    def test_block_classification_rates_match(self):
+        params = MiningParams(alpha=0.35, gamma=0.5)
+        schedule = EthereumByzantiumSchedule()
+        analytical = RevenueModel(schedule, max_lead=60).revenue_rates(params)
+        simulated = simulate(params, schedule)
+        assert simulated.regular_blocks / simulated.total_blocks == pytest.approx(
+            analytical.regular_rate, abs=0.01
+        )
+        assert simulated.uncle_blocks / simulated.total_blocks == pytest.approx(
+            analytical.uncle_rate, abs=0.01
+        )
+        assert simulated.stale_blocks / simulated.total_blocks == pytest.approx(
+            analytical.stale_rate, abs=0.005
+        )
+
+    def test_reward_breakdown_matches_by_type(self):
+        params = MiningParams(alpha=0.3, gamma=0.5)
+        schedule = FlatUncleSchedule(0.5)
+        analytical = RevenueModel(schedule, max_lead=60).revenue_rates(params)
+        simulated = simulate(params, schedule)
+        blocks = simulated.total_blocks
+        assert simulated.pool_rewards.static / blocks == pytest.approx(analytical.pool.static, abs=0.01)
+        assert simulated.pool_rewards.uncle / blocks == pytest.approx(analytical.pool.uncle, abs=0.005)
+        assert simulated.pool_rewards.nephew / blocks == pytest.approx(analytical.pool.nephew, abs=0.002)
+        assert simulated.honest_rewards.uncle / blocks == pytest.approx(analytical.honest.uncle, abs=0.01)
+
+    def test_scenario2_agreement_under_eip100_counting(self):
+        params = MiningParams(alpha=0.4, gamma=0.5)
+        schedule = EthereumByzantiumSchedule()
+        analytical = absolute_revenue(
+            RevenueModel(schedule, max_lead=60).revenue_rates(params), Scenario.REGULAR_PLUS_UNCLE
+        )
+        simulated = simulate(params, schedule)
+        assert simulated.pool_absolute_revenue(Scenario.REGULAR_PLUS_UNCLE) == pytest.approx(
+            analytical.pool, abs=0.015
+        )
+
+
+class TestUncleDistanceAgreement:
+    def test_honest_uncle_distance_distribution_matches(self):
+        params = MiningParams(alpha=0.45, gamma=0.5)
+        schedule = EthereumByzantiumSchedule()
+        analytical = distribution_from_rates(RevenueModel(schedule, max_lead=60).revenue_rates(params))
+        simulated = simulate(params, schedule).honest_uncle_distance_distribution()
+        for distance in range(1, 7):
+            assert simulated.get(distance, 0.0) == pytest.approx(
+                analytical.probability(distance), abs=0.03
+            )
+
+    def test_pool_uncles_only_ever_sit_at_distance_one(self):
+        params = MiningParams(alpha=0.4, gamma=0.3)
+        simulated = simulate(params, EthereumByzantiumSchedule())
+        assert set(simulated.pool_uncle_distance_counts) <= {1}

@@ -1,0 +1,126 @@
+"""Property-based tests for the block-tree substrate.
+
+The strategy builds random but *protocol-consistent* trees: every generated action
+either extends a random existing block or forks off one, and uncle references are only
+attached when :func:`repro.chain.uncles.eligible_uncles` allows them — exactly how the
+simulator composes blocks.  The resulting trees must always satisfy the structural
+validator and a set of derived invariants.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import GENESIS_ID, MinerKind
+from repro.chain.blocktree import BlockTree
+from repro.chain.fork_choice import LongestChainRule
+from repro.chain.rewards import settle_rewards
+from repro.chain.uncles import eligible_uncles
+from repro.chain.validation import validate_tree
+from repro.rewards.schedule import EthereumByzantiumSchedule
+
+SCHEDULE = EthereumByzantiumSchedule()
+
+# Each action is (parent_choice, miner_is_pool, try_reference_uncles).
+actions = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10**6), st.booleans(), st.booleans()),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_tree(action_list) -> BlockTree:
+    tree = BlockTree()
+    for step, (parent_choice, is_pool, reference) in enumerate(action_list):
+        blocks = tree.blocks()
+        parent = blocks[parent_choice % len(blocks)]
+        uncle_ids: list[int] = []
+        if reference:
+            window = tree.blocks_in_height_range(parent.height - 5, parent.height)
+            uncle_ids = [
+                block.block_id for block in eligible_uncles(tree, parent.block_id, window)[:2]
+            ]
+        tree.add_block(
+            parent.block_id,
+            MinerKind.POOL if is_pool else MinerKind.HONEST,
+            created_at=step,
+            uncle_ids=uncle_ids,
+        )
+    return tree
+
+
+class TestTreeInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_generated_trees_always_validate(self, action_list):
+        tree = build_tree(action_list)
+        validate_tree(tree)
+
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_heights_equal_path_lengths(self, action_list):
+        tree = build_tree(action_list)
+        for block in tree.blocks():
+            assert block.height == len(tree.chain_to(block.block_id)) - 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_every_non_genesis_block_descends_from_genesis(self, action_list):
+        tree = build_tree(action_list)
+        for block in tree.blocks():
+            if not block.is_genesis:
+                assert tree.is_ancestor(GENESIS_ID, block.block_id)
+
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_best_tip_has_maximum_height(self, action_list):
+        tree = build_tree(action_list)
+        tip = LongestChainRule().best_tip(tree)
+        assert tip.height == tree.max_height()
+
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_children_and_parents_are_mutually_consistent(self, action_list):
+        tree = build_tree(action_list)
+        for block in tree.blocks():
+            for child in tree.children(block.block_id):
+                assert child.parent_id == block.block_id
+
+
+class TestSettlementInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_every_block_is_classified_exactly_once(self, action_list):
+        tree = build_tree(action_list)
+        tip = LongestChainRule().best_tip(tree)
+        settlement = settle_rewards(tree, tip.block_id, SCHEDULE)
+        assert settlement.blocks_accounted() == settlement.total_blocks == len(tree) - 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_static_rewards_equal_main_chain_length(self, action_list):
+        tree = build_tree(action_list)
+        tip = LongestChainRule().best_tip(tree)
+        settlement = settle_rewards(tree, tip.block_id, SCHEDULE)
+        assert settlement.split.total_static == pytest.approx(float(settlement.regular_blocks))
+
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_total_rewards_are_bounded(self, action_list):
+        # Every block can earn at most one static reward, one uncle reward (< 1) and
+        # two nephew rewards (2/32), so the grand total is below 2x the block count.
+        tree = build_tree(action_list)
+        tip = LongestChainRule().best_tip(tree)
+        settlement = settle_rewards(tree, tip.block_id, SCHEDULE)
+        assert settlement.split.total <= 2.0 * settlement.total_blocks
+
+    @settings(max_examples=60, deadline=None)
+    @given(action_list=actions)
+    def test_uncle_counts_match_distance_histograms(self, action_list):
+        tree = build_tree(action_list)
+        tip = LongestChainRule().best_tip(tree)
+        settlement = settle_rewards(tree, tip.block_id, SCHEDULE)
+        assert sum(settlement.honest_uncle_distance_counts.values()) == settlement.honest_uncle_blocks
+        assert sum(settlement.pool_uncle_distance_counts.values()) == settlement.pool_uncle_blocks

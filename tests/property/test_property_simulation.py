@@ -1,0 +1,101 @@
+"""Property-based tests for the simulators: conservation laws over random configurations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.absolute import Scenario
+from repro.chain.validation import validate_tree
+from repro.params import MiningParams
+from repro.rewards.schedule import EthereumByzantiumSchedule, FlatUncleSchedule
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import ChainSimulator
+from repro.simulation.fast import MarkovMonteCarlo
+
+alphas = st.floats(min_value=0.0, max_value=0.45, allow_nan=False)
+gammas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+fractions = st.floats(min_value=0.0, max_value=7 / 8, allow_nan=False)
+
+
+def chain_config(alpha, gamma, seed, blocks=600, schedule=None) -> SimulationConfig:
+    return SimulationConfig(
+        params=MiningParams(alpha=alpha, gamma=gamma),
+        schedule=schedule or EthereumByzantiumSchedule(),
+        num_blocks=blocks,
+        seed=seed,
+    )
+
+
+class TestChainSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=alphas, gamma=gammas, seed=seeds)
+    def test_block_conservation(self, alpha, gamma, seed):
+        result = ChainSimulator(chain_config(alpha, gamma, seed)).run()
+        assert result.regular_blocks + result.uncle_blocks + result.stale_blocks == result.total_blocks
+        assert result.total_blocks == result.config.num_blocks
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=alphas, gamma=gammas, seed=seeds)
+    def test_final_tree_is_always_structurally_valid(self, alpha, gamma, seed):
+        simulator = ChainSimulator(chain_config(alpha, gamma, seed, blocks=400))
+        simulator.run()
+        validate_tree(simulator.tree)
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=alphas, gamma=gammas, seed=seeds, fraction=fractions)
+    def test_rewards_are_bounded_by_block_counts(self, alpha, gamma, seed, fraction):
+        schedule = FlatUncleSchedule(fraction)
+        result = ChainSimulator(chain_config(alpha, gamma, seed, schedule=schedule)).run()
+        static_paid = result.pool_rewards.static + result.honest_rewards.static
+        uncle_paid = result.pool_rewards.uncle + result.honest_rewards.uncle
+        assert static_paid == pytest.approx(result.regular_blocks)
+        assert uncle_paid <= fraction * result.uncle_blocks + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(alpha=alphas, gamma=gammas, seed=seeds)
+    def test_relative_revenue_is_a_probability(self, alpha, gamma, seed):
+        result = ChainSimulator(chain_config(alpha, gamma, seed)).run()
+        assert 0.0 <= result.relative_pool_revenue <= 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(alpha=st.floats(min_value=0.05, max_value=0.45), gamma=gammas, seed=seeds)
+    def test_scenario2_revenue_never_exceeds_scenario1(self, alpha, gamma, seed):
+        result = ChainSimulator(chain_config(alpha, gamma, seed)).run()
+        assert result.pool_absolute_revenue(Scenario.REGULAR_PLUS_UNCLE) <= result.pool_absolute_revenue(
+            Scenario.REGULAR_ONLY
+        ) + 1e-12
+
+    @settings(max_examples=15, deadline=None)
+    @given(alpha=alphas, gamma=gammas, seed=seeds)
+    def test_determinism(self, alpha, gamma, seed):
+        first = ChainSimulator(chain_config(alpha, gamma, seed, blocks=300)).run()
+        second = ChainSimulator(chain_config(alpha, gamma, seed, blocks=300)).run()
+        assert first.pool_rewards.isclose(second.pool_rewards)
+        assert first.honest_rewards.isclose(second.honest_rewards)
+
+
+class TestMonteCarloProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=alphas, gamma=gammas, seed=seeds)
+    def test_block_conservation(self, alpha, gamma, seed):
+        result = MarkovMonteCarlo(chain_config(alpha, gamma, seed, blocks=2000)).run()
+        assert result.regular_blocks + result.uncle_blocks + result.stale_blocks == pytest.approx(
+            result.total_blocks, abs=1e-6
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=alphas, gamma=gammas, seed=seeds)
+    def test_static_rewards_equal_regular_blocks(self, alpha, gamma, seed):
+        result = MarkovMonteCarlo(chain_config(alpha, gamma, seed, blocks=2000)).run()
+        static_paid = result.pool_rewards.static + result.honest_rewards.static
+        assert static_paid == pytest.approx(result.regular_blocks, abs=1e-6)
+
+    @settings(max_examples=20, deadline=None)
+    @given(alpha=alphas, gamma=gammas, seed=seeds)
+    def test_pool_rewards_never_negative(self, alpha, gamma, seed):
+        result = MarkovMonteCarlo(chain_config(alpha, gamma, seed, blocks=1000)).run()
+        assert result.pool_rewards.total >= 0.0
+        assert result.honest_rewards.total >= 0.0

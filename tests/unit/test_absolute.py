@@ -1,0 +1,89 @@
+"""Unit tests for scenario normalisation and absolute revenues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.absolute import Scenario, absolute_revenue, scenario_normaliser
+from repro.analysis.revenue import RevenueRates
+from repro.errors import ParameterError
+from repro.params import MiningParams
+from repro.rewards.breakdown import PartyRewards, RevenueSplit
+
+
+def synthetic_rates(
+    *, pool_total=0.4, honest_total=0.5, regular=0.8, uncle=0.15, stale=0.05
+) -> RevenueRates:
+    return RevenueRates(
+        params=MiningParams(alpha=0.3, gamma=0.5),
+        split=RevenueSplit(pool=PartyRewards(static=pool_total), honest=PartyRewards(static=honest_total)),
+        regular_rate=regular,
+        uncle_rate=uncle,
+        pool_uncle_rate=uncle / 3,
+        honest_uncle_rate=2 * uncle / 3,
+        honest_uncle_distance_rates={1: 2 * uncle / 3},
+        stale_rate=stale,
+    )
+
+
+class TestScenario:
+    def test_normaliser_scenario1_uses_regular_rate(self):
+        rates = synthetic_rates()
+        assert scenario_normaliser(rates, Scenario.REGULAR_ONLY) == pytest.approx(0.8)
+
+    def test_normaliser_scenario2_adds_uncle_rate(self):
+        rates = synthetic_rates()
+        assert scenario_normaliser(rates, Scenario.REGULAR_PLUS_UNCLE) == pytest.approx(0.95)
+
+    def test_describe(self):
+        assert "regular" in Scenario.REGULAR_ONLY.describe()
+        assert "EIP100" in Scenario.REGULAR_PLUS_UNCLE.describe()
+
+
+class TestAbsoluteRevenue:
+    def test_scenario1_division(self):
+        result = absolute_revenue(synthetic_rates(), Scenario.REGULAR_ONLY)
+        assert result.pool == pytest.approx(0.4 / 0.8)
+        assert result.honest == pytest.approx(0.5 / 0.8)
+        assert result.total == pytest.approx(0.9 / 0.8)
+
+    def test_scenario2_division(self):
+        result = absolute_revenue(synthetic_rates(), Scenario.REGULAR_PLUS_UNCLE)
+        assert result.pool == pytest.approx(0.4 / 0.95)
+
+    def test_scenario2_never_exceeds_scenario1(self):
+        rates = synthetic_rates()
+        scenario1 = absolute_revenue(rates, Scenario.REGULAR_ONLY)
+        scenario2 = absolute_revenue(rates, Scenario.REGULAR_PLUS_UNCLE)
+        assert scenario2.pool <= scenario1.pool
+
+    def test_profitability_reference_is_alpha(self):
+        result = absolute_revenue(synthetic_rates(), Scenario.REGULAR_ONLY)
+        assert result.honest_mining_reference == pytest.approx(0.3)
+        assert result.pool_gain == pytest.approx(result.pool - 0.3)
+        assert result.profitable == (result.pool >= 0.3)
+
+    def test_zero_normaliser_rejected(self):
+        rates = synthetic_rates(regular=0.0, uncle=0.0)
+        with pytest.raises(ParameterError):
+            absolute_revenue(rates, Scenario.REGULAR_ONLY)
+
+    def test_default_scenario_is_regular_only(self):
+        rates = synthetic_rates()
+        assert absolute_revenue(rates).pool == pytest.approx(
+            absolute_revenue(rates, Scenario.REGULAR_ONLY).pool
+        )
+
+
+class TestWithRealModel:
+    def test_honest_system_earns_exactly_one_per_block(self, ethereum_model):
+        # With a vanishing pool there are (almost) no stale blocks, so the total
+        # absolute revenue per regular block approaches 1.
+        rates = ethereum_model.revenue_rates(MiningParams(alpha=0.001, gamma=0.5))
+        result = absolute_revenue(rates, Scenario.REGULAR_ONLY)
+        assert result.total == pytest.approx(1.0, abs=1e-3)
+
+    def test_attack_inflates_total_payout_under_scenario1(self, ethereum_model):
+        rates = ethereum_model.revenue_rates(MiningParams(alpha=0.4, gamma=0.5))
+        result = absolute_revenue(rates, Scenario.REGULAR_ONLY)
+        assert result.total > 1.0

@@ -1,0 +1,50 @@
+"""Unit tests for :mod:`repro.chain.block`."""
+
+from __future__ import annotations
+
+from repro.chain.block import GENESIS_ID, Block, MinerKind, make_genesis
+
+
+class TestMinerKind:
+    def test_pool_flags(self):
+        assert MinerKind.POOL.is_pool
+        assert not MinerKind.POOL.is_honest
+
+    def test_honest_flags(self):
+        assert MinerKind.HONEST.is_honest
+        assert not MinerKind.HONEST.is_pool
+
+
+class TestBlock:
+    def test_genesis_properties(self):
+        genesis = make_genesis()
+        assert genesis.block_id == GENESIS_ID
+        assert genesis.is_genesis
+        assert genesis.height == 0
+        assert genesis.parent_id is None
+        assert genesis.uncle_ids == ()
+
+    def test_non_genesis_block(self):
+        block = Block(block_id=5, parent_id=2, height=3, miner=MinerKind.POOL, created_at=7)
+        assert not block.is_genesis
+        assert block.height == 3
+
+    def test_str_marks_miner(self):
+        pool_block = Block(block_id=1, parent_id=0, height=1, miner=MinerKind.POOL)
+        honest_block = Block(block_id=2, parent_id=0, height=1, miner=MinerKind.HONEST)
+        assert "P" in str(pool_block)
+        assert "H" in str(honest_block)
+        assert "G" in str(make_genesis())
+
+    def test_blocks_are_immutable(self):
+        block = Block(block_id=1, parent_id=0, height=1, miner=MinerKind.POOL)
+        try:
+            block.height = 2  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("Block should be frozen")
+
+    def test_uncle_ids_default_to_empty_tuple(self):
+        block = Block(block_id=1, parent_id=0, height=1, miner=MinerKind.HONEST)
+        assert block.uncle_ids == ()

@@ -1,0 +1,162 @@
+"""Unit tests for :mod:`repro.chain.blocktree`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import GENESIS_ID, MinerKind
+from repro.chain.blocktree import BlockTree
+from repro.errors import ChainStructureError, UnknownBlockError
+
+
+@pytest.fixture()
+def tree() -> BlockTree:
+    return BlockTree()
+
+
+def build_linear_chain(tree: BlockTree, length: int, miner: MinerKind = MinerKind.HONEST):
+    """Append ``length`` blocks on top of the genesis block and return them."""
+    blocks = []
+    parent = GENESIS_ID
+    for index in range(length):
+        block = tree.add_block(parent, miner, created_at=index)
+        blocks.append(block)
+        parent = block.block_id
+    return blocks
+
+
+class TestInsertion:
+    def test_new_tree_contains_only_genesis(self, tree):
+        assert len(tree) == 1
+        assert tree.genesis.block_id == GENESIS_ID
+
+    def test_add_block_assigns_sequential_ids_and_heights(self, tree):
+        blocks = build_linear_chain(tree, 3)
+        assert [block.block_id for block in blocks] == [1, 2, 3]
+        assert [block.height for block in blocks] == [1, 2, 3]
+
+    def test_add_block_unknown_parent_rejected(self, tree):
+        with pytest.raises(UnknownBlockError):
+            tree.add_block(99, MinerKind.HONEST)
+
+    def test_add_block_unknown_uncle_rejected(self, tree):
+        with pytest.raises(UnknownBlockError):
+            tree.add_block(GENESIS_ID, MinerKind.HONEST, uncle_ids=[55])
+
+    def test_duplicate_uncle_reference_rejected(self, tree):
+        first = tree.add_block(GENESIS_ID, MinerKind.HONEST)
+        fork = tree.add_block(GENESIS_ID, MinerKind.POOL)
+        with pytest.raises(ChainStructureError):
+            tree.add_block(first.block_id, MinerKind.HONEST, uncle_ids=[fork.block_id, fork.block_id])
+
+    def test_parent_as_uncle_rejected(self, tree):
+        first = tree.add_block(GENESIS_ID, MinerKind.HONEST)
+        with pytest.raises(ChainStructureError):
+            tree.add_block(first.block_id, MinerKind.HONEST, uncle_ids=[first.block_id])
+
+    def test_children_tracking(self, tree):
+        first = tree.add_block(GENESIS_ID, MinerKind.HONEST)
+        second = tree.add_block(GENESIS_ID, MinerKind.POOL)
+        child_ids = [child.block_id for child in tree.children(GENESIS_ID)]
+        assert child_ids == [first.block_id, second.block_id]
+        assert tree.children(first.block_id) == []
+
+
+class TestPublication:
+    def test_blocks_published_by_default(self, tree):
+        block = tree.add_block(GENESIS_ID, MinerKind.HONEST)
+        assert tree.is_published(block.block_id)
+
+    def test_withheld_block_then_published(self, tree):
+        block = tree.add_block(GENESIS_ID, MinerKind.POOL, published=False)
+        assert not tree.is_published(block.block_id)
+        tree.publish(block.block_id)
+        assert tree.is_published(block.block_id)
+
+    def test_published_blocks_listing(self, tree):
+        visible = tree.add_block(GENESIS_ID, MinerKind.HONEST)
+        hidden = tree.add_block(GENESIS_ID, MinerKind.POOL, published=False)
+        published_ids = {block.block_id for block in tree.published_blocks()}
+        assert visible.block_id in published_ids
+        assert hidden.block_id not in published_ids
+
+    def test_publish_unknown_block_rejected(self, tree):
+        with pytest.raises(UnknownBlockError):
+            tree.publish(123)
+
+
+class TestWalks:
+    def test_chain_to_returns_root_first_path(self, tree):
+        blocks = build_linear_chain(tree, 4)
+        path = tree.chain_to(blocks[-1].block_id)
+        assert [block.block_id for block in path] == [GENESIS_ID, 1, 2, 3, 4]
+
+    def test_ancestors_exclude_self_by_default(self, tree):
+        blocks = build_linear_chain(tree, 3)
+        ancestors = [block.block_id for block in tree.ancestors(blocks[-1].block_id)]
+        assert ancestors == [2, 1, GENESIS_ID]
+
+    def test_is_ancestor(self, tree):
+        blocks = build_linear_chain(tree, 3)
+        fork = tree.add_block(blocks[0].block_id, MinerKind.POOL)
+        assert tree.is_ancestor(blocks[0].block_id, blocks[2].block_id)
+        assert tree.is_ancestor(GENESIS_ID, fork.block_id)
+        assert not tree.is_ancestor(blocks[2].block_id, blocks[0].block_id)
+        assert not tree.is_ancestor(fork.block_id, blocks[2].block_id)
+
+    def test_common_ancestor(self, tree):
+        blocks = build_linear_chain(tree, 3)
+        fork = tree.add_block(blocks[0].block_id, MinerKind.POOL)
+        ancestor = tree.common_ancestor(blocks[2].block_id, fork.block_id)
+        assert ancestor.block_id == blocks[0].block_id
+
+
+class TestTipsAndHeights:
+    def test_tips_of_linear_chain(self, tree):
+        blocks = build_linear_chain(tree, 3)
+        tips = tree.tips()
+        assert [tip.block_id for tip in tips] == [blocks[-1].block_id]
+
+    def test_fork_produces_two_tips(self, tree):
+        blocks = build_linear_chain(tree, 2)
+        fork = tree.add_block(blocks[0].block_id, MinerKind.POOL)
+        tip_ids = {tip.block_id for tip in tree.tips()}
+        assert tip_ids == {blocks[-1].block_id, fork.block_id}
+
+    def test_published_only_tips_ignore_withheld_children(self, tree):
+        blocks = build_linear_chain(tree, 2)
+        tree.add_block(blocks[-1].block_id, MinerKind.POOL, published=False)
+        published_tips = tree.tips(published_only=True)
+        assert [tip.block_id for tip in published_tips] == [blocks[-1].block_id]
+
+    def test_max_height_and_blocks_at_height(self, tree):
+        blocks = build_linear_chain(tree, 3)
+        fork = tree.add_block(blocks[1].block_id, MinerKind.POOL)
+        assert tree.max_height() == 3
+        at_height_three = {block.block_id for block in tree.blocks_at_height(3)}
+        assert at_height_three == {blocks[2].block_id, fork.block_id}
+
+    def test_blocks_in_height_range_uses_inclusive_bounds(self, tree):
+        build_linear_chain(tree, 5)
+        found = tree.blocks_in_height_range(2, 4)
+        assert sorted(block.height for block in found) == [2, 3, 4]
+
+    def test_blocks_in_height_range_respects_publication_filter(self, tree):
+        blocks = build_linear_chain(tree, 2)
+        tree.add_block(blocks[-1].block_id, MinerKind.POOL, published=False)
+        visible = tree.blocks_in_height_range(0, 10, published_only=True)
+        assert all(tree.is_published(block.block_id) for block in visible)
+
+
+class TestStatistics:
+    def test_count_by_miner_excludes_genesis(self, tree):
+        build_linear_chain(tree, 2, MinerKind.HONEST)
+        tree.add_block(GENESIS_ID, MinerKind.POOL)
+        counts = tree.count_by_miner()
+        assert counts[MinerKind.HONEST] == 2
+        assert counts[MinerKind.POOL] == 1
+
+    def test_describe_reports_counts(self, tree):
+        build_linear_chain(tree, 2)
+        text = tree.describe()
+        assert "blocks=2" in text

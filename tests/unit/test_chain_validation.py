@@ -1,0 +1,94 @@
+"""Unit tests for block-tree structural validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.block import GENESIS_ID, MinerKind
+from repro.chain.blocktree import BlockTree
+from repro.chain.validation import validate_tree
+from repro.errors import ChainStructureError
+
+
+def linear(tree: BlockTree, parent: int, length: int, miner=MinerKind.HONEST):
+    blocks = []
+    for _ in range(length):
+        block = tree.add_block(parent, miner)
+        blocks.append(block)
+        parent = block.block_id
+    return blocks
+
+
+class TestValidTrees:
+    def test_empty_tree_is_valid(self):
+        validate_tree(BlockTree())
+
+    def test_linear_chain_is_valid(self):
+        tree = BlockTree()
+        linear(tree, GENESIS_ID, 10)
+        validate_tree(tree)
+
+    def test_forked_tree_with_proper_uncle_reference_is_valid(self):
+        tree = BlockTree()
+        main = linear(tree, GENESIS_ID, 3)
+        stale = tree.add_block(GENESIS_ID, MinerKind.POOL)
+        tree.add_block(main[-1].block_id, MinerKind.HONEST, uncle_ids=[stale.block_id])
+        validate_tree(tree)
+
+
+class TestViolations:
+    def test_too_many_uncles_detected(self):
+        tree = BlockTree()
+        main = linear(tree, GENESIS_ID, 2)
+        stales = [tree.add_block(GENESIS_ID, MinerKind.POOL) for _ in range(3)]
+        tree.add_block(main[-1].block_id, MinerKind.HONEST, uncle_ids=[s.block_id for s in stales])
+        with pytest.raises(ChainStructureError):
+            validate_tree(tree, max_uncles_per_block=2)
+
+    def test_distance_window_violation_detected(self):
+        tree = BlockTree()
+        main = linear(tree, GENESIS_ID, 8)
+        stale = tree.add_block(GENESIS_ID, MinerKind.POOL)  # height 1
+        tree.add_block(main[-1].block_id, MinerKind.HONEST, uncle_ids=[stale.block_id])  # distance 8
+        with pytest.raises(ChainStructureError):
+            validate_tree(tree)
+
+    def test_ancestor_referenced_as_uncle_detected(self):
+        tree = BlockTree()
+        main = linear(tree, GENESIS_ID, 3)
+        tree.add_block(main[-1].block_id, MinerKind.HONEST, uncle_ids=[main[0].block_id])
+        with pytest.raises(ChainStructureError):
+            validate_tree(tree)
+
+    def test_uncle_with_off_chain_parent_detected(self):
+        tree = BlockTree()
+        main = linear(tree, GENESIS_ID, 3)
+        stale = tree.add_block(GENESIS_ID, MinerKind.POOL)
+        stale_child = tree.add_block(stale.block_id, MinerKind.POOL)
+        tree.add_block(main[-1].block_id, MinerKind.HONEST, uncle_ids=[stale_child.block_id])
+        with pytest.raises(ChainStructureError):
+            validate_tree(tree)
+
+    def test_double_reference_along_ancestry_detected(self):
+        tree = BlockTree()
+        main = linear(tree, GENESIS_ID, 2)
+        stale = tree.add_block(GENESIS_ID, MinerKind.POOL)
+        first_nephew = tree.add_block(main[-1].block_id, MinerKind.HONEST, uncle_ids=[stale.block_id])
+        tree.add_block(first_nephew.block_id, MinerKind.HONEST, uncle_ids=[stale.block_id])
+        with pytest.raises(ChainStructureError):
+            validate_tree(tree)
+
+    def test_uncle_rules_can_be_disabled(self):
+        tree = BlockTree()
+        main = linear(tree, GENESIS_ID, 8)
+        stale = tree.add_block(GENESIS_ID, MinerKind.POOL)
+        tree.add_block(main[-1].block_id, MinerKind.HONEST, uncle_ids=[stale.block_id])
+        # Too-far reference passes once protocol-rule checking is off.
+        validate_tree(tree, enforce_uncle_rules=False)
+
+    def test_genesis_reference_detected(self):
+        tree = BlockTree()
+        main = linear(tree, GENESIS_ID, 2)
+        tree.add_block(main[-1].block_id, MinerKind.HONEST, uncle_ids=[GENESIS_ID])
+        with pytest.raises(ChainStructureError):
+            validate_tree(tree)

@@ -1,0 +1,64 @@
+"""Unit tests for the difficulty-adjustment rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.absolute import Scenario
+from repro.errors import ParameterError
+from repro.params import MiningParams
+from repro.rewards.breakdown import PartyRewards
+from repro.simulation.config import SimulationConfig
+from repro.simulation.difficulty import EIP100Rule, PreByzantiumRule, difficulty_rule_for
+from repro.simulation.metrics import SimulationResult
+
+CONFIG = SimulationConfig(params=MiningParams(alpha=0.3, gamma=0.5), num_blocks=100)
+
+
+def result(regular=80.0, uncle=15.0, stale=5.0) -> SimulationResult:
+    return SimulationResult(
+        config=CONFIG,
+        pool_rewards=PartyRewards(static=30.0),
+        honest_rewards=PartyRewards(static=50.0),
+        regular_blocks=regular,
+        pool_regular_blocks=30.0,
+        honest_regular_blocks=regular - 30.0,
+        uncle_blocks=uncle,
+        pool_uncle_blocks=5.0,
+        honest_uncle_blocks=uncle - 5.0,
+        stale_blocks=stale,
+        total_blocks=regular + uncle + stale,
+        num_events=100,
+    )
+
+
+class TestRules:
+    def test_pre_byzantium_counts_regular_blocks_only(self):
+        assert PreByzantiumRule().counted_blocks(result()) == pytest.approx(80.0)
+
+    def test_eip100_adds_uncles(self):
+        assert EIP100Rule().counted_blocks(result()) == pytest.approx(95.0)
+
+    def test_absolute_revenues_match_result_methods(self):
+        r = result()
+        assert PreByzantiumRule().pool_absolute_revenue(r) == pytest.approx(
+            r.pool_absolute_revenue(Scenario.REGULAR_ONLY)
+        )
+        assert EIP100Rule().honest_absolute_revenue(r) == pytest.approx(
+            r.honest_absolute_revenue(Scenario.REGULAR_PLUS_UNCLE)
+        )
+
+    def test_zero_counted_blocks_rejected(self):
+        with pytest.raises(ParameterError):
+            PreByzantiumRule().pool_absolute_revenue(result(regular=0.0, uncle=0.0, stale=0.0))
+
+    def test_scenario_attributes(self):
+        assert PreByzantiumRule().scenario is Scenario.REGULAR_ONLY
+        assert EIP100Rule().scenario is Scenario.REGULAR_PLUS_UNCLE
+
+    def test_factory_round_trips_scenarios(self):
+        assert isinstance(difficulty_rule_for(Scenario.REGULAR_ONLY), PreByzantiumRule)
+        assert isinstance(difficulty_rule_for(Scenario.REGULAR_PLUS_UNCLE), EIP100Rule)
+
+    def test_describe(self):
+        assert "EIP100" in EIP100Rule().describe()

@@ -1,0 +1,42 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            errors.ParameterError,
+            errors.StateSpaceError,
+            errors.SolverError,
+            errors.ConvergenceError,
+            errors.ChainStructureError,
+            errors.UnknownBlockError,
+            errors.UncleRuleError,
+            errors.SimulationError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, errors.ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(errors.ParameterError, ValueError)
+
+    def test_unknown_block_error_is_key_error(self):
+        assert issubclass(errors.UnknownBlockError, KeyError)
+
+    def test_convergence_error_is_solver_error(self):
+        assert issubclass(errors.ConvergenceError, errors.SolverError)
+
+    def test_uncle_rule_error_is_chain_structure_error(self):
+        assert issubclass(errors.UncleRuleError, errors.ChainStructureError)
+
+    def test_catching_base_class_catches_subclasses(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("boom")

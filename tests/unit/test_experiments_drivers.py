@@ -1,0 +1,136 @@
+"""Unit tests for the figure/table experiment drivers (fast-fidelity runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.discussion import run_discussion
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import figure9_schedules, run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.table2 import run_table2
+
+
+class TestFigure8Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure8(fast=True, include_simulation=True, simulation_blocks=4000, simulation_runs=1)
+
+    def test_analysis_and_simulation_cover_the_same_grid(self, result):
+        assert result.simulation is not None
+        assert result.alphas == result.simulation.alphas
+
+    def test_simulation_tracks_analysis(self, result):
+        simulated = result.simulation.pool_absolute_scenario1()
+        for point, value in zip(result.analysis.points, simulated):
+            assert value == pytest.approx(point.pool_absolute, abs=0.05)
+
+    def test_report_contains_series_and_crossover_note(self, result):
+        text = result.report()
+        assert "Figure 8" in text
+        assert "0.163" in text
+
+    def test_analysis_only_mode(self):
+        result = run_figure8(fast=True, include_simulation=False)
+        assert result.simulation is None
+        assert "simulation" not in result.report().splitlines()[1]
+
+
+class TestFigure9Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure9(fast=True)
+
+    def test_four_schedules_compared(self, result):
+        assert set(result.sweeps) == set(figure9_schedules())
+
+    def test_larger_uncle_rewards_pay_more(self, result):
+        final_index = len(result.alphas) - 1
+        small = result.sweeps["Ku=2/8"].points[final_index]
+        large = result.sweeps["Ku=7/8"].points[final_index]
+        assert large.pool_absolute > small.pool_absolute
+        assert large.total_absolute > small.total_absolute
+
+    def test_ethereum_schedule_tracks_seven_eighths_for_the_pool(self, result):
+        final_index = len(result.alphas) - 1
+        ethereum = result.sweeps["Ku(.)"].points[final_index]
+        seven_eighths = result.sweeps["Ku=7/8"].points[final_index]
+        assert ethereum.pool_absolute == pytest.approx(seven_eighths.pool_absolute, rel=0.02)
+
+    def test_total_revenue_inflates_with_alpha(self, result):
+        totals = result.sweeps["Ku=7/8"].total_absolute
+        assert totals[-1] > totals[0]
+        assert totals[-1] > 1.05
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "Figure 9" in text
+        assert "Ku=7/8 total" in text
+
+
+class TestFigure10Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure10(gammas=[0.0, 0.5, 1.0], max_lead=25)
+
+    def test_scenario1_below_bitcoin_everywhere(self, result):
+        for point in result.points:
+            assert point.ethereum_scenario1.alpha_star <= point.bitcoin + 1e-6
+
+    def test_scenario2_above_scenario1(self, result):
+        for point in result.points:
+            assert point.ethereum_scenario2.alpha_star >= point.ethereum_scenario1.alpha_star
+
+    def test_all_thresholds_vanish_at_gamma_one(self, result):
+        last = result.points[-1]
+        assert last.bitcoin == pytest.approx(0.0)
+        assert last.ethereum_scenario1.alpha_star == pytest.approx(0.0, abs=5e-3)
+        assert last.ethereum_scenario2.alpha_star == pytest.approx(0.0, abs=5e-3)
+
+    def test_report_renders_all_gammas(self, result):
+        text = result.report()
+        assert "Figure 10" in text
+        for gamma in result.gammas:
+            assert f"{gamma:.4f}" in text
+
+
+class TestTable2Driver:
+    def test_analysis_columns_reproduce_paper_values(self):
+        result = run_table2(fast=True, include_simulation=False)
+        first = result.columns[0]
+        assert first.analysis.probability(1) == pytest.approx(0.527, abs=0.01)
+        second = result.columns[1]
+        assert second.analysis.expectation == pytest.approx(2.72, abs=0.05)
+
+    def test_report_contains_expectation_row(self):
+        text = run_table2(fast=True, include_simulation=False).report()
+        assert "Expectation" in text
+        assert "Table II" in text
+
+    def test_simulation_overlay_close_to_analysis(self):
+        result = run_table2(
+            alphas=(0.3,), include_simulation=True, simulation_blocks=8000, simulation_runs=1, max_lead=30
+        )
+        column = result.columns[0]
+        assert column.simulated is not None
+        assert column.simulated.get(1, 0.0) == pytest.approx(column.analysis.probability(1), abs=0.08)
+
+
+class TestDiscussionDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_discussion(fast=True)
+
+    def test_proposal_raises_both_thresholds(self, result):
+        assert result.improvement_scenario1() > 0.05
+        assert result.improvement_scenario2() > 0.05
+
+    def test_threshold_values_match_paper(self, result):
+        assert result.current_scenario1.alpha_star == pytest.approx(0.054, abs=0.01)
+        assert result.proposed_scenario1.alpha_star == pytest.approx(0.163, abs=0.01)
+        assert result.current_scenario2.alpha_star == pytest.approx(0.270, abs=0.02)
+        assert result.proposed_scenario2.alpha_star == pytest.approx(0.356, abs=0.02)
+
+    def test_report_quotes_paper_numbers(self, result):
+        text = result.report()
+        assert "0.054" in text and "0.163" in text

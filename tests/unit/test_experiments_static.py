@@ -1,0 +1,82 @@
+"""Unit tests for the descriptive experiment drivers (Table I, Fig. 6) and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.cli import build_parser, run_experiment
+from repro.experiments.pools import MiningPool, TOP_POOLS_2018, pool_concentration_report, top_k_share
+from repro.experiments.table1 import run_table1
+from repro.rewards.schedule import BitcoinSchedule, EthereumByzantiumSchedule
+
+
+class TestTable1:
+    def test_ethereum_has_all_reward_types_and_bitcoin_does_not(self):
+        result = run_table1()
+        by_type = {row.reward_type: row for row in result.rows}
+        assert by_type["Static reward"].in_ethereum and by_type["Static reward"].in_bitcoin
+        assert by_type["Uncle reward"].in_ethereum and not by_type["Uncle reward"].in_bitcoin
+        assert by_type["Nephew reward"].in_ethereum and not by_type["Nephew reward"].in_bitcoin
+
+    def test_report_renders_every_row(self):
+        text = run_table1().report()
+        assert "Uncle reward" in text
+        assert "Nephew reward" in text
+        assert "Table I" in text
+
+    def test_custom_schedules_are_inspected(self):
+        result = run_table1(ethereum=BitcoinSchedule(), bitcoin=EthereumByzantiumSchedule())
+        by_type = {row.reward_type: row for row in result.rows}
+        # Swapping the schedules swaps the check marks: the driver reads the schedules.
+        assert not by_type["Uncle reward"].in_ethereum
+        assert by_type["Uncle reward"].in_bitcoin
+
+
+class TestPools:
+    def test_dataset_shares_sum_to_one(self):
+        assert sum(pool.hash_share for pool in TOP_POOLS_2018) == pytest.approx(1.0, abs=1e-3)
+
+    def test_paper_concentration_facts(self):
+        assert top_k_share(k=1) == pytest.approx(0.2634, abs=1e-4)
+        assert top_k_share(k=2) == pytest.approx(0.488, abs=1e-3)
+        assert top_k_share(k=5) > 0.81
+
+    def test_top_k_ignores_the_others_bucket(self):
+        assert top_k_share(k=6) == top_k_share(k=5)
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ParameterError):
+            MiningPool(name="bad", hash_share=1.5)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ParameterError):
+            top_k_share(k=0)
+
+    def test_report_mentions_largest_pool(self):
+        text = pool_concentration_report()
+        assert "Ethermine" in text
+        assert "26.34%" in text
+
+
+class TestCli:
+    def test_parser_accepts_known_experiments(self):
+        parser = build_parser()
+        arguments = parser.parse_args(["table1"])
+        assert arguments.experiment == "table1"
+        assert arguments.fast is False
+
+    def test_parser_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure99"])
+
+    def test_fast_flag(self):
+        arguments = build_parser().parse_args(["figure8", "--fast"])
+        assert arguments.fast is True
+
+    def test_run_experiment_table1(self):
+        assert "Table I" in run_experiment("table1")
+
+    def test_run_experiment_figure6(self):
+        assert "Ethermine" in run_experiment("figure6")

@@ -1,0 +1,78 @@
+"""Unit tests for the Markov Monte Carlo simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.absolute import Scenario
+from repro.markov.state import State
+from repro.params import MiningParams
+from repro.rewards.schedule import BitcoinSchedule, EthereumByzantiumSchedule
+from repro.simulation.config import SimulationConfig
+from repro.simulation.fast import MarkovMonteCarlo
+
+
+def config(alpha=0.3, gamma=0.5, blocks=30_000, seed=1, schedule=None) -> SimulationConfig:
+    return SimulationConfig(
+        params=MiningParams(alpha=alpha, gamma=gamma),
+        schedule=schedule or EthereumByzantiumSchedule(),
+        num_blocks=blocks,
+        seed=seed,
+    )
+
+
+class TestBasics:
+    def test_reproducible_from_seed(self):
+        first = MarkovMonteCarlo(config(seed=4)).run()
+        second = MarkovMonteCarlo(config(seed=4)).run()
+        assert first.pool_rewards.isclose(second.pool_rewards)
+        assert first.regular_blocks == pytest.approx(second.regular_blocks)
+
+    def test_block_accounting_sums_to_total(self):
+        result = MarkovMonteCarlo(config(blocks=10_000)).run()
+        assert result.regular_blocks + result.uncle_blocks + result.stale_blocks == pytest.approx(
+            result.total_blocks, abs=1e-6
+        )
+
+    def test_starts_in_zero_state_and_tracks_transitions(self):
+        simulator = MarkovMonteCarlo(config(blocks=100))
+        assert simulator.state == State(0, 0)
+        simulator.run()
+        assert simulator._events_run == 100
+
+    def test_transition_cache_reused(self):
+        simulator = MarkovMonteCarlo(config(blocks=5_000))
+        simulator.run()
+        # Only a modest number of distinct states should ever be visited.
+        assert 1 < len(simulator._transition_cache) < 200
+
+
+class TestStatisticalAgreement:
+    def test_matches_analytical_revenue(self, ethereum_model):
+        params = MiningParams(alpha=0.3, gamma=0.5)
+        analytical = ethereum_model.revenue_rates(params)
+        result = MarkovMonteCarlo(config(blocks=60_000, seed=11)).run()
+        assert result.pool_rewards.total / result.total_blocks == pytest.approx(
+            analytical.pool.total, abs=0.01
+        )
+        assert result.regular_blocks / result.total_blocks == pytest.approx(
+            analytical.regular_rate, abs=0.01
+        )
+
+    def test_absolute_revenue_close_to_analysis(self, ethereum_model):
+        params = MiningParams(alpha=0.35, gamma=0.5)
+        analytical = ethereum_model.revenue_rates(params)
+        result = MarkovMonteCarlo(config(alpha=0.35, blocks=60_000, seed=12)).run()
+        expected = analytical.pool.total / analytical.regular_rate
+        assert result.pool_absolute_revenue(Scenario.REGULAR_ONLY) == pytest.approx(expected, abs=0.02)
+
+    def test_bitcoin_schedule_produces_no_uncle_rewards(self):
+        result = MarkovMonteCarlo(config(schedule=BitcoinSchedule(), blocks=10_000)).run()
+        assert result.pool_rewards.uncle == 0.0
+        assert result.honest_rewards.nephew == 0.0
+        assert result.uncle_blocks == 0.0
+
+    def test_tiny_pool_rarely_builds_leads(self):
+        result = MarkovMonteCarlo(config(alpha=0.05, blocks=20_000, seed=3)).run()
+        assert result.stale_blocks / result.total_blocks < 0.02
+        assert result.relative_pool_revenue < 0.05

@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.markov.state`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StateSpaceError
+from repro.markov.state import State, StateSpace, ZERO_STATE, enumerate_states
+
+
+class TestState:
+    def test_lead(self):
+        assert State(5, 2).lead == 3
+        assert State(0, 0).lead == 0
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(StateSpaceError):
+            State(-1, 0)
+        with pytest.raises(StateSpaceError):
+            State(0, -2)
+
+    @pytest.mark.parametrize("state", [State(0, 0), State(1, 0), State(1, 1), State(2, 0), State(5, 3)])
+    def test_reachable_states_are_valid(self, state):
+        assert state.is_valid()
+
+    @pytest.mark.parametrize("state", [State(1, 2), State(2, 1), State(3, 2), State(0, 1)])
+    def test_unreachable_states_are_invalid(self, state):
+        assert not state.is_valid()
+
+    def test_zero_state_constant(self):
+        assert ZERO_STATE == State(0, 0)
+
+    def test_str(self):
+        assert str(State(3, 1)) == "(3,1)"
+
+    def test_ordering_is_deterministic(self):
+        assert State(1, 0) < State(2, 0) < State(2, 1)
+
+
+class TestEnumeration:
+    def test_small_enumeration_is_exactly_the_reachable_set(self):
+        states = enumerate_states(3)
+        assert states == [State(0, 0), State(1, 0), State(1, 1), State(2, 0), State(3, 0), State(3, 1)]
+
+    def test_all_enumerated_states_are_valid(self):
+        assert all(state.is_valid() for state in enumerate_states(12))
+
+    def test_count_grows_quadratically(self):
+        # 3 special states plus sum_{i=2..n} (i-1) states.
+        for max_lead in (2, 5, 10, 30):
+            expected = 3 + sum(i - 1 for i in range(2, max_lead + 1))
+            assert len(enumerate_states(max_lead)) == expected
+
+    def test_max_lead_below_two_rejected(self):
+        with pytest.raises(StateSpaceError):
+            enumerate_states(1)
+
+
+class TestStateSpace:
+    def test_round_trip_between_states_and_indices(self):
+        space = StateSpace(8)
+        for index, state in enumerate(space.states):
+            assert space.index_of(state) == index
+            assert space.state_at(index) == state
+
+    def test_contains(self):
+        space = StateSpace(5)
+        assert State(4, 2) in space
+        assert State(6, 0) not in space
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(StateSpaceError):
+            StateSpace(5).index_of(State(10, 0))
+
+    def test_bad_index_raises(self):
+        space = StateSpace(5)
+        with pytest.raises(StateSpaceError):
+            space.state_at(len(space) + 3)
+
+    def test_lead_states(self):
+        space = StateSpace(6)
+        lead_two = space.lead_states(2)
+        assert State(2, 0) in lead_two
+        assert State(6, 4) in lead_two
+        assert all(state.lead == 2 for state in lead_two)
+
+    def test_iteration_matches_states_tuple(self):
+        space = StateSpace(4)
+        assert list(space) == list(space.states)
+
+    def test_describe_mentions_truncation(self):
+        assert "max_lead=7" in StateSpace(7).describe()

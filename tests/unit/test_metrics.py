@@ -1,0 +1,127 @@
+"""Unit tests for simulation result containers and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.absolute import Scenario
+from repro.chain.rewards import ChainSettlement
+from repro.errors import SimulationError
+from repro.params import MiningParams
+from repro.rewards.breakdown import PartyRewards, RevenueSplit
+from repro.simulation.config import SimulationConfig
+from repro.simulation.metrics import SimulationResult, aggregate_results
+
+CONFIG = SimulationConfig(params=MiningParams(alpha=0.3, gamma=0.5), num_blocks=100)
+
+
+def result(
+    *,
+    pool=PartyRewards(static=30.0, uncle=3.0, nephew=0.5),
+    honest=PartyRewards(static=60.0, uncle=4.0, nephew=1.0),
+    regular=90.0,
+    uncle=7.0,
+    stale=3.0,
+    distances=None,
+) -> SimulationResult:
+    return SimulationResult(
+        config=CONFIG,
+        pool_rewards=pool,
+        honest_rewards=honest,
+        regular_blocks=regular,
+        pool_regular_blocks=regular / 3,
+        honest_regular_blocks=2 * regular / 3,
+        uncle_blocks=uncle,
+        pool_uncle_blocks=2.0,
+        honest_uncle_blocks=uncle - 2.0,
+        stale_blocks=stale,
+        total_blocks=regular + uncle + stale,
+        num_events=100,
+        honest_uncle_distance_counts=distances if distances is not None else {1: 3.0, 2: 2.0},
+    )
+
+
+class TestSimulationResult:
+    def test_relative_revenue(self):
+        value = result().relative_pool_revenue
+        assert value == pytest.approx(33.5 / 98.5)
+
+    def test_absolute_revenue_scenarios(self):
+        r = result()
+        assert r.pool_absolute_revenue(Scenario.REGULAR_ONLY) == pytest.approx(33.5 / 90.0)
+        assert r.pool_absolute_revenue(Scenario.REGULAR_PLUS_UNCLE) == pytest.approx(33.5 / 97.0)
+        assert r.total_absolute_revenue(Scenario.REGULAR_ONLY) == pytest.approx(98.5 / 90.0)
+
+    def test_zero_normaliser_raises(self):
+        empty = result(regular=0.0, uncle=0.0, stale=0.0)
+        with pytest.raises(SimulationError):
+            empty.pool_absolute_revenue(Scenario.REGULAR_ONLY)
+
+    def test_fractions(self):
+        r = result()
+        assert r.stale_fraction == pytest.approx(3.0 / 100.0)
+        assert r.uncle_fraction == pytest.approx(7.0 / 100.0)
+
+    def test_distance_distribution_normalised(self):
+        distribution = result().honest_uncle_distance_distribution()
+        assert distribution == {1: pytest.approx(0.6), 2: pytest.approx(0.4)}
+        assert result().expected_honest_uncle_distance() == pytest.approx(1.4)
+
+    def test_empty_distance_distribution(self):
+        r = result(distances={})
+        assert r.honest_uncle_distance_distribution() == {}
+        assert r.expected_honest_uncle_distance() == 0.0
+
+    def test_from_settlement_copies_all_counts(self):
+        settlement = ChainSettlement(
+            split=RevenueSplit(pool=PartyRewards(static=5.0), honest=PartyRewards(static=10.0)),
+            per_miner={},
+            regular_blocks=15,
+            pool_regular_blocks=5,
+            honest_regular_blocks=10,
+            uncle_blocks=2,
+            pool_uncle_blocks=1,
+            honest_uncle_blocks=1,
+            stale_blocks=1,
+            total_blocks=18,
+            honest_uncle_distance_counts={2: 1},
+            pool_uncle_distance_counts={1: 1},
+        )
+        converted = SimulationResult.from_settlement(CONFIG, settlement, num_events=18)
+        assert converted.regular_blocks == 15.0
+        assert converted.pool_rewards.static == 5.0
+        assert converted.honest_uncle_distance_counts == {2: 1}
+        assert converted.num_events == 18
+
+
+class TestAggregation:
+    def test_aggregate_reports_mean_and_std(self):
+        first = result()
+        second = result(pool=PartyRewards(static=40.0, uncle=3.0, nephew=0.5))
+        aggregate = aggregate_results([first, second])
+        assert aggregate.num_runs == 2
+        expected_mean = (first.pool_absolute_revenue(Scenario.REGULAR_ONLY) + second.pool_absolute_revenue(Scenario.REGULAR_ONLY)) / 2
+        assert aggregate.pool_absolute_scenario1.mean == pytest.approx(expected_mean)
+        assert aggregate.pool_absolute_scenario1.std > 0.0
+
+    def test_single_run_has_zero_std(self):
+        aggregate = aggregate_results([result()])
+        assert aggregate.pool_absolute_scenario1.std == 0.0
+        assert aggregate.pool_absolute_scenario1.count == 1
+
+    def test_empty_aggregation_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate_results([])
+
+    def test_pooled_distance_distribution(self):
+        first = result(distances={1: 1.0})
+        second = result(distances={2: 1.0})
+        aggregate = aggregate_results([first, second])
+        assert aggregate.honest_uncle_distance_distribution() == {
+            1: pytest.approx(0.5),
+            2: pytest.approx(0.5),
+        }
+
+    def test_mean_std_string_representation(self):
+        aggregate = aggregate_results([result(), result()])
+        assert "n=2" in str(aggregate.relative_pool_revenue)

@@ -1,0 +1,84 @@
+"""Unit tests for :mod:`repro.params`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import MiningParams
+
+
+class TestMiningParamsValidation:
+    def test_valid_point_is_stored(self):
+        params = MiningParams(alpha=0.3, gamma=0.7)
+        assert params.alpha == 0.3
+        assert params.gamma == 0.7
+
+    def test_beta_is_complement_of_alpha(self):
+        params = MiningParams(alpha=0.3, gamma=0.5)
+        assert params.beta == pytest.approx(0.7)
+
+    def test_default_gamma_is_uniform_tie_breaking(self):
+        assert MiningParams(alpha=0.2).gamma == 0.5
+
+    @pytest.mark.parametrize("alpha", [-0.1, 1.2, float("nan")])
+    def test_alpha_outside_unit_interval_rejected(self, alpha):
+        with pytest.raises(ParameterError):
+            MiningParams(alpha=alpha, gamma=0.5)
+
+    @pytest.mark.parametrize("alpha", [0.5, 0.6, 0.9])
+    def test_alpha_at_or_above_one_half_rejected(self, alpha):
+        with pytest.raises(ParameterError):
+            MiningParams(alpha=alpha, gamma=0.5)
+
+    @pytest.mark.parametrize("gamma", [-0.01, 1.01, float("nan")])
+    def test_gamma_outside_unit_interval_rejected(self, gamma):
+        with pytest.raises(ParameterError):
+            MiningParams(alpha=0.3, gamma=gamma)
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.5, 1.0])
+    def test_gamma_boundaries_accepted(self, gamma):
+        assert MiningParams(alpha=0.3, gamma=gamma).gamma == gamma
+
+    def test_alpha_zero_accepted(self):
+        assert MiningParams(alpha=0.0, gamma=0.5).alpha == 0.0
+
+    def test_non_numeric_alpha_rejected(self):
+        with pytest.raises(ParameterError):
+            MiningParams(alpha="a lot", gamma=0.5)  # type: ignore[arg-type]
+
+
+class TestMiningParamsBehaviour:
+    def test_frozen(self):
+        params = MiningParams(alpha=0.3, gamma=0.5)
+        with pytest.raises(AttributeError):
+            params.alpha = 0.4  # type: ignore[misc]
+
+    def test_tie_breaking_rates_split_beta(self):
+        params = MiningParams(alpha=0.3, gamma=0.2)
+        assert params.honest_on_pool_branch_rate == pytest.approx(0.7 * 0.2)
+        assert params.honest_on_honest_branch_rate == pytest.approx(0.7 * 0.8)
+        assert params.honest_on_pool_branch_rate + params.honest_on_honest_branch_rate == pytest.approx(
+            params.beta
+        )
+
+    def test_with_alpha_keeps_gamma(self):
+        params = MiningParams(alpha=0.3, gamma=0.8)
+        assert params.with_alpha(0.1) == MiningParams(alpha=0.1, gamma=0.8)
+
+    def test_with_gamma_keeps_alpha(self):
+        params = MiningParams(alpha=0.3, gamma=0.8)
+        assert params.with_gamma(0.1) == MiningParams(alpha=0.3, gamma=0.1)
+
+    def test_with_alpha_validates(self):
+        with pytest.raises(ParameterError):
+            MiningParams(alpha=0.3, gamma=0.5).with_alpha(0.7)
+
+    def test_describe_mentions_all_parameters(self):
+        text = MiningParams(alpha=0.25, gamma=0.75).describe()
+        assert "0.25" in text and "0.75" in text and "beta" in text
+
+    def test_equality_and_hash(self):
+        assert MiningParams(0.3, 0.5) == MiningParams(0.3, 0.5)
+        assert hash(MiningParams(0.3, 0.5)) == hash(MiningParams(0.3, 0.5))
+        assert MiningParams(0.3, 0.5) != MiningParams(0.3, 0.6)

@@ -1,0 +1,76 @@
+"""Unit tests for the simulator's random source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.simulation.rng import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        first = RandomSource(seed=42)
+        second = RandomSource(seed=42)
+        assert [first.pool_mines_next(0.3) for _ in range(50)] == [
+            second.pool_mines_next(0.3) for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        first = [RandomSource(seed=1).uniform() for _ in range(5)]
+        second = [RandomSource(seed=2).uniform() for _ in range(5)]
+        assert first != second
+
+    def test_spawned_streams_are_reproducible_and_distinct(self):
+        master = RandomSource(seed=7)
+        child_a = master.spawn(0)
+        child_b = master.spawn(1)
+        again = RandomSource(seed=7).spawn(0)
+        assert child_a.seed == again.seed
+        assert child_a.seed != child_b.seed
+        assert [child_a.uniform() for _ in range(5)] == [again.uniform() for _ in range(5)]
+
+    def test_spawn_rejects_negative_index(self):
+        with pytest.raises(ParameterError):
+            RandomSource(seed=1).spawn(-1)
+
+
+class TestDecisions:
+    def test_pool_mines_next_frequency_tracks_alpha(self):
+        source = RandomSource(seed=3)
+        draws = sum(source.pool_mines_next(0.3) for _ in range(20_000))
+        assert draws / 20_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_extreme_probabilities(self):
+        source = RandomSource(seed=4)
+        assert not any(source.pool_mines_next(0.0) for _ in range(100))
+        assert all(source.pool_mines_next(1.0) for _ in range(100))
+        assert not any(source.honest_mines_on_pool_branch(0.0) for _ in range(100))
+        assert all(source.honest_mines_on_pool_branch(1.0) for _ in range(100))
+
+    def test_invalid_probabilities_rejected(self):
+        source = RandomSource(seed=5)
+        with pytest.raises(ParameterError):
+            source.pool_mines_next(1.5)
+        with pytest.raises(ParameterError):
+            source.honest_mines_on_pool_branch(-0.1)
+
+    def test_honest_miner_index_in_range(self):
+        source = RandomSource(seed=6)
+        indices = {source.honest_miner_index(10) for _ in range(500)}
+        assert indices <= set(range(10))
+        assert len(indices) > 1
+
+    def test_honest_miner_index_requires_positive_count(self):
+        with pytest.raises(ParameterError):
+            RandomSource(seed=1).honest_miner_index(0)
+
+    def test_choice_index_bounds(self):
+        source = RandomSource(seed=8)
+        assert all(0 <= source.choice_index(3) < 3 for _ in range(100))
+        with pytest.raises(ParameterError):
+            source.choice_index(0)
+
+    def test_uniform_in_unit_interval(self):
+        source = RandomSource(seed=9)
+        assert all(0.0 <= source.uniform() < 1.0 for _ in range(100))

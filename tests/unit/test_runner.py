@@ -1,0 +1,83 @@
+"""Unit tests for multi-run orchestration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.params import MiningParams
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import (
+    compare_backends,
+    honest_baseline_config,
+    run_many,
+    run_once,
+    sequential_seeds,
+    simulate_alpha_sweep,
+)
+
+CONFIG = SimulationConfig(params=MiningParams(alpha=0.3, gamma=0.5), num_blocks=3000, seed=5)
+
+
+class TestRunOnce:
+    def test_chain_backend(self):
+        result = run_once(CONFIG, backend="chain")
+        assert result.total_blocks == CONFIG.num_blocks
+
+    def test_markov_backend(self):
+        result = run_once(CONFIG, backend="markov")
+        assert result.total_blocks == CONFIG.num_blocks
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            run_once(CONFIG, backend="quantum")
+
+
+class TestRunMany:
+    def test_aggregates_the_requested_number_of_runs(self):
+        aggregate = run_many(CONFIG, 3, backend="markov")
+        assert aggregate.num_runs == 3
+
+    def test_reproducible_from_master_seed(self):
+        first = run_many(CONFIG, 2, backend="markov")
+        second = run_many(CONFIG, 2, backend="markov")
+        assert first.pool_absolute_scenario1.mean == pytest.approx(second.pool_absolute_scenario1.mean)
+
+    def test_runs_use_distinct_seeds(self):
+        aggregate = run_many(CONFIG, 3, backend="markov")
+        seeds = {result.config.seed for result in aggregate.results}
+        assert len(seeds) == 3
+
+    def test_zero_runs_rejected(self):
+        with pytest.raises(SimulationError):
+            run_many(CONFIG, 0)
+
+
+class TestSweepAndHelpers:
+    def test_simulated_alpha_sweep_covers_grid(self):
+        sweep = simulate_alpha_sweep([0.1, 0.3], CONFIG, num_runs=1, backend="markov")
+        assert sweep.alphas == [0.1, 0.3]
+        assert len(sweep.pool_absolute_scenario1()) == 2
+        assert sweep.gamma == 0.5
+
+    def test_pool_revenue_increases_along_the_sweep(self):
+        sweep = simulate_alpha_sweep([0.1, 0.4], CONFIG, num_runs=1, backend="markov")
+        values = sweep.pool_absolute_scenario1()
+        assert values[1] > values[0]
+
+    def test_compare_backends_returns_both(self):
+        small = SimulationConfig(params=MiningParams(alpha=0.3, gamma=0.5), num_blocks=1500, seed=2)
+        results = compare_backends(small, num_runs=1)
+        assert set(results) == {"chain", "markov"}
+
+    def test_honest_baseline_config_flips_selfish_flag_only(self):
+        baseline = honest_baseline_config(CONFIG)
+        assert baseline.selfish is False
+        assert baseline.params == CONFIG.params
+        assert baseline.num_blocks == CONFIG.num_blocks
+
+    def test_sequential_seeds_are_deterministic_and_distinct(self):
+        first = sequential_seeds(42, 4)
+        second = sequential_seeds(42, 4)
+        assert list(first) == list(second)
+        assert len(set(first)) == 4

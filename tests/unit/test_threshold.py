@@ -1,0 +1,70 @@
+"""Unit tests for the profitability-threshold solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.absolute import Scenario
+from repro.analysis.revenue import RevenueModel
+from repro.analysis.threshold import profitable_threshold, selfish_gain
+from repro.params import MiningParams
+from repro.rewards.schedule import BitcoinSchedule, FlatUncleSchedule
+
+
+@pytest.fixture(scope="module")
+def bitcoin_small_model():
+    return RevenueModel(BitcoinSchedule(), max_lead=30)
+
+
+@pytest.fixture(scope="module")
+def flat_small_model():
+    return RevenueModel(FlatUncleSchedule(0.5), max_lead=30)
+
+
+class TestSelfishGain:
+    def test_gain_is_negative_below_and_positive_above_the_bitcoin_threshold(self, bitcoin_small_model):
+        # The Bitcoin threshold at gamma=0.5 is exactly 0.25.
+        below = selfish_gain(bitcoin_small_model, MiningParams(alpha=0.20, gamma=0.5), Scenario.REGULAR_ONLY)
+        above = selfish_gain(bitcoin_small_model, MiningParams(alpha=0.30, gamma=0.5), Scenario.REGULAR_ONLY)
+        assert below < 0
+        assert above > 0
+
+
+class TestThresholdSearch:
+    def test_bitcoin_schedule_recovers_the_eyal_sirer_threshold(self, bitcoin_small_model):
+        result = profitable_threshold(0.5, scenario=Scenario.REGULAR_ONLY, model=bitcoin_small_model)
+        assert result.alpha_star == pytest.approx(0.25, abs=2e-3)
+        assert not result.profitable_everywhere
+        assert not result.profitable_nowhere
+
+    def test_flat_half_schedule_matches_paper_threshold(self, flat_small_model):
+        result = profitable_threshold(0.5, scenario=Scenario.REGULAR_ONLY, model=flat_small_model)
+        assert result.alpha_star == pytest.approx(0.163, abs=3e-3)
+
+    def test_gamma_one_is_profitable_everywhere(self, flat_small_model):
+        result = profitable_threshold(1.0, scenario=Scenario.REGULAR_ONLY, model=flat_small_model)
+        assert result.profitable_everywhere
+        assert result.alpha_star == 0.0
+
+    def test_threshold_decreases_with_gamma(self, flat_small_model):
+        low = profitable_threshold(0.2, scenario=Scenario.REGULAR_ONLY, model=flat_small_model)
+        high = profitable_threshold(0.8, scenario=Scenario.REGULAR_ONLY, model=flat_small_model)
+        assert high.alpha_star < low.alpha_star
+
+    def test_scenario2_threshold_is_higher_than_scenario1(self, flat_small_model):
+        scenario1 = profitable_threshold(0.5, scenario=Scenario.REGULAR_ONLY, model=flat_small_model)
+        scenario2 = profitable_threshold(0.5, scenario=Scenario.REGULAR_PLUS_UNCLE, model=flat_small_model)
+        assert scenario2.alpha_star > scenario1.alpha_star
+
+    def test_model_built_on_the_fly_when_not_supplied(self):
+        result = profitable_threshold(
+            0.5, scenario=Scenario.REGULAR_ONLY, schedule=BitcoinSchedule(), max_lead=25, grid_points=15
+        )
+        assert result.alpha_star == pytest.approx(0.25, abs=5e-3)
+
+    def test_result_reports_evaluation_count_and_description(self, flat_small_model):
+        result = profitable_threshold(0.5, scenario=Scenario.REGULAR_ONLY, model=flat_small_model)
+        assert result.evaluations > 5
+        text = result.describe()
+        assert "alpha*" in text
+        assert "0.5" in text

@@ -1,0 +1,42 @@
+"""Unit tests for grid helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.grids import inclusive_range, linspace
+
+
+class TestLinspace:
+    def test_endpoints_included(self):
+        values = linspace(0.0, 1.0, 5)
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+        assert len(values) == 5
+
+    def test_single_point(self):
+        assert linspace(0.3, 0.9, 1) == [0.3]
+
+    def test_spacing_is_uniform(self):
+        values = linspace(0.0, 0.4, 5)
+        differences = [round(b - a, 12) for a, b in zip(values, values[1:])]
+        assert len(set(differences)) == 1
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ParameterError):
+            linspace(0.0, 1.0, 0)
+
+
+class TestInclusiveRange:
+    def test_includes_stop(self):
+        assert inclusive_range(0.0, 1.0, 0.25) == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_handles_float_accumulation(self):
+        values = inclusive_range(0.0, 0.45, 0.05)
+        assert len(values) == 10
+        assert values[-1] == pytest.approx(0.45)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ParameterError):
+            inclusive_range(0.0, 1.0, 0.0)

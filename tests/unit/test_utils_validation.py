@@ -1,0 +1,41 @@
+"""Unit tests for validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.utils.validation import require, require_positive, require_probability
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false_with_message(self):
+        with pytest.raises(ParameterError, match="broken invariant"):
+            require(False, "broken invariant")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_probabilities(self, value):
+        assert require_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan")])
+    def test_rejects_non_probabilities(self, value):
+        with pytest.raises(ParameterError):
+            require_probability("p", value)
+
+    def test_returns_float(self):
+        assert isinstance(require_probability("p", 1), float)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 2) == 2.0
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ParameterError):
+            require_positive("x", value)
