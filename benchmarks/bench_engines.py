@@ -48,6 +48,31 @@ def test_threshold_search_benchmark(benchmark):
     assert result.alpha_star == pytest.approx(0.163, abs=0.005)
 
 
+def test_uncle_candidate_lookup_benchmark(benchmark):
+    """Track the uncle-selection hot path: candidate lookup over a finished tree.
+
+    The incremental fork-children index makes this proportional to the number of
+    forked blocks in the window instead of every block mined in it (the seed
+    behaviour, still available as ``blocks_in_height_range``).
+    """
+    config = SimulationConfig(
+        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=10_000, seed=1
+    )
+    simulator = ChainSimulator(config)
+    simulator.run()
+    tree = simulator.tree
+    top = tree.max_height()
+
+    def scan_all_windows():
+        total = 0
+        for height in range(1, top + 1):
+            total += len(tree.uncle_candidates(height - 6, height - 1, published_only=True))
+        return total
+
+    total = benchmark(scan_all_windows)
+    assert total > 0
+
+
 def test_chain_simulator_benchmark(benchmark):
     config = SimulationConfig(
         params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=20_000, seed=1

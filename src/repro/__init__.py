@@ -58,12 +58,31 @@ from .simulation.config import SimulationConfig
 from .simulation.engine import ChainSimulator
 from .simulation.fast import MarkovMonteCarlo
 from .simulation.metrics import AggregatedResult, SimulationResult, aggregate_results
-from .simulation.runner import run_many, run_once, simulate_alpha_sweep
+from .simulation.runner import (
+    run_many,
+    run_many_grid,
+    run_once,
+    simulate_alpha_sweep,
+    simulate_strategy_sweep,
+)
+from .strategies import (
+    Action,
+    EqualForkStubbornStrategy,
+    HonestStrategy,
+    LeadEqualForkStubbornStrategy,
+    LeadStubbornStrategy,
+    MiningStrategy,
+    SelfishStrategy,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AbsoluteRevenue",
+    "Action",
     "AggregatedResult",
     "BitcoinSchedule",
     "BitcoinSelfishMiningModel",
@@ -72,10 +91,15 @@ __all__ = [
     "ClosedFormRevenue",
     "ConvergenceError",
     "CustomSchedule",
+    "EqualForkStubbornStrategy",
     "EthereumByzantiumSchedule",
     "FlatUncleSchedule",
+    "HonestStrategy",
+    "LeadEqualForkStubbornStrategy",
+    "LeadStubbornStrategy",
     "MarkovMonteCarlo",
     "MiningParams",
+    "MiningStrategy",
     "ParameterError",
     "PartyRewards",
     "ReproError",
@@ -84,6 +108,7 @@ __all__ = [
     "RevenueSplit",
     "RewardSchedule",
     "Scenario",
+    "SelfishStrategy",
     "SimulationConfig",
     "SimulationError",
     "SimulationResult",
@@ -93,6 +118,7 @@ __all__ = [
     "UncleDistanceDistribution",
     "absolute_revenue",
     "aggregate_results",
+    "available_strategies",
     "bitcoin_relative_revenue",
     "bitcoin_threshold",
     "closed_form_revenue",
@@ -101,10 +127,14 @@ __all__ = [
     "honest_absolute_revenue",
     "honest_relative_revenue",
     "honest_uncle_distance_distribution",
+    "make_strategy",
     "profitable_threshold",
+    "register_strategy",
     "run_many",
+    "run_many_grid",
     "run_once",
     "simulate_alpha_sweep",
+    "simulate_strategy_sweep",
     "sweep_alpha",
     "sweep_gamma",
     "__version__",

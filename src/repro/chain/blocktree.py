@@ -33,6 +33,13 @@ class BlockTree:
         self._children: dict[int, list[int]] = {genesis.block_id: []}
         self._published: set[int] = {genesis.block_id}
         self._by_height: dict[int, list[int]] = {0: [genesis.block_id]}
+        # Height-indexed uncle-candidate set, maintained incrementally: a block can
+        # only ever be referenced as an uncle if its parent has at least two
+        # children (rules 1+2 of repro.chain.uncles force an eligible uncle off the
+        # referencing chain while its parent is on it).  Keeping these few blocks
+        # indexed by height lets the simulator's uncle-selection hot path skip the
+        # (almost always fruitless) rescan of every block in the inclusion window.
+        self._fork_children_by_height: dict[int, list[int]] = {}
         self._next_id: int = GENESIS_ID + 1
 
     # ------------------------------------------------------------------ basic access
@@ -107,7 +114,16 @@ class BlockTree:
         )
         self._blocks[block.block_id] = block
         self._children[block.block_id] = []
-        self._children[parent.block_id].append(block.block_id)
+        siblings = self._children[parent.block_id]
+        siblings.append(block.block_id)
+        if len(siblings) == 2:
+            # The parent just forked: its first child becomes a candidate too.
+            first_child = self._blocks[siblings[0]]
+            self._fork_children_by_height.setdefault(first_child.height, []).append(
+                first_child.block_id
+            )
+        if len(siblings) >= 2:
+            self._fork_children_by_height.setdefault(block.height, []).append(block.block_id)
         self._by_height.setdefault(block.height, []).append(block.block_id)
         if published:
             self._published.add(block.block_id)
@@ -208,6 +224,28 @@ class BlockTree:
         result: list[Block] = []
         for height in range(max(low, 0), high + 1):
             result.extend(self.blocks_at_height(height, published_only=published_only))
+        return result
+
+    def uncle_candidates(
+        self, low: int, high: int, *, published_only: bool = False
+    ) -> list[Block]:
+        """Blocks with ``low <= height <= high`` whose parent has at least two children.
+
+        Every block that can pass the uncle-eligibility rules against *any*
+        referencing chain is in this set (an eligible uncle is off the chain while
+        its parent is on it, so the parent has both the uncle and a chain block as
+        children).  The set is maintained incrementally on insertion, so the lookup
+        cost is proportional to the number of forked blocks in the window — in a
+        typical run a tiny fraction of the window's blocks — rather than to every
+        block mined in it.  Candidate order is not significant;
+        :func:`repro.chain.uncles.eligible_uncles` sorts its output.
+        """
+        result: list[Block] = []
+        for height in range(max(low, 1), high + 1):
+            for block_id in self._fork_children_by_height.get(height, ()):
+                if published_only and block_id not in self._published:
+                    continue
+                result.append(self._blocks[block_id])
         return result
 
     # ------------------------------------------------------------------ statistics

@@ -17,6 +17,7 @@ from .figure8 import Figure8Result, run_figure8
 from .figure9 import Figure9Result, run_figure9
 from .figure10 import Figure10Result, run_figure10
 from .pools import MiningPool, TOP_POOLS_2018, pool_concentration_report
+from .strategies import StrategyComparisonResult, run_strategy_comparison
 from .table1 import Table1Result, run_table1
 from .table2 import Table2Result, run_table2
 
@@ -26,6 +27,7 @@ __all__ = [
     "Figure8Result",
     "Figure9Result",
     "MiningPool",
+    "StrategyComparisonResult",
     "TOP_POOLS_2018",
     "Table1Result",
     "Table2Result",
@@ -34,6 +36,7 @@ __all__ = [
     "run_figure10",
     "run_figure8",
     "run_figure9",
+    "run_strategy_comparison",
     "run_table1",
     "run_table2",
 ]

@@ -2,11 +2,15 @@
 
 Installed as the ``repro-experiments`` console script::
 
-    repro-experiments figure8            # full-fidelity run of the Fig. 8 driver
-    repro-experiments figure10 --fast    # quick smoke version of Fig. 10
-    repro-experiments all --fast         # every artifact, fast settings
+    repro-experiments figure8              # full-fidelity run of the Fig. 8 driver
+    repro-experiments figure10 --fast      # quick smoke version of Fig. 10
+    repro-experiments strategies -j 4      # strategy sweep on 4 worker processes
+    repro-experiments all --fast           # every artifact, fast settings
 
-Each sub-command prints the corresponding driver's text report to stdout.
+Each sub-command prints the corresponding driver's text report to stdout.  The
+``--workers`` flag fans the independent simulation runs behind the
+simulation-backed drivers out over a process pool; results are bit-identical to a
+serial run.
 """
 
 from __future__ import annotations
@@ -21,18 +25,27 @@ from .figure8 import run_figure8
 from .figure9 import run_figure9
 from .figure10 import run_figure10
 from .pools import pool_concentration_report
+from .strategies import run_strategy_comparison
 from .table1 import run_table1
 from .table2 import run_table2
 
-#: Mapping of sub-command name to a callable producing the report text.
-_EXPERIMENTS: dict[str, Callable[[bool], str]] = {
-    "figure6": lambda fast: pool_concentration_report(),
-    "figure8": lambda fast: run_figure8(fast=fast).report(),
-    "figure9": lambda fast: run_figure9(fast=fast).report(),
-    "figure10": lambda fast: run_figure10(fast=fast).report(),
-    "table1": lambda fast: run_table1().report(),
-    "table2": lambda fast: run_table2(fast=fast, include_simulation=not fast).report(),
-    "discussion": lambda fast: run_discussion(fast=fast).report(),
+#: Mapping of sub-command name to a callable producing the report text.  Every
+#: callable takes ``(fast, workers)``; the drivers with a simulation stage
+#: (figure8, table2, strategies) fan their runs out over ``workers`` processes,
+#: the purely analytical/descriptive ones ignore the worker count.
+_EXPERIMENTS: dict[str, Callable[[bool, int | None], str]] = {
+    "figure6": lambda fast, workers: pool_concentration_report(),
+    "figure8": lambda fast, workers: run_figure8(fast=fast, max_workers=workers).report(),
+    "figure9": lambda fast, workers: run_figure9(fast=fast).report(),
+    "figure10": lambda fast, workers: run_figure10(fast=fast).report(),
+    "table1": lambda fast, workers: run_table1().report(),
+    "table2": lambda fast, workers: run_table2(
+        fast=fast, include_simulation=not fast, max_workers=workers
+    ).report(),
+    "discussion": lambda fast, workers: run_discussion(fast=fast).report(),
+    "strategies": lambda fast, workers: run_strategy_comparison(
+        fast=fast, max_workers=workers
+    ).report(),
 }
 
 
@@ -52,12 +65,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use coarse grids and short simulations (smoke-test fidelity)",
     )
+    parser.add_argument(
+        "--workers",
+        "-j",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="run independent simulation runs on N worker processes (default: serial)",
+    )
     return parser
 
 
-def run_experiment(name: str, *, fast: bool = False) -> str:
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"worker count must be positive, got {value}")
+    return value
+
+
+def run_experiment(name: str, *, fast: bool = False, workers: int | None = None) -> str:
     """Run one named experiment and return its report text."""
-    return _EXPERIMENTS[name](fast)
+    return _EXPERIMENTS[name](fast, workers)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -67,7 +95,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for name in names:
         started = time.time()
-        report = run_experiment(name, fast=arguments.fast)
+        report = run_experiment(name, fast=arguments.fast, workers=arguments.workers)
         elapsed = time.time() - started
         print(f"==== {name} ({elapsed:.1f}s) ====")
         print(report)

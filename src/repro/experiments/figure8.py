@@ -95,6 +95,7 @@ def run_figure8(
     simulation_runs: int = 2,
     seed: int = 2019,
     max_lead: int = 60,
+    max_workers: int | None = None,
     fast: bool = False,
 ) -> Figure8Result:
     """Reproduce Fig. 8.
@@ -114,6 +115,9 @@ def run_figure8(
         here are lighter but already reproduce the curves to about three decimals.
     max_lead:
         Truncation of the analytical model.
+    max_workers:
+        Fan the simulation runs behind every grid point out over a process pool
+        (bit-identical to serial).
     fast:
         Shrink the grid and the simulation for quick smoke runs.
     """
@@ -137,7 +141,9 @@ def run_figure8(
             num_blocks=simulation_blocks,
             seed=seed,
         )
-        simulation = simulate_alpha_sweep(alphas, base_config, num_runs=simulation_runs)
+        simulation = simulate_alpha_sweep(
+            alphas, base_config, num_runs=simulation_runs, max_workers=max_workers
+        )
 
     return Figure8Result(
         gamma=gamma, scenario=Scenario.REGULAR_ONLY, analysis=analysis, simulation=simulation

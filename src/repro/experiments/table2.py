@@ -87,6 +87,7 @@ def run_table2(
     seed: int = 2019,
     max_lead: int = 60,
     max_distance: int = MAX_UNCLE_DISTANCE,
+    max_workers: int | None = None,
     fast: bool = False,
 ) -> Table2Result:
     """Reproduce Table II.
@@ -113,7 +114,7 @@ def run_table2(
                 num_blocks=simulation_blocks,
                 seed=seed,
             )
-            aggregate = run_many(config, simulation_runs)
+            aggregate = run_many(config, simulation_runs, max_workers=max_workers)
             simulated = aggregate.honest_uncle_distance_distribution()
             simulated_expectation = sum(d * p for d, p in simulated.items())
         columns.append(

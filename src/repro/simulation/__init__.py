@@ -19,11 +19,17 @@ Multi-run orchestration, seeding and aggregation live in
 
 from .config import SimulationConfig
 from .difficulty import DifficultyRule, EIP100Rule, PreByzantiumRule, difficulty_rule_for
-from .engine import ChainSimulator
+from .engine import ChainSimulator, RaceState
 from .fast import MarkovMonteCarlo
 from .metrics import AggregatedResult, SimulationResult, aggregate_results
 from .rng import RandomSource
-from .runner import run_many, run_once, simulate_alpha_sweep
+from .runner import (
+    run_many,
+    run_many_grid,
+    run_once,
+    simulate_alpha_sweep,
+    simulate_strategy_sweep,
+)
 
 __all__ = [
     "AggregatedResult",
@@ -32,12 +38,15 @@ __all__ = [
     "EIP100Rule",
     "MarkovMonteCarlo",
     "PreByzantiumRule",
+    "RaceState",
     "RandomSource",
     "SimulationConfig",
     "SimulationResult",
     "aggregate_results",
     "difficulty_rule_for",
     "run_many",
+    "run_many_grid",
     "run_once",
     "simulate_alpha_sweep",
+    "simulate_strategy_sweep",
 ]

@@ -20,6 +20,7 @@ from ..constants import (
 from ..errors import ParameterError
 from ..params import MiningParams
 from ..rewards.schedule import EthereumByzantiumSchedule, RewardSchedule
+from ..strategies import MiningStrategy, available_strategies, make_strategy
 
 
 @dataclass(frozen=True)
@@ -40,9 +41,14 @@ class SimulationConfig:
     num_honest_miners:
         Number of individual honest miners (only affects per-miner statistics; the
         aggregate honest behaviour is identical for any value).
+    strategy:
+        Name of the pool's mining strategy (see :func:`repro.strategies.available_strategies`).
+        ``None`` defers to the deprecated ``selfish`` flag.
     selfish:
-        When False the pool publishes every block immediately, i.e. it mines honestly.
-        Used for baseline runs.
+        Deprecated alias kept for backwards compatibility: ``selfish=False`` is
+        shorthand for ``strategy="honest"``, ``selfish=True`` (the default) for
+        ``strategy="selfish"``.  An explicit ``strategy`` wins; combining
+        ``selfish=False`` with a non-honest ``strategy`` is rejected.
     max_uncles_per_block, max_uncle_distance:
         Protocol limits applied when composing blocks.
     warmup_blocks:
@@ -58,6 +64,7 @@ class SimulationConfig:
     num_blocks: int = PAPER_BLOCKS_PER_RUN
     seed: int = 0
     num_honest_miners: int = PAPER_NUM_MINERS - 1
+    strategy: str | None = None
     selfish: bool = True
     max_uncles_per_block: int = MAX_UNCLES_PER_BLOCK
     max_uncle_distance: int = MAX_UNCLE_DISTANCE
@@ -77,6 +84,32 @@ class SimulationConfig:
             raise ParameterError("warmup_blocks must be non-negative")
         if self.warmup_blocks >= self.num_blocks:
             raise ParameterError("warmup_blocks must be smaller than num_blocks")
+        if self.strategy is not None:
+            if self.strategy not in available_strategies():
+                raise ParameterError(
+                    f"unknown mining strategy {self.strategy!r}; "
+                    f"available: {', '.join(available_strategies())}"
+                )
+            if not self.selfish and self.strategy != "honest":
+                raise ParameterError(
+                    f"selfish=False conflicts with strategy={self.strategy!r}; "
+                    "drop the deprecated selfish flag when selecting a strategy"
+                )
+
+    @property
+    def strategy_name(self) -> str:
+        """The resolved strategy name (``strategy`` field, falling back to ``selfish``)."""
+        if self.strategy is not None:
+            return self.strategy
+        return "selfish" if self.selfish else "honest"
+
+    def make_strategy(self) -> MiningStrategy:
+        """Instantiate the pool's mining strategy for this configuration."""
+        return make_strategy(self.strategy_name)
+
+    def with_strategy(self, strategy: str) -> "SimulationConfig":
+        """A copy of this configuration running a different mining strategy."""
+        return replace(self, strategy=strategy, selfish=strategy != "honest")
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """A copy of this configuration with a different seed (used by the runner)."""
@@ -88,8 +121,8 @@ class SimulationConfig:
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        mode = "selfish" if self.selfish else "honest"
         return (
             f"SimulationConfig({self.params.describe()}, blocks={self.num_blocks}, "
-            f"seed={self.seed}, mode={mode}, schedule={type(self.schedule).__name__})"
+            f"seed={self.seed}, strategy={self.strategy_name}, "
+            f"schedule={type(self.schedule).__name__})"
         )

@@ -1,12 +1,21 @@
-"""The full-fidelity selfish-mining simulator (Section V of the paper).
+"""The full-fidelity mining-race simulator (Section V of the paper).
 
 The simulator materialises every mined block in a :class:`~repro.chain.blocktree.BlockTree`
-and plays out Algorithm 1 of the paper:
+and plays out the race between the pool and honest miners.  It is split into
+*mechanism* and *policy*:
 
-* the selfish pool withholds its blocks, publishes the last one to create a tie when
-  the honest chain catches up, overrides with its whole branch when its lead shrinks
-  to one, and otherwise answers each honest block by publishing its first unpublished
-  block;
+* the engine (this module) owns the mechanics — block creation, uncle selection,
+  publication bookkeeping, fork-point tracking, honest tie-breaking, settlement;
+* the pool's decisions are delegated to a pluggable
+  :class:`~repro.strategies.base.MiningStrategy`, selected by
+  ``SimulationConfig.strategy``.  The paper's Algorithm 1 is
+  :class:`~repro.strategies.catalogue.SelfishStrategy`; honest mining and the
+  stubborn-mining family are further catalogue entries.
+
+The mechanics follow the paper's network model:
+
+* the pool mines on its private tip; its blocks start out withheld and are released
+  by the strategy's publish / match / override actions;
 * honest miners always mine on a longest *published* branch; when two published
   branches of equal length compete, a fraction ``gamma`` of honest hash power works on
   the pool's branch (the tie-breaking model of Section IV-A);
@@ -37,6 +46,7 @@ from ..chain.rewards import ChainSettlement, settle_rewards
 from ..chain.uncles import eligible_uncles
 from ..chain.validation import validate_tree
 from ..errors import SimulationError
+from ..strategies import Action, MiningStrategy
 from .config import SimulationConfig
 from .metrics import SimulationResult
 from .rng import RandomSource
@@ -49,8 +59,8 @@ class RaceState:
     ``root_id`` is the last block both sides agree on; ``pool_branch`` are the pool's
     blocks built on top of it (oldest first), of which the first ``published_count``
     have been released; ``honest_branch`` are the honest blocks built on top of
-    ``root_id`` (the strategy guarantees there is at most one competing honest
-    branch).
+    ``root_id`` (the engine guarantees there is at most one competing honest
+    branch).  Satisfies :class:`repro.strategies.base.RaceView`.
     """
 
     root_id: int
@@ -83,7 +93,7 @@ class RaceState:
         return self.honest_branch[-1] if self.honest_branch else self.root_id
 
     def check_invariants(self) -> None:
-        """Raise if the internal bookkeeping violates the strategy's invariants."""
+        """Raise if the internal bookkeeping violates the engine's invariants."""
         if self.published_count > len(self.pool_branch):
             raise SimulationError("published more pool blocks than exist in the private branch")
         if self.published_count != len(self.honest_branch):
@@ -94,10 +104,11 @@ class RaceState:
 
 
 class ChainSimulator:
-    """Simulate one run of selfish mining against honest miners."""
+    """Simulate one run of a pool strategy racing against honest miners."""
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(self, config: SimulationConfig, *, strategy: MiningStrategy | None = None) -> None:
         self.config = config
+        self.strategy = strategy if strategy is not None else config.make_strategy()
         self.tree = BlockTree()
         self.rng = RandomSource(config.seed)
         self.race = RaceState(root_id=self.tree.genesis.block_id)
@@ -116,18 +127,29 @@ class ChainSimulator:
         """Advance the simulation by one mining event."""
         event_index = self._events_run
         if self.rng.pool_mines_next(self.config.params.alpha):
-            if self.config.selfish:
-                self._pool_mines_selfishly(event_index)
-            else:
-                self._mine_on_consensus(event_index, MinerKind.POOL, miner_index=0)
+            self._pool_mines(event_index)
         else:
             miner_index = self.rng.honest_miner_index(self.config.num_honest_miners)
-            if self.config.selfish:
-                self._honest_mines(event_index, miner_index)
-            else:
-                self._mine_on_consensus(event_index, MinerKind.HONEST, miner_index=miner_index)
+            self._honest_mines(event_index, miner_index)
         self._events_run += 1
-        self.race.check_invariants()
+        try:
+            self.race.check_invariants()
+        except SimulationError as exc:
+            if self.race.published_count > self.race.private_length:
+                hint = (
+                    "the strategy requested publishing beyond the private branch "
+                    "(check its after_pool_block actions)"
+                )
+            else:
+                hint = (
+                    "the engine requires every honest-block reaction to re-match the "
+                    "published prefix to the honest branch (MATCH, PUBLISH, OVERRIDE "
+                    "or ADOPT); WITHHOLD is only valid after the pool's own blocks"
+                )
+            raise SimulationError(
+                f"strategy {self.strategy.name!r} left the race inconsistent after event "
+                f"{event_index}: {exc}. Note: {hint}."
+            ) from exc
 
     def finalise(self) -> None:
         """Publish whatever the pool still withholds (end-of-run cleanup)."""
@@ -155,7 +177,7 @@ class ChainSimulator:
         if self.config.max_uncles_per_block == 0 or self.config.max_uncle_distance == 0:
             return []
         new_height = self.tree.block(parent_id).height + 1
-        candidates = self.tree.blocks_in_height_range(
+        candidates = self.tree.uncle_candidates(
             new_height - self.config.max_uncle_distance,
             new_height - 1,
             published_only=published_only,
@@ -165,24 +187,16 @@ class ChainSimulator:
         )
         return [block.block_id for block in chosen[: self.config.max_uncles_per_block]]
 
-    def _mine_on_consensus(self, event_index: int, miner: MinerKind, *, miner_index: int) -> None:
-        """Honest-mode mining: extend the consensus tip and publish immediately."""
-        parent_id = self.race.root_id
-        uncle_ids = self._select_uncles(parent_id, published_only=True)
-        block = self.tree.add_block(
-            parent_id,
-            miner,
-            miner_index=miner_index,
-            created_at=event_index,
-            uncle_ids=uncle_ids,
-            published=True,
-        )
-        self.race.root_id = block.block_id
+    def _pool_mines(self, event_index: int) -> None:
+        """The pool extends its private branch, then its strategy reacts.
 
-    def _pool_mines_selfishly(self, event_index: int) -> None:
-        """Algorithm 1, lines 1-7: the pool extends its private branch."""
+        The pool has a complete view of the tree, including its own withheld blocks,
+        so its uncle candidates are not restricted to published blocks.  The new
+        block starts out withheld; an immediate OVERRIDE from the strategy (the
+        honest strategy's every move, Algorithm 1's win from the 1-1 tie) releases
+        it in the same event.
+        """
         parent_id = self.race.pool_tip()
-        # The pool has a complete view of the tree, including its own withheld blocks.
         uncle_ids = self._select_uncles(parent_id, published_only=False)
         block = self.tree.add_block(
             parent_id,
@@ -193,16 +207,10 @@ class ChainSimulator:
             published=False,
         )
         self.race.pool_branch.append(block.block_id)
-        if (
-            self.race.private_length == 2
-            and self.race.published_count == 1
-            and self.race.public_length == 1
-        ):
-            # (Ls, Lh) = (2, 1): the advantage is too slim to keep racing; publish and win.
-            self._pool_wins_race()
+        self._apply(self.strategy.after_pool_block(self.race))
 
     def _honest_mines(self, event_index: int, miner_index: int) -> None:
-        """Algorithm 1, lines 8-20: an honest miner extends a longest published branch."""
+        """An honest miner extends a longest published branch, then the pool reacts."""
         race = self.race
         on_pool_prefix = False
         if race.public_length == 0:
@@ -240,24 +248,23 @@ class ChainSimulator:
         else:
             race.honest_branch.append(block.block_id)
 
-        self._pool_reacts_to_honest_block()
+        self._apply(self.strategy.after_honest_block(self.race))
 
-    # ------------------------------------------------------------------ pool reactions
-    def _pool_reacts_to_honest_block(self) -> None:
-        """Lines 10-20 of Algorithm 1, after the honest block has been added."""
-        race = self.race
-        private_length = race.private_length
-        public_length = race.public_length
-        if private_length < public_length:
-            self._adopt_public_chain(race.honest_tip())
-        elif private_length == public_length:
-            # Publish the remainder of the private branch, creating a tie the honest
-            # miners will split gamma / (1 - gamma).
-            self._publish_pool_blocks(upto=private_length)
-        elif private_length == public_length + 1:
+    # ------------------------------------------------------------------ action dispatch
+    def _apply(self, action: Action) -> None:
+        """Carry out a strategy action on the current race state."""
+        if action is Action.WITHHOLD:
+            return
+        if action is Action.PUBLISH:
+            self._publish_pool_blocks(upto=self.race.published_count + 1)
+        elif action is Action.MATCH:
+            self._publish_pool_blocks(upto=self.race.public_length)
+        elif action is Action.OVERRIDE:
             self._pool_wins_race()
-        else:
-            self._publish_pool_blocks(upto=race.published_count + 1)
+        elif action is Action.ADOPT:
+            self._adopt_public_chain(self.race.honest_tip())
+        else:  # pragma: no cover - exhaustive over the Action enum
+            raise SimulationError(f"strategy emitted unknown action {action!r}")
 
     def _publish_pool_blocks(self, *, upto: int) -> None:
         """Publish the pool's private blocks up to index ``upto`` (exclusive end count)."""

@@ -16,17 +16,27 @@ but it reuses the analytical reward cases, so it validates the Markov-chain stru
 and the stationary solver rather than the reward analysis itself.  The test-suite uses
 all three pairings (analysis vs chain simulator, analysis vs Monte Carlo, Monte Carlo
 vs chain simulator) to localise any disagreement.
+
+Strategy support: the backend honours ``SimulationConfig.strategy`` for the two
+behaviours that have an analytical transition model — ``"selfish"`` (the paper's
+Markov process) and ``"honest"`` (a trivial fork-free process).  The stubborn
+variants exist only in the full chain simulator; requesting them here raises a
+:class:`~repro.errors.SimulationError` pointing at ``backend="chain"``.
 """
 
 from __future__ import annotations
 
 from ..analysis.reward_cases import transition_rewards
+from ..errors import SimulationError
 from ..markov.state import State
 from ..markov.transitions import SelfishTransition, transitions_from_state
 from ..rewards.breakdown import PartyRewards
 from .config import SimulationConfig
 from .metrics import SimulationResult
 from .rng import RandomSource
+
+#: Strategy names the Markov backend can simulate.
+MARKOV_STRATEGIES = ("honest", "selfish")
 
 #: Effective truncation used when enumerating transitions on the fly.  The sampled
 #: lead can never realistically approach this for ``alpha < 0.5``.
@@ -38,6 +48,12 @@ class MarkovMonteCarlo:
 
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
+        if config.strategy_name not in MARKOV_STRATEGIES:
+            raise SimulationError(
+                f"the 'markov' backend has no transition model for strategy "
+                f"{config.strategy_name!r} (supported: {', '.join(MARKOV_STRATEGIES)}); "
+                "use backend='chain'"
+            )
         self.rng = RandomSource(config.seed)
         self.state = State(0, 0)
         self._events_run = 0
@@ -66,6 +82,8 @@ class MarkovMonteCarlo:
     # ------------------------------------------------------------------ public API
     def run(self) -> SimulationResult:
         """Simulate ``config.num_blocks`` transitions and return accumulated results."""
+        if self.config.strategy_name == "honest":
+            return self._run_honest()
         schedule = self.config.schedule
         params = self.config.params
 
@@ -121,4 +139,35 @@ class MarkovMonteCarlo:
             num_events=self._events_run,
             honest_uncle_distance_counts=dict(sorted(honest_distance.items())),
             pool_uncle_distance_counts=dict(sorted(pool_distance.items())),
+        )
+
+    def _run_honest(self) -> SimulationResult:
+        """Honest-pool run: a fork-free chain where every block earns ``Ks``.
+
+        With everyone following the protocol there is a single state and a single
+        transition; the only randomness left is which party mines each block, which
+        is sampled so the backend remains a Monte Carlo (with the same seed
+        semantics as the chain simulator's honest runs).
+        """
+        static = self.config.schedule.static_reward
+        alpha = self.config.params.alpha
+        pool_blocks = 0
+        for _ in range(self.config.num_blocks):
+            if self.rng.pool_mines_next(alpha):
+                pool_blocks += 1
+            self._events_run += 1
+        honest_blocks = self.config.num_blocks - pool_blocks
+        return SimulationResult(
+            config=self.config,
+            pool_rewards=PartyRewards(static=pool_blocks * static),
+            honest_rewards=PartyRewards(static=honest_blocks * static),
+            regular_blocks=float(self.config.num_blocks),
+            pool_regular_blocks=float(pool_blocks),
+            honest_regular_blocks=float(honest_blocks),
+            uncle_blocks=0.0,
+            pool_uncle_blocks=0.0,
+            honest_uncle_blocks=0.0,
+            stale_blocks=0.0,
+            total_blocks=float(self.config.num_blocks),
+            num_events=self._events_run,
         )

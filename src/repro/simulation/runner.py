@@ -1,4 +1,4 @@
-"""Multi-run orchestration: seeds, repetition and parameter sweeps.
+"""Multi-run orchestration: seeds, repetition, parallelism and parameter sweeps.
 
 The paper's evaluation averages 10 independent runs of 100 000 blocks for every
 parameter point.  :func:`run_many` reproduces that protocol (with configurable run
@@ -6,11 +6,18 @@ counts and lengths), deriving an independent random stream for every run from on
 master seed so that experiments are exactly reproducible.  :func:`simulate_alpha_sweep`
 is the simulation-side counterpart of :func:`repro.analysis.sweep.sweep_alpha`, used
 for the simulation overlays in Fig. 8.
+
+Because the runs of an experiment are independent, :func:`run_many` can fan them out
+over a process pool (``max_workers``).  The per-run seeds are derived from the master
+seed *before* dispatch — the seed stream does not depend on scheduling — so a
+parallel experiment is bit-for-bit identical to a serial one.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Iterable, Sequence
 
 from ..errors import SimulationError
@@ -38,26 +45,71 @@ def run_once(config: SimulationConfig, *, backend: str = "chain") -> SimulationR
     return _build_simulator(config, backend).run()
 
 
+def _derive_run_configs(config: SimulationConfig, num_runs: int) -> list[SimulationConfig]:
+    """The per-run configurations of a ``num_runs`` experiment (seed stream included).
+
+    This is the single definition of the experiment protocol: run ``i`` uses the
+    stream spawned from the master seed at index ``i``, independent of execution
+    order — which is what makes parallel dispatch bit-identical to serial.
+    """
+    master = RandomSource(config.seed)
+    return [config.with_seed(master.spawn(run_index).seed) for run_index in range(num_runs)]
+
+
+def run_many_grid(
+    configs: Sequence[SimulationConfig],
+    num_runs: int,
+    *,
+    backend: str = "chain",
+    max_workers: int | None = None,
+) -> list[AggregatedResult]:
+    """Run ``num_runs`` of every configuration, one aggregate per configuration.
+
+    All ``len(configs) * num_runs`` simulations are independent, so they are fanned
+    out over a single process pool together — a sweep with many cells keeps every
+    worker busy even when ``num_runs`` per cell is small.  Results are grouped and
+    aggregated per input configuration, in input order, and are identical to
+    calling :func:`run_many` on each configuration serially.
+    """
+    if num_runs < 1:
+        raise SimulationError(f"num_runs must be positive, got {num_runs}")
+    if max_workers is not None and max_workers < 1:
+        raise SimulationError(f"max_workers must be positive, got {max_workers}")
+    expanded = [
+        run_config for config in configs for run_config in _derive_run_configs(config, num_runs)
+    ]
+    workers = min(max_workers or 1, len(expanded))
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(partial(run_once, backend=backend), expanded))
+    else:
+        results = [run_once(run_config, backend=backend) for run_config in expanded]
+    return [
+        aggregate_results(results[index * num_runs : (index + 1) * num_runs])
+        for index in range(len(configs))
+    ]
+
+
 def run_many(
     config: SimulationConfig,
     num_runs: int,
     *,
     backend: str = "chain",
+    max_workers: int | None = None,
 ) -> AggregatedResult:
     """Run ``num_runs`` independent simulations and aggregate their results.
 
     Every run uses a random stream derived from ``config.seed`` and the run index, so
     the whole experiment is reproducible from the single master seed while the runs
     remain statistically independent.
+
+    ``max_workers`` fans the runs out over a process pool.  ``None`` or ``1`` runs
+    serially in-process.  The per-run seed stream is derived up front, so the
+    aggregated result is identical whichever execution mode (or worker count) is
+    chosen — parallelism is purely a wall-clock optimisation.  Grid experiments
+    should prefer :func:`run_many_grid`, which keeps the pool busy across cells.
     """
-    if num_runs < 1:
-        raise SimulationError(f"num_runs must be positive, got {num_runs}")
-    master = RandomSource(config.seed)
-    results: list[SimulationResult] = []
-    for run_index in range(num_runs):
-        run_seed = master.spawn(run_index).seed
-        results.append(run_once(config.with_seed(run_seed), backend=backend))
-    return aggregate_results(results)
+    return run_many_grid([config], num_runs, backend=backend, max_workers=max_workers)[0]
 
 
 @dataclass(frozen=True)
@@ -95,37 +147,65 @@ def simulate_alpha_sweep(
     *,
     num_runs: int = 3,
     backend: str = "chain",
+    max_workers: int | None = None,
 ) -> SimulatedAlphaSweep:
-    """Run the simulator over a grid of pool sizes at the base configuration's ``gamma``."""
-    points: list[SimulatedSweepPoint] = []
-    for alpha in alphas:
-        params = MiningParams(alpha=alpha, gamma=base_config.params.gamma)
-        config = base_config.with_params(params)
-        points.append(SimulatedSweepPoint(params=params, aggregate=run_many(config, num_runs, backend=backend)))
+    """Run the simulator over a grid of pool sizes at the base configuration's ``gamma``.
+
+    The runs of *all* grid points share one process pool (see :func:`run_many_grid`),
+    so ``max_workers`` parallelism is effective even with few runs per point.
+    """
+    params_grid = [
+        MiningParams(alpha=alpha, gamma=base_config.params.gamma) for alpha in alphas
+    ]
+    aggregates = run_many_grid(
+        [base_config.with_params(params) for params in params_grid],
+        num_runs,
+        backend=backend,
+        max_workers=max_workers,
+    )
+    points = [
+        SimulatedSweepPoint(params=params, aggregate=aggregate)
+        for params, aggregate in zip(params_grid, aggregates)
+    ]
     return SimulatedAlphaSweep(gamma=base_config.params.gamma, points=tuple(points))
 
 
+def simulate_strategy_sweep(
+    strategies: Sequence[str],
+    base_config: SimulationConfig,
+    *,
+    num_runs: int = 3,
+    backend: str = "chain",
+    max_workers: int | None = None,
+) -> dict[str, AggregatedResult]:
+    """Run the same configuration under several mining strategies.
+
+    Every strategy sees the same master seed, so differences between the aggregates
+    are attributable to the strategies alone (paired-comparison protocol).  The runs
+    of all strategies share one process pool (see :func:`run_many_grid`).
+    """
+    aggregates = run_many_grid(
+        [base_config.with_strategy(strategy) for strategy in strategies],
+        num_runs,
+        backend=backend,
+        max_workers=max_workers,
+    )
+    return dict(zip(strategies, aggregates))
+
+
 def compare_backends(
-    config: SimulationConfig, *, num_runs: int = 3
+    config: SimulationConfig, *, num_runs: int = 3, max_workers: int | None = None
 ) -> dict[str, AggregatedResult]:
     """Run both simulator backends on the same configuration (used by tests/examples)."""
-    return {backend: run_many(config, num_runs, backend=backend) for backend in BACKENDS}
+    return {
+        backend: run_many(config, num_runs, backend=backend, max_workers=max_workers)
+        for backend in BACKENDS
+    }
 
 
 def honest_baseline_config(config: SimulationConfig) -> SimulationConfig:
     """A copy of ``config`` in which the pool mines honestly (baseline runs)."""
-    return SimulationConfig(
-        params=config.params,
-        schedule=config.schedule,
-        num_blocks=config.num_blocks,
-        seed=config.seed,
-        num_honest_miners=config.num_honest_miners,
-        selfish=False,
-        max_uncles_per_block=config.max_uncles_per_block,
-        max_uncle_distance=config.max_uncle_distance,
-        warmup_blocks=config.warmup_blocks,
-        validate_chain=config.validate_chain,
-    )
+    return config.with_strategy("honest")
 
 
 def sequential_seeds(master_seed: int, count: int) -> Sequence[int]:

@@ -1,0 +1,36 @@
+"""Pluggable mining strategies for the full-fidelity simulator.
+
+The subsystem splits the simulator into *mechanism* and *policy*: the engine in
+:mod:`repro.simulation.engine` owns the block tree, publication bookkeeping and
+fork-point tracking, while a :class:`MiningStrategy` owns the pool's decisions —
+observe the race state, emit one of the actions withhold / publish / match /
+override / adopt.  See :mod:`repro.strategies.base` for the protocol and
+:mod:`repro.strategies.catalogue` for the built-in behaviours (honest, the paper's
+Algorithm 1, and the stubborn-mining family).
+"""
+
+from .base import Action, MiningStrategy, RaceView
+from .catalogue import (
+    EqualForkStubbornStrategy,
+    HonestStrategy,
+    LeadEqualForkStubbornStrategy,
+    LeadStubbornStrategy,
+    SelfishStrategy,
+    available_strategies,
+    make_strategy,
+    register_strategy,
+)
+
+__all__ = [
+    "Action",
+    "EqualForkStubbornStrategy",
+    "HonestStrategy",
+    "LeadEqualForkStubbornStrategy",
+    "LeadStubbornStrategy",
+    "MiningStrategy",
+    "RaceView",
+    "SelfishStrategy",
+    "available_strategies",
+    "make_strategy",
+    "register_strategy",
+]

@@ -1,0 +1,158 @@
+"""Concrete mining strategies: honest, the paper's Algorithm 1, and stubborn variants.
+
+The catalogue covers the behaviours studied by the paper and its closest relatives:
+
+* :class:`HonestStrategy` — the pool follows the protocol: every block is revealed
+  immediately and the pool always mines on the consensus tip.
+* :class:`SelfishStrategy` — the paper's Algorithm 1 (Eyal–Sirer selfish mining
+  adapted to Ethereum): withhold, match to tie, override when the lead shrinks to
+  one, take the win when a block is found from the 1-1 tie.
+* :class:`LeadStubbornStrategy` (``L``) and :class:`EqualForkStubbornStrategy`
+  (``F``) — the two "stubborn mining" deviations of Nayak et al. (EuroS&P 2016),
+  each relaxing one of Algorithm 1's give-up points.
+* :class:`LeadEqualForkStubbornStrategy` (``LF``) — both deviations at once.
+
+Every strategy is a stateless, frozen dataclass, so instances are hashable,
+picklable (a requirement of the process-parallel runner) and safely shareable.
+New strategies register themselves via :func:`register_strategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ParameterError
+from .base import Action, MiningStrategy, RaceView
+
+
+@dataclass(frozen=True)
+class HonestStrategy:
+    """Protocol-following pool: publish every block at once, mine on consensus.
+
+    Expressed in race actions: every own block immediately wins the (empty) race,
+    and every honest block is adopted, so the fork point tracks the consensus tip
+    and nothing is ever withheld.  Running this strategy through the race machinery
+    is bit-for-bit identical to the seed engine's dedicated honest mode.
+    """
+
+    name: str = "honest"
+
+    def after_pool_block(self, race: RaceView) -> Action:
+        return Action.OVERRIDE
+
+    def after_honest_block(self, race: RaceView) -> Action:
+        return Action.ADOPT
+
+
+@dataclass(frozen=True)
+class SelfishStrategy:
+    """The paper's Algorithm 1 — Eyal–Sirer selfish mining with uncle awareness.
+
+    * Own block: keep withholding, except from the 1-1 tie (``Ls = 2`` with one
+      block already published against one honest block), where the fresh block
+      breaks the tie and the pool publishes everything to take the win.  Algorithm 1
+      takes this mining win *only* from the 1-1 tie; longer ties (which arise after
+      a match at equal lengths) are raced on.
+    * Honest block: adopt when behind, match (tie) when equal, override (publish
+      all, claim the race) when the lead has shrunk to exactly one, and otherwise
+      answer the honest block by revealing one more withheld block.
+    """
+
+    name: str = "selfish"
+
+    def after_pool_block(self, race: RaceView) -> Action:
+        if race.private_length == 2 and race.published_count == 1 and race.public_length == 1:
+            # (Ls, Lh) = (2, 1): the advantage is too slim to keep racing; win now.
+            return Action.OVERRIDE
+        return Action.WITHHOLD
+
+    def after_honest_block(self, race: RaceView) -> Action:
+        if race.private_length < race.public_length:
+            return Action.ADOPT
+        if race.private_length == race.public_length:
+            return Action.MATCH
+        if race.private_length == race.public_length + 1:
+            return Action.OVERRIDE
+        return Action.PUBLISH
+
+
+@dataclass(frozen=True)
+class LeadStubbornStrategy(SelfishStrategy):
+    """Lead-stubborn mining (``L`` of Nayak et al.).
+
+    One deviation from :class:`SelfishStrategy`, expressed as one override: when an
+    honest block shrinks the pool's lead to one, a lead-stubborn pool refuses to
+    give up its lead by overriding — it only *matches* (keeps its newest block
+    private, maintaining a tie at the public tip) and keeps racing.
+    """
+
+    name: str = "lead_stubborn"
+
+    def after_honest_block(self, race: RaceView) -> Action:
+        if race.private_length < race.public_length:
+            return Action.ADOPT
+        return Action.MATCH
+
+
+@dataclass(frozen=True)
+class EqualForkStubbornStrategy(SelfishStrategy):
+    """Equal-fork-stubborn mining (``F`` of Nayak et al.).
+
+    One deviation from :class:`SelfishStrategy`, expressed as one override: when
+    the pool mines during a tie, instead of publishing the tie-breaking block and
+    taking the certain win, an equal-fork-stubborn pool keeps it private and races
+    on with a one-block lead, hoping to grow it.
+    """
+
+    name: str = "equal_fork_stubborn"
+
+    def after_pool_block(self, race: RaceView) -> Action:
+        return Action.WITHHOLD
+
+
+@dataclass(frozen=True)
+class LeadEqualForkStubbornStrategy(LeadStubbornStrategy):
+    """Both stubborn deviations at once (``LF`` of Nayak et al.)."""
+
+    name: str = "lead_equal_fork_stubborn"
+
+    def after_pool_block(self, race: RaceView) -> Action:
+        return Action.WITHHOLD
+
+
+#: Registry of strategy factories keyed by strategy name.
+_REGISTRY: dict[str, Callable[[], MiningStrategy]] = {}
+
+
+def register_strategy(name: str, factory: Callable[[], MiningStrategy]) -> None:
+    """Register a strategy factory under ``name`` (rejects duplicates)."""
+    if name in _REGISTRY:
+        raise ParameterError(f"strategy {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Names of all registered strategies, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_strategy(name: str) -> MiningStrategy:
+    """Instantiate the strategy registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown mining strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from None
+    return factory()
+
+
+for _cls in (
+    HonestStrategy,
+    SelfishStrategy,
+    LeadStubbornStrategy,
+    EqualForkStubbornStrategy,
+    LeadEqualForkStubbornStrategy,
+):
+    register_strategy(_cls.name, _cls)

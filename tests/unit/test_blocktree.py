@@ -148,6 +148,45 @@ class TestTipsAndHeights:
         assert all(tree.is_published(block.block_id) for block in visible)
 
 
+class TestUncleCandidates:
+    def test_linear_chain_has_no_candidates(self, tree):
+        build_linear_chain(tree, 6)
+        assert tree.uncle_candidates(1, 6) == []
+
+    def test_both_children_of_a_fork_become_candidates(self, tree):
+        blocks = build_linear_chain(tree, 2)
+        fork = tree.add_block(blocks[0].block_id, MinerKind.POOL)
+        candidate_ids = {block.block_id for block in tree.uncle_candidates(1, 5)}
+        assert candidate_ids == {blocks[1].block_id, fork.block_id}
+
+    def test_first_child_is_indexed_when_the_fork_appears(self, tree):
+        blocks = build_linear_chain(tree, 3)
+        # No forks yet anywhere.
+        assert tree.uncle_candidates(1, 3) == []
+        fork = tree.add_block(blocks[1].block_id, MinerKind.POOL)
+        candidate_ids = {block.block_id for block in tree.uncle_candidates(1, 3)}
+        # The pre-existing chain block at the forked height is indexed retroactively.
+        assert candidate_ids == {blocks[2].block_id, fork.block_id}
+
+    def test_height_window_is_inclusive_and_respects_publication(self, tree):
+        blocks = build_linear_chain(tree, 3)
+        withheld = tree.add_block(blocks[0].block_id, MinerKind.POOL, published=False)
+        assert withheld.height == 2
+        assert withheld.block_id in {b.block_id for b in tree.uncle_candidates(2, 2)}
+        assert withheld.block_id not in {
+            b.block_id for b in tree.uncle_candidates(2, 2, published_only=True)
+        }
+        assert tree.uncle_candidates(3, 3) == []
+
+    def test_candidates_are_a_subset_of_the_height_range(self, tree):
+        blocks = build_linear_chain(tree, 4)
+        tree.add_block(blocks[1].block_id, MinerKind.POOL)
+        tree.add_block(blocks[2].block_id, MinerKind.POOL)
+        range_ids = {b.block_id for b in tree.blocks_in_height_range(1, 4)}
+        candidate_ids = {b.block_id for b in tree.uncle_candidates(1, 4)}
+        assert candidate_ids <= range_ids
+
+
 class TestStatistics:
     def test_count_by_miner_excludes_genesis(self, tree):
         build_linear_chain(tree, 2, MinerKind.HONEST)

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ParameterError
 from repro.experiments.discussion import run_discussion
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import figure9_schedules, run_figure9
 from repro.experiments.figure10 import run_figure10
+from repro.experiments.strategies import run_strategy_comparison
 from repro.experiments.table2 import run_table2
 
 
@@ -114,6 +116,47 @@ class TestTable2Driver:
         column = result.columns[0]
         assert column.simulated is not None
         assert column.simulated.get(1, 0.0) == pytest.approx(column.analysis.probability(1), abs=0.08)
+
+
+class TestStrategyComparisonDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_strategy_comparison(
+            alphas=(0.15, 0.40),
+            simulation_blocks=2500,
+            simulation_runs=1,
+        )
+
+    def test_covers_all_default_strategies_and_grid(self, result):
+        assert result.strategies == ("honest", "selfish", "lead_stubborn", "equal_fork_stubborn")
+        assert result.alphas == (0.15, 0.40)
+        for strategy in result.strategies:
+            assert len(result.relative_revenue(strategy)) == 2
+
+    def test_honest_row_tracks_fair_share(self, result):
+        for alpha, revenue in zip(result.alphas, result.relative_revenue("honest")):
+            assert revenue == pytest.approx(alpha, abs=0.04)
+
+    def test_large_selfish_pool_beats_honest(self, result):
+        assert result.relative_revenue("selfish")[-1] > result.relative_revenue("honest")[-1]
+        assert result.crossover_alpha("selfish") == pytest.approx(0.40)
+
+    def test_honest_has_no_crossover(self, result):
+        assert result.crossover_alpha("honest") is None
+
+    def test_report_renders_one_column_per_strategy(self, result):
+        text = result.report()
+        assert "Strategy comparison" in text
+        for strategy in result.strategies:
+            assert strategy.replace("_", " ") in text
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParameterError):
+            run_strategy_comparison(strategies=("quantum",), alphas=(0.3,))
+
+    def test_fast_mode_shrinks_the_run(self):
+        result = run_strategy_comparison(fast=True, strategies=("selfish",))
+        assert len(result.alphas) <= 3
 
 
 class TestDiscussionDriver:

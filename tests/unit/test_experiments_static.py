@@ -75,6 +75,16 @@ class TestCli:
         arguments = build_parser().parse_args(["figure8", "--fast"])
         assert arguments.fast is True
 
+    def test_workers_flag(self):
+        arguments = build_parser().parse_args(["strategies", "-j", "4"])
+        assert arguments.experiment == "strategies"
+        assert arguments.workers == 4
+        assert build_parser().parse_args(["figure8"]).workers is None
+
+    def test_parser_accepts_strategies_experiment(self):
+        arguments = build_parser().parse_args(["strategies", "--fast"])
+        assert arguments.experiment == "strategies"
+
     def test_run_experiment_table1(self):
         assert "Table I" in run_experiment("table1")
 
