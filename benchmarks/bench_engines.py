@@ -4,9 +4,16 @@ These do not correspond to a specific paper artifact; they track the cost of the
 building blocks every experiment rests on — the stationary solve, one analytical
 revenue evaluation, a threshold search, and the two simulator backends — so that
 performance regressions show up alongside the reproduction benchmarks.
+
+Benchmarked sizes honour the ``REPRO_BENCH_SCALE`` environment variable (a float
+multiplier applied to the block counts, default 1.0) so that CI can run the same
+suite as a quick smoke at a fraction of paper scale; ``benchmarks/run_benchmarks.py``
+sets it for its ``--smoke`` mode.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -23,10 +30,22 @@ from repro.simulation.fast import MarkovMonteCarlo
 
 PARAMS = MiningParams(alpha=0.35, gamma=0.5)
 
+#: Scale multiplier for the simulator block counts (CI smoke runs use < 1).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
-def test_stationary_solve_benchmark(benchmark):
-    chain = build_selfish_mining_chain(PARAMS, max_lead=60)
-    result = benchmark(stationary_distribution, chain)
+
+def scaled(blocks: int) -> int:
+    """``blocks`` scaled by ``REPRO_BENCH_SCALE`` (at least 1000)."""
+    return max(1000, int(blocks * BENCH_SCALE))
+
+
+@pytest.mark.parametrize("max_lead", [60, 200])
+def test_stationary_solve_benchmark(benchmark, max_lead):
+    chain = build_selfish_mining_chain(PARAMS, max_lead=max_lead)
+    if max_lead >= 200:
+        result = benchmark.pedantic(stationary_distribution, args=(chain,), rounds=1, iterations=1)
+    else:
+        result = benchmark(stationary_distribution, chain)
     assert result.total_probability() == pytest.approx(1.0)
 
 
@@ -56,7 +75,7 @@ def test_uncle_candidate_lookup_benchmark(benchmark):
     behaviour, still available as ``blocks_in_height_range``).
     """
     config = SimulationConfig(
-        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=10_000, seed=1
+        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=scaled(10_000), seed=1
     )
     simulator = ChainSimulator(config)
     simulator.run()
@@ -74,16 +93,38 @@ def test_uncle_candidate_lookup_benchmark(benchmark):
 
 
 def test_chain_simulator_benchmark(benchmark):
+    blocks = scaled(20_000)
+    benchmark.extra_info["blocks"] = blocks
     config = SimulationConfig(
-        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=20_000, seed=1
+        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=blocks, seed=1
     )
     result = benchmark.pedantic(lambda: ChainSimulator(config).run(), rounds=1, iterations=1)
-    assert result.total_blocks == 20_000
+    assert result.total_blocks == blocks
 
 
 def test_markov_monte_carlo_benchmark(benchmark):
+    """The compiled-table Markov backend (the default ``accumulate="table"``)."""
+    blocks = scaled(100_000)
+    benchmark.extra_info["blocks"] = blocks
     config = SimulationConfig(
-        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=100_000, seed=1
+        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=blocks, seed=1
     )
     result = benchmark.pedantic(lambda: MarkovMonteCarlo(config).run(), rounds=1, iterations=1)
-    assert result.total_blocks == 100_000
+    assert result.total_blocks == blocks
+
+
+def test_markov_monte_carlo_scalar_benchmark(benchmark):
+    """The per-event scalar accumulator, kept as a cross-check baseline.
+
+    ``run_benchmarks.py --check`` asserts the table walk beats this path, so the
+    two benchmarks must simulate the same number of blocks.
+    """
+    blocks = scaled(100_000)
+    benchmark.extra_info["blocks"] = blocks
+    config = SimulationConfig(
+        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=blocks, seed=1
+    )
+    result = benchmark.pedantic(
+        lambda: MarkovMonteCarlo(config, accumulate="scalar").run(), rounds=1, iterations=1
+    )
+    assert result.total_blocks == blocks

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Run the engine benchmark suite and write a machine-readable timing record.
+
+The driver invokes the pytest-benchmark suite (``benchmarks/bench_engines.py`` by
+default), extracts per-benchmark timings, derives blocks-per-second figures for the
+simulator benchmarks, and writes everything to ``BENCH_PR2.json`` at the repository
+root so the performance trajectory is tracked in-repo from PR 2 on.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py                  # full engine suite
+    python benchmarks/run_benchmarks.py --smoke --check  # CI: tiny sizes + assert
+    python benchmarks/run_benchmarks.py --select benchmarks  # every bench file
+
+``--smoke`` shrinks the simulated block counts (via ``REPRO_BENCH_SCALE``) and runs
+single rounds so the whole suite finishes in seconds.  ``--check`` asserts that the
+compiled-table Markov backend beats the scalar accumulate path, which guards the
+PR 2 vectorisation against regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
+DEFAULT_SELECT = "benchmarks/bench_engines.py"
+
+#: Full-scale timings measured immediately before the PR 2 optimisations landed
+#: (same machine as the committed BENCH_PR2.json), so the recorded JSON carries
+#: the speedup next to the absolute numbers.  Only meaningful at scale 1.0.
+PRE_PR2_BASELINES_S = {
+    "test_markov_monte_carlo_benchmark": 0.812,
+    "test_chain_simulator_benchmark": 0.534,
+    "test_stationary_solve_benchmark[60]": 0.101,
+    "test_stationary_solve_benchmark[200]": 45.9,
+}
+
+SMOKE_SCALE = 0.05
+
+
+def run_suite(select: str, scale: float) -> dict:
+    """Run the selected benchmarks, returning pytest-benchmark's JSON payload."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    env["REPRO_BENCH_SCALE"] = repr(scale)
+    with tempfile.TemporaryDirectory() as tmp:
+        payload_path = Path(tmp) / "benchmark.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            select,
+            "-q",
+            "--benchmark-json",
+            str(payload_path),
+        ]
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed with exit code {completed.returncode}")
+        return json.loads(payload_path.read_text())
+
+
+def summarise(payload: dict, scale: float) -> list[dict]:
+    """Flatten pytest-benchmark's payload into one record per benchmark."""
+    records = []
+    for bench in payload.get("benchmarks", []):
+        stats = bench["stats"]
+        record = {
+            "name": bench["name"],
+            "group": bench.get("group"),
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+        # Simulator benchmarks report their actual (scaled) block count through
+        # pytest-benchmark's extra_info, so this driver never re-derives sizes.
+        blocks = bench.get("extra_info", {}).get("blocks")
+        if blocks is not None:
+            record["blocks"] = blocks
+            record["blocks_per_sec"] = blocks / stats["mean"]
+        if scale == 1.0:
+            baseline = PRE_PR2_BASELINES_S.get(bench["name"])
+            if baseline is not None:
+                record["pre_pr2_baseline_s"] = baseline
+                record["speedup_vs_pre_pr2"] = baseline / stats["mean"]
+        records.append(record)
+    return records
+
+
+def check_vectorised_beats_scalar(records: list[dict]) -> None:
+    """Assert the compiled-table Markov walk is faster than the scalar path."""
+    by_name = {record["name"]: record for record in records}
+    table = by_name.get("test_markov_monte_carlo_benchmark")
+    scalar = by_name.get("test_markov_monte_carlo_scalar_benchmark")
+    if table is None or scalar is None:
+        raise SystemExit("--check needs both Markov Monte Carlo benchmarks in the selection")
+    if table["mean_s"] >= scalar["mean_s"]:
+        raise SystemExit(
+            "vectorised Markov backend did not beat the scalar accumulate path: "
+            f"table {table['mean_s']:.4f}s vs scalar {scalar['mean_s']:.4f}s"
+        )
+    print(
+        f"check OK: table walk {table['mean_s']:.4f}s beats scalar "
+        f"{scalar['mean_s']:.4f}s ({scalar['mean_s'] / table['mean_s']:.1f}x)"
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
+    parser.add_argument(
+        "--select", default=DEFAULT_SELECT, help="pytest selection to run (file or directory)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes (REPRO_BENCH_SCALE=%s)" % SMOKE_SCALE
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the compiled-table Markov backend beats the scalar path",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SMOKE_SCALE if args.smoke else 1.0
+    payload = run_suite(args.select, scale)
+    records = summarise(payload, scale)
+    document = {
+        "schema": 1,
+        "created_by": "benchmarks/run_benchmarks.py",
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scale": scale,
+        "smoke": args.smoke,
+        "benchmarks": records,
+    }
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {args.output} ({len(records)} benchmarks)")
+    for record in records:
+        rate = f" ({record['blocks_per_sec']:,.0f} blocks/s)" if "blocks_per_sec" in record else ""
+        print(f"  {record['name']}: {record['mean_s'] * 1e3:.2f} ms{rate}")
+    if args.check:
+        check_vectorised_beats_scalar(records)
+
+
+if __name__ == "__main__":
+    main()

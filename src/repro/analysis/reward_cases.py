@@ -44,6 +44,27 @@ from ..params import MiningParams
 from ..rewards.breakdown import PartyRewards, RevenueSplit
 from ..rewards.schedule import RewardSchedule
 
+#: Component order of :meth:`TransitionRewards.component_vector`.  The first six
+#: entries are the per-party reward breakdown, the rest the block-classification
+#: probabilities a Monte Carlo run accumulates per event.  The compiled-table
+#: simulator stores one such vector per distinct transition and settles a run as a
+#: single ``visit_counts @ matrix`` product over them.
+REWARD_COMPONENTS = (
+    "pool_static",
+    "pool_uncle",
+    "pool_nephew",
+    "honest_static",
+    "honest_uncle",
+    "honest_nephew",
+    "regular",
+    "pool_regular",
+    "honest_regular",
+    "uncle",
+    "pool_uncle_blocks",
+    "honest_uncle_blocks",
+    "stale",
+)
+
 
 @dataclass(frozen=True)
 class TransitionRewards:
@@ -92,6 +113,33 @@ class TransitionRewards:
     def weighted(self, weight: float) -> RevenueSplit:
         """Expected rewards scaled by ``weight`` (stationary probability x rate)."""
         return RevenueSplit(pool=self.pool.scaled(weight), honest=self.honest.scaled(weight))
+
+    def component_vector(self) -> tuple[float, ...]:
+        """The record's per-event contributions in :data:`REWARD_COMPONENTS` order.
+
+        Each entry is exactly the amount a scalar Monte Carlo accumulator adds to
+        the corresponding total when this transition fires once, so
+        ``visit_count * component`` reproduces repeated scalar accumulation up to
+        float reassociation.
+        """
+        pool_mined = self.pool_mined_probability
+        regular = self.regular_probability
+        uncle = self.uncle_probability
+        return (
+            self.pool.static,
+            self.pool.uncle,
+            self.pool.nephew,
+            self.honest.static,
+            self.honest.uncle,
+            self.honest.nephew,
+            regular,
+            regular * pool_mined,
+            regular * (1.0 - pool_mined),
+            uncle,
+            uncle * pool_mined,
+            uncle * (1.0 - pool_mined),
+            self.stale_probability,
+        )
 
 
 def _nephew_honest_probability(params: MiningParams, distance: int) -> float:

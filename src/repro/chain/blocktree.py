@@ -162,15 +162,22 @@ class BlockTree:
         return path
 
     def is_ancestor(self, ancestor_id: int, descendant_id: int) -> bool:
-        """True when ``ancestor_id`` lies on the path from genesis to ``descendant_id``."""
-        self.block(ancestor_id)
+        """True when ``ancestor_id`` lies on the path from genesis to ``descendant_id``.
+
+        Walks parent links directly (no generator) and stops as soon as the walk
+        reaches the candidate's height: heights decrease by exactly one per step,
+        so a different block at the same height settles the question.  This is the
+        settlement and uncle-eligibility hot path.
+        """
+        blocks = self._blocks
         ancestor_height = self.block(ancestor_id).height
-        for block in self.ancestors(descendant_id, include_self=True):
+        block = self.block(descendant_id)
+        while True:
             if block.block_id == ancestor_id:
                 return True
-            if block.height < ancestor_height:
+            if block.height <= ancestor_height:
                 return False
-        return False
+            block = blocks[block.parent_id]
 
     def common_ancestor(self, first_id: int, second_id: int) -> Block:
         """The deepest block that is an ancestor of both arguments."""

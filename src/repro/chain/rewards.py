@@ -86,28 +86,36 @@ def settle_rewards(
     main_chain = tree.chain_to(tip_id)
     main_ids = {block.block_id for block in main_chain}
 
-    per_miner: dict[tuple[MinerKind, int], PartyRewards] = {}
-    pool = PartyRewards()
-    honest = PartyRewards()
+    # Rewards are accumulated as plain (static, uncle, nephew) float slots — one
+    # triple per miner plus one per party — and wrapped in PartyRewards once at the
+    # end.  The additions happen in the same order as the previous
+    # one-PartyRewards-per-credit implementation, so the totals are bit-identical;
+    # this just avoids building tens of thousands of throwaway dataclasses.
+    per_miner_slots: dict[tuple[MinerKind, int], list[float]] = {}
+    pool_slots = [0.0, 0.0, 0.0]
+    honest_slots = [0.0, 0.0, 0.0]
 
-    def credit(block: Block, rewards: PartyRewards) -> None:
-        nonlocal pool, honest
+    def credit(block: Block, slot: int, amount: float) -> None:
         key = (block.miner, block.miner_index)
-        per_miner[key] = per_miner.get(key, PartyRewards()) + rewards
+        slots = per_miner_slots.get(key)
+        if slots is None:
+            slots = per_miner_slots[key] = [0.0, 0.0, 0.0]
+        slots[slot] += amount
         if block.miner.is_pool:
-            pool = pool + rewards
+            pool_slots[slot] += amount
         else:
-            honest = honest + rewards
+            honest_slots[slot] += amount
 
     referenced: dict[int, int] = {}  # uncle id -> referencing distance
     pool_regular = 0
     honest_regular = 0
+    static_reward = schedule.static_reward
 
     # Pass 1: static rewards and uncle references along the main chain.
     for block in main_chain:
         if block.is_genesis or block.height < skip_heights_below:
             continue
-        credit(block, PartyRewards(static=schedule.static_reward))
+        credit(block, 0, static_reward)
         if block.miner.is_pool:
             pool_regular += 1
         else:
@@ -123,8 +131,8 @@ def settle_rewards(
             distance = block.height - uncle.height
             referenced[uncle_id] = distance
             if uncle.height >= skip_heights_below:
-                credit(uncle, PartyRewards(uncle=schedule.uncle_reward(distance)))
-                credit(block, PartyRewards(nephew=schedule.nephew_reward(distance)))
+                credit(uncle, 1, schedule.uncle_reward(distance))
+                credit(block, 2, schedule.nephew_reward(distance))
 
     # Pass 2: classify every block.
     pool_uncles = 0
@@ -151,6 +159,12 @@ def settle_rewards(
             stale += 1
 
     regular = pool_regular + honest_regular
+    pool = PartyRewards(static=pool_slots[0], uncle=pool_slots[1], nephew=pool_slots[2])
+    honest = PartyRewards(static=honest_slots[0], uncle=honest_slots[1], nephew=honest_slots[2])
+    per_miner = {
+        key: PartyRewards(static=slots[0], uncle=slots[1], nephew=slots[2])
+        for key, slots in per_miner_slots.items()
+    }
     return ChainSettlement(
         split=RevenueSplit(pool=pool, honest=honest),
         per_miner=per_miner,

@@ -85,11 +85,52 @@ def eligible_uncles(
     max_distance:
         Protocol inclusion window.
     """
-    selected = [
+    parent = tree.block(parent_id)
+    new_height = parent.height + 1
+    low = new_height - max_distance  # smallest height an in-window uncle can have
+    candidates = [
         candidate
         for candidate in candidates
-        if is_eligible_uncle(tree, candidate.block_id, parent_id, max_distance=max_distance)
+        if not candidate.is_genesis and low <= candidate.height <= parent.height
     ]
+    if not candidates:
+        return []
+
+    # One ancestor walk from the parent covers every per-candidate rule: chain
+    # membership down to height ``low - 1`` decides rules 1 and 2 (an in-window
+    # candidate and its parent both have heights in that range), and the ancestors'
+    # reference lists — kept in walk order with their heights — replay rule 4's
+    # scan-until-below-the-uncle check.  This replaces the three ancestry walks
+    # :func:`is_eligible_uncle` performs per candidate (that function remains the
+    # single-candidate reference implementation).
+    chain_ids: set[int] = set()
+    referencing: list[tuple[int, tuple[int, ...]]] = []
+    for ancestor in tree.ancestors(parent_id, include_self=True):
+        chain_ids.add(ancestor.block_id)
+        referencing.append((ancestor.height, ancestor.uncle_ids))
+        if ancestor.height < low - 1:
+            break
+
+    selected: list[Block] = []
+    for candidate in candidates:
+        # Rule 1: the uncle must not be on the chain being extended.
+        if candidate.block_id in chain_ids:
+            continue
+        # Rule 2: the uncle's parent must be on the chain being extended.
+        if candidate.parent_id is None or candidate.parent_id not in chain_ids:
+            continue
+        # Rule 4: not already referenced by an ancestor of the new block.
+        cutoff = candidate.height - 1
+        referenced = False
+        for height, uncle_ids in referencing:
+            if candidate.block_id in uncle_ids:
+                referenced = True
+                break
+            if height < cutoff:
+                break
+        if not referenced:
+            selected.append(candidate)
+
     selected.sort(key=lambda block: (block.height, block.created_at, block.block_id))
     return selected
 

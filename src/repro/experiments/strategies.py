@@ -103,7 +103,7 @@ def run_strategy_comparison(
     alphas: Sequence[float] | None = None,
     gamma: float = STRATEGIES_GAMMA,
     schedule: RewardSchedule | None = None,
-    simulation_blocks: int = 20_000,
+    simulation_blocks: int = 25_000,
     simulation_runs: int = 3,
     seed: int = 2019,
     max_workers: int | None = None,

@@ -82,7 +82,7 @@ def run_table2(
     alphas: Sequence[float] = TABLE2_ALPHAS,
     gamma: float = TABLE2_GAMMA,
     include_simulation: bool = False,
-    simulation_blocks: int = 60_000,
+    simulation_blocks: int = 75_000,
     simulation_runs: int = 2,
     seed: int = 2019,
     max_lead: int = 60,

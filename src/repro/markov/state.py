@@ -16,6 +16,7 @@ truncated set with a stable index assignment.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -49,12 +50,51 @@ class State:
             return True
         return self.lead >= 2 and self.public >= 0
 
+    def encode(self) -> int:
+        """Dense non-negative integer code of this state.
+
+        The code equals the state's position in :func:`enumerate_states` for any
+        truncation that contains it, so codes are stable across truncation levels:
+        the three special states map to 0-2 and ``(i, j)`` (``i - j >= 2``) to
+        ``3 + (i - 1)(i - 2)/2 + j``.  The compiled-table simulator keys its state
+        rows by this code; :func:`decode_state` is the inverse.
+        """
+        i, j = self.private, self.public
+        if i <= 1:
+            if j == 0:
+                return i  # (0,0) -> 0, (1,0) -> 1
+            if i == 1 and j == 1:
+                return 2
+        elif i - j >= 2:
+            return 3 + (i - 1) * (i - 2) // 2 + j
+        raise StateSpaceError(f"state {self} is not reachable and has no integer code")
+
     def __str__(self) -> str:
         return f"({self.private},{self.public})"
 
 
 #: The idle state in which every miner works on the consensus tip.
 ZERO_STATE = State(0, 0)
+
+
+def decode_state(code: int) -> State:
+    """Inverse of :meth:`State.encode`.
+
+    Recovers ``(i, j)`` from the triangular-number layout: ``i`` is the largest
+    value with ``(i - 1)(i - 2)/2 <= code - 3`` and ``j`` is the remainder.
+    """
+    if code < 0:
+        raise StateSpaceError(f"state codes are non-negative, got {code}")
+    if code < 3:
+        return (State(0, 0), State(1, 0), State(1, 1))[code]
+    offset = code - 3
+    # Solve (i - 1)(i - 2)/2 <= offset < (i - 1)(i - 2)/2 + (i - 1) for i.
+    i = (3 + math.isqrt(1 + 8 * offset)) // 2
+    while (i - 1) * (i - 2) // 2 > offset:
+        i -= 1
+    while (i - 1) * (i - 2) // 2 + (i - 1) <= offset:
+        i += 1
+    return State(i, offset - (i - 1) * (i - 2) // 2)
 
 
 def enumerate_states(max_lead: int) -> list[State]:

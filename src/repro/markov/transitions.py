@@ -80,6 +80,15 @@ class SelfishTransition:
         """Convert to the generic :class:`~repro.markov.chain.Transition`."""
         return Transition(source=self.source, target=self.target, rate=self.rate, label=self.kind.name)
 
+    def encode(self) -> tuple[int, int, int]:
+        """Integer triple ``(source_code, target_code, case_number)``.
+
+        Uses :meth:`repro.markov.state.State.encode`, so the triple identifies the
+        transition independently of any truncation level.  The compiled-table
+        simulator and its regression tests use this as a compact, hashable key.
+        """
+        return (self.source.encode(), self.target.encode(), self.kind.case_number)
+
 
 def transitions_from_state(state: State, params: MiningParams, *, max_lead: int) -> Iterator[SelfishTransition]:
     """Yield every outgoing transition of ``state`` under the paper's strategy.

@@ -17,6 +17,15 @@ and the stationary solver rather than the reward analysis itself.  The test-suit
 all three pairings (analysis vs chain simulator, analysis vs Monte Carlo, Monte Carlo
 vs chain simulator) to localise any disagreement.
 
+Accumulation backends: by default the run is executed on
+:class:`~repro.simulation.tables.CompiledTransitionTables` — the walk only counts
+integer transition visits against pre-compiled cumulative thresholds and all reward
+totals are settled at the end as one ``counts @ reward_matrix`` product.  Construct
+with ``accumulate="scalar"`` to run the original one-record-per-event loop instead;
+both modes sample the identical transition sequence from a given seed and agree on
+every total to float-reassociation accuracy (pinned by regression tests), so the
+scalar path remains available as an independent cross-check.
+
 Strategy support: the backend honours ``SimulationConfig.strategy`` for the two
 behaviours that have an analytical transition model — ``"selfish"`` (the paper's
 Markov process) and ``"honest"`` (a trivial fork-free process).  The stubborn
@@ -34,19 +43,35 @@ from ..rewards.breakdown import PartyRewards
 from .config import SimulationConfig
 from .metrics import SimulationResult
 from .rng import RandomSource
+from .tables import CompiledTransitionTables
 
 #: Strategy names the Markov backend can simulate.
 MARKOV_STRATEGIES = ("honest", "selfish")
+
+#: Accumulation backends of the selfish-strategy run.
+ACCUMULATE_MODES = ("table", "scalar")
 
 #: Effective truncation used when enumerating transitions on the fly.  The sampled
 #: lead can never realistically approach this for ``alpha < 0.5``.
 UNBOUNDED_LEAD = 10**9
 
+#: Uniform draws fetched per chunk by the vectorised honest run.
+_HONEST_CHUNK = 16384
+
 
 class MarkovMonteCarlo:
-    """Sample the selfish-mining Markov chain and accrue expected rewards."""
+    """Sample the selfish-mining Markov chain and accrue expected rewards.
 
-    def __init__(self, config: SimulationConfig) -> None:
+    Parameters
+    ----------
+    config:
+        The run configuration (strategy must be ``"selfish"`` or ``"honest"``).
+    accumulate:
+        ``"table"`` (default) settles rewards through compiled transition tables;
+        ``"scalar"`` accumulates per event as the original implementation did.
+    """
+
+    def __init__(self, config: SimulationConfig, *, accumulate: str = "table") -> None:
         self.config = config
         if config.strategy_name not in MARKOV_STRATEGIES:
             raise SimulationError(
@@ -54,11 +79,19 @@ class MarkovMonteCarlo:
                 f"{config.strategy_name!r} (supported: {', '.join(MARKOV_STRATEGIES)}); "
                 "use backend='chain'"
             )
+        if accumulate not in ACCUMULATE_MODES:
+            raise SimulationError(
+                f"unknown accumulate mode {accumulate!r}; expected one of {ACCUMULATE_MODES}"
+            )
+        self.accumulate = accumulate
         self.rng = RandomSource(config.seed)
         self.state = State(0, 0)
         self._events_run = 0
-        # Transition enumerations are memoised per state: for a long run only a few
-        # hundred distinct states are ever visited.
+        self.tables = CompiledTransitionTables(
+            config.params, config.schedule, max_lead=UNBOUNDED_LEAD
+        )
+        # Transition enumerations are memoised per state for the scalar path: for a
+        # long run only a few hundred distinct states are ever visited.
         self._transition_cache: dict[State, list[SelfishTransition]] = {}
 
     # ------------------------------------------------------------------ internals
@@ -80,10 +113,47 @@ class MarkovMonteCarlo:
         return transitions[-1]
 
     # ------------------------------------------------------------------ public API
-    def run(self) -> SimulationResult:
-        """Simulate ``config.num_blocks`` transitions and return accumulated results."""
+    def run(self, *, trace: list[int] | None = None) -> SimulationResult:
+        """Simulate ``config.num_blocks`` transitions and return accumulated results.
+
+        ``trace``, when given, receives the encoded target state
+        (:meth:`~repro.markov.state.State.encode`) of every selfish-strategy step;
+        the regression tests use it to pin the table walk's sampled sequence
+        against the scalar path.
+        """
         if self.config.strategy_name == "honest":
             return self._run_honest()
+        if self.accumulate == "scalar":
+            return self._run_selfish_scalar(trace)
+        return self._run_selfish_table(trace)
+
+    def _run_selfish_table(self, trace: list[int] | None) -> SimulationResult:
+        """Walk the compiled tables and settle everything in one matrix product."""
+        counts, final_state = self.tables.walk(
+            self.state, self.config.num_blocks, self.rng, trace=trace
+        )
+        self.state = final_state
+        self._events_run += self.config.num_blocks
+        settlement = self.tables.settle(counts)
+        return SimulationResult(
+            config=self.config,
+            pool_rewards=settlement.pool,
+            honest_rewards=settlement.honest,
+            regular_blocks=settlement.regular_blocks,
+            pool_regular_blocks=settlement.pool_regular_blocks,
+            honest_regular_blocks=settlement.honest_regular_blocks,
+            uncle_blocks=settlement.uncle_blocks,
+            pool_uncle_blocks=settlement.pool_uncle_blocks,
+            honest_uncle_blocks=settlement.honest_uncle_blocks,
+            stale_blocks=settlement.stale_blocks,
+            total_blocks=float(self.config.num_blocks),
+            num_events=self._events_run,
+            honest_uncle_distance_counts=settlement.honest_uncle_distance_counts,
+            pool_uncle_distance_counts=settlement.pool_uncle_distance_counts,
+        )
+
+    def _run_selfish_scalar(self, trace: list[int] | None) -> SimulationResult:
+        """The original per-event accumulation loop (kept as a cross-check)."""
         schedule = self.config.schedule
         params = self.config.params
 
@@ -96,8 +166,11 @@ class MarkovMonteCarlo:
         pool_uncle = 0.0
         honest_uncle = 0.0
         stale = 0.0
-        honest_distance: dict[int, float] = {}
-        pool_distance: dict[int, float] = {}
+        # Distance histograms are accumulated into small distance-indexed arrays
+        # (grown on demand) instead of per-event dict lookups; they are converted
+        # to the result's mapping form once at settlement.
+        honest_distance: list[float] = []
+        pool_distance: list[float] = []
 
         for _ in range(self.config.num_blocks):
             transition = self._sample_transition(self.state)
@@ -112,16 +185,19 @@ class MarkovMonteCarlo:
             pool_mined = record.pool_mined_probability
             pool_uncle += record.uncle_probability * pool_mined
             honest_uncle += record.uncle_probability * (1.0 - pool_mined)
-            if record.uncle_distance is not None and record.uncle_probability > 0.0:
+            distance = record.uncle_distance
+            if distance is not None and record.uncle_probability > 0.0:
                 if pool_mined < 1.0:
-                    honest_distance[record.uncle_distance] = honest_distance.get(
-                        record.uncle_distance, 0.0
-                    ) + record.uncle_probability * (1.0 - pool_mined)
+                    if len(honest_distance) <= distance:
+                        honest_distance.extend([0.0] * (distance + 1 - len(honest_distance)))
+                    honest_distance[distance] += record.uncle_probability * (1.0 - pool_mined)
                 if pool_mined > 0.0:
-                    pool_distance[record.uncle_distance] = pool_distance.get(
-                        record.uncle_distance, 0.0
-                    ) + record.uncle_probability * pool_mined
+                    if len(pool_distance) <= distance:
+                        pool_distance.extend([0.0] * (distance + 1 - len(pool_distance)))
+                    pool_distance[distance] += record.uncle_probability * pool_mined
             self.state = transition.target
+            if trace is not None:
+                trace.append(self.state.encode())
             self._events_run += 1
 
         return SimulationResult(
@@ -137,8 +213,12 @@ class MarkovMonteCarlo:
             stale_blocks=stale,
             total_blocks=float(self.config.num_blocks),
             num_events=self._events_run,
-            honest_uncle_distance_counts=dict(sorted(honest_distance.items())),
-            pool_uncle_distance_counts=dict(sorted(pool_distance.items())),
+            honest_uncle_distance_counts={
+                distance: count for distance, count in enumerate(honest_distance) if count > 0.0
+            },
+            pool_uncle_distance_counts={
+                distance: count for distance, count in enumerate(pool_distance) if count > 0.0
+            },
         )
 
     def _run_honest(self) -> SimulationResult:
@@ -147,15 +227,26 @@ class MarkovMonteCarlo:
         With everyone following the protocol there is a single state and a single
         transition; the only randomness left is which party mines each block, which
         is sampled so the backend remains a Monte Carlo (with the same seed
-        semantics as the chain simulator's honest runs).
+        semantics as the chain simulator's honest runs).  The table mode consumes
+        the identical uniform stream in vectorised chunks; the scalar mode draws
+        one decision at a time.
         """
         static = self.config.schedule.static_reward
         alpha = self.config.params.alpha
         pool_blocks = 0
-        for _ in range(self.config.num_blocks):
-            if self.rng.pool_mines_next(alpha):
-                pool_blocks += 1
-            self._events_run += 1
+        if self.accumulate == "scalar":
+            for _ in range(self.config.num_blocks):
+                if self.rng.pool_mines_next(alpha):
+                    pool_blocks += 1
+                self._events_run += 1
+        else:
+            remaining = self.config.num_blocks
+            while remaining > 0:
+                chunk = _HONEST_CHUNK if remaining > _HONEST_CHUNK else remaining
+                draws = self.rng.uniform_array(chunk)
+                pool_blocks += int((draws < alpha).sum())
+                remaining -= chunk
+            self._events_run += self.config.num_blocks
         honest_blocks = self.config.num_blocks - pool_blocks
         return SimulationResult(
             config=self.config,

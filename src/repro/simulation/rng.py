@@ -7,8 +7,32 @@ All randomness flows through :class:`RandomSource` so that
   which individual honest miner found the block) are easy to audit and test,
 * multi-run experiments can derive independent per-run sources from one master seed.
 
-The implementation wraps :class:`numpy.random.Generator` (PCG64), which is both fast
-and statistically solid for the millions of draws a 100 000-block run makes.
+The implementation wraps :class:`numpy.random.PCG64`, which is both fast and
+statistically solid for the millions of draws a 100 000-block run makes.
+
+Buffered operation
+------------------
+
+Calling :meth:`numpy.random.Generator.random` once per decision costs ~0.5 us of
+call overhead per draw — two orders of magnitude more than generating the random
+bits.  :class:`RandomSource` therefore pre-samples the generator's *raw 64-bit
+outputs* in chunks (``buffer_size`` draws at a time, via
+:meth:`~numpy.random.PCG64.random_raw`) and derives every decision from that block:
+
+* a uniform double is ``(raw >> 11) * 2**-53`` — bit-for-bit what numpy's
+  ``next_double`` computes from the same raw output;
+* a bounded integer uses Lemire's multiply-shift rejection method exactly as
+  numpy's ``Generator.integers`` does, including the 32-bit fast path for bounds
+  below ``2**32`` and its carried spare half-word (numpy's internal ``uint32``
+  buffer, replicated by :attr:`_carry32`).
+
+Because both recipes consume the identical raw stream in the identical order, the
+buffered source reproduces the *exact* draw sequence of the unbuffered
+implementation for any interleaving of ``uniform`` / ``pool_mines_next`` /
+``honest_miner_index`` / ``choice_index`` calls — chunking is purely a wall-clock
+optimisation (pinned by ``tests/property/test_property_rng_buffering.py``).
+Construct with ``buffer_size=1`` (or 0) to fall back to one
+:class:`numpy.random.Generator` call per draw; both modes serve the same values.
 """
 
 from __future__ import annotations
@@ -17,47 +41,209 @@ import numpy as np
 
 from ..errors import ParameterError
 
+#: Raw 64-bit outputs pre-sampled per refill in buffered mode.  Large enough to
+#: amortise the ~3 us vectorised draw, small enough that the at-most-one-block
+#: overshoot past the draws a run actually consumes is irrelevant.
+DEFAULT_BUFFER_SIZE = 1024
+
+#: ``2**-53`` — scale factor turning a 53-bit integer into a double in [0, 1).
+_DOUBLE_SCALE = 1.0 / 9007199254740992.0
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+_SHIFT11 = np.uint64(11)
+
 
 class RandomSource:
     """Seeded source of the simulator's random decisions."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *, buffer_size: int = DEFAULT_BUFFER_SIZE) -> None:
+        if buffer_size < 0:
+            raise ParameterError(f"buffer_size must be non-negative, got {buffer_size}")
         self._seed = int(seed)
-        self._generator = np.random.Generator(np.random.PCG64(self._seed))
+        self._bit_generator = np.random.PCG64(self._seed)
+        self._generator = np.random.Generator(self._bit_generator)
+        self._buffer_size = int(buffer_size)
+        self._reset_buffer_state()
+
+    def _reset_buffer_state(self) -> None:
+        """Initialise the (empty) buffered-draw state; shared with :meth:`spawn`."""
+        # Buffered state: raw 64-bit outputs and their uniform-double view share one
+        # cursor, because each double consumes exactly one raw output.
+        self._raw: list[int] = []
+        self._doubles: list[float] = []
+        self._pos = 0
+        # Spare high half-word left over from a bounded draw below 2**32 (numpy's
+        # next_uint32 buffer).  It survives uniform draws, exactly as in numpy.
+        self._carry32: int | None = None
 
     @property
     def seed(self) -> int:
         """The seed this source was created with."""
         return self._seed
 
+    @property
+    def buffer_size(self) -> int:
+        """Chunk size of the pre-sampled raw blocks (<= 1 means unbuffered)."""
+        return self._buffer_size
+
+    # ------------------------------------------------------------------ raw plumbing
+    def _fill(self) -> None:
+        raw = self._bit_generator.random_raw(self._buffer_size)
+        self._raw = raw.tolist()
+        self._doubles = ((raw >> _SHIFT11) * _DOUBLE_SCALE).tolist()
+        self._pos = 0
+
+    def _next_raw(self) -> int:
+        position = self._pos
+        if position >= len(self._raw):
+            self._fill()
+            position = 0
+        self._pos = position + 1
+        return self._raw[position]
+
+    def _next_uint32(self) -> int:
+        carry = self._carry32
+        if carry is not None:
+            self._carry32 = None
+            return carry
+        raw = self._next_raw()
+        self._carry32 = raw >> 32
+        return raw & _MASK32
+
+    def _bounded_int(self, bound: int) -> int:
+        """One draw from ``[0, bound)``, matching ``Generator.integers(0, bound)``.
+
+        Lemire's multiply-shift method with rejection, in the same two variants
+        numpy selects between: the buffered 32-bit path for ranges below ``2**32``
+        (consuming half a raw output at a time) and the 64-bit path above.
+        """
+        inclusive_range = bound - 1
+        if inclusive_range == 0:
+            return 0  # numpy returns the offset without consuming any randomness
+        if inclusive_range <= _MASK32:
+            if inclusive_range == _MASK32:
+                return self._next_uint32()
+            product = self._next_uint32() * bound
+            leftover = product & _MASK32
+            if leftover < bound:
+                threshold = ((1 << 32) - bound) % bound
+                while leftover < threshold:
+                    product = self._next_uint32() * bound
+                    leftover = product & _MASK32
+            return product >> 32
+        if inclusive_range == _MASK64:
+            return self._next_raw()
+        product = self._next_raw() * bound
+        leftover = product & _MASK64
+        if leftover < bound:
+            threshold = ((1 << 64) - bound) % bound
+            while leftover < threshold:
+                product = self._next_raw() * bound
+                leftover = product & _MASK64
+        return product >> 64
+
     # ------------------------------------------------------------------ decisions
+    # The check-position / refill / advance / index sequence for taking one double
+    # is deliberately inlined into pool_mines_next, honest_mines_on_pool_branch and
+    # uniform rather than factored into a _next_double helper: these are the
+    # simulators' hottest call sites and the extra method call costs ~25% of the
+    # buffered draw.  Any change to the refill protocol must be applied to all
+    # three (and to the slice-based variant in uniform_array); the buffering
+    # property suite fails loudly if they desynchronise.
     def pool_mines_next(self, alpha: float) -> bool:
         """True when the next block is found by the selfish pool (probability ``alpha``)."""
         if not 0.0 <= alpha <= 1.0:
             raise ParameterError(f"alpha must lie in [0, 1], got {alpha}")
+        if self._buffer_size > 1:
+            position = self._pos
+            if position >= len(self._doubles):
+                self._fill()
+                position = 0
+            self._pos = position + 1
+            return self._doubles[position] < alpha
         return bool(self._generator.random() < alpha)
 
     def honest_mines_on_pool_branch(self, gamma: float) -> bool:
         """True when an honest tie-break lands on the pool's branch (probability ``gamma``)."""
         if not 0.0 <= gamma <= 1.0:
             raise ParameterError(f"gamma must lie in [0, 1], got {gamma}")
+        if self._buffer_size > 1:
+            position = self._pos
+            if position >= len(self._doubles):
+                self._fill()
+                position = 0
+            self._pos = position + 1
+            return self._doubles[position] < gamma
         return bool(self._generator.random() < gamma)
 
     def honest_miner_index(self, num_honest_miners: int) -> int:
         """Index of the individual honest miner that found a block (uniform)."""
         if num_honest_miners < 1:
             raise ParameterError(f"num_honest_miners must be positive, got {num_honest_miners}")
+        if self._buffer_size > 1:
+            return self._bounded_int(num_honest_miners)
         return int(self._generator.integers(0, num_honest_miners))
 
     def choice_index(self, count: int) -> int:
         """Uniform index into a collection of ``count`` items."""
         if count < 1:
             raise ParameterError(f"count must be positive, got {count}")
+        if self._buffer_size > 1:
+            return self._bounded_int(count)
         return int(self._generator.integers(0, count))
 
     def uniform(self) -> float:
         """A uniform draw in [0, 1) (exposed for strategy extensions)."""
+        if self._buffer_size > 1:
+            position = self._pos
+            if position >= len(self._doubles):
+                self._fill()
+                position = 0
+            self._pos = position + 1
+            return self._doubles[position]
         return float(self._generator.random())
+
+    # ------------------------------------------------------------------ block draws
+    def uniform_array(self, count: int) -> np.ndarray:
+        """``count`` uniform draws as a float64 array, consuming the same stream.
+
+        Element ``i`` equals the value the ``i``-th :meth:`uniform` call would have
+        returned; vectorised consumers (the honest Monte Carlo run, the compiled
+        table walk) use this to skip the per-draw call overhead entirely.
+        """
+        if count < 0:
+            raise ParameterError(f"count must be non-negative, got {count}")
+        if self._buffer_size <= 1:
+            return self._generator.random(count)
+        parts: list[np.ndarray] = []
+        remaining = count
+        while remaining > 0:
+            position = self._pos
+            available = len(self._doubles) - position
+            if available <= 0:
+                if remaining >= self._buffer_size:
+                    # Skip the buffer for a full-chunk request: derive the doubles
+                    # straight from a raw block of exactly the needed size.
+                    raw = self._bit_generator.random_raw(remaining)
+                    parts.append((raw >> _SHIFT11) * _DOUBLE_SCALE)
+                    remaining = 0
+                    break
+                self._fill()
+                continue
+            take = available if available < remaining else remaining
+            parts.append(np.asarray(self._doubles[position : position + take]))
+            self._pos = position + take
+            remaining -= take
+        if not parts:
+            return np.empty(0, dtype=np.float64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def uniform_block(self, count: int) -> list[float]:
+        """``count`` uniform draws as plain Python floats (see :meth:`uniform_array`)."""
+        return self.uniform_array(count).tolist()
 
     # ------------------------------------------------------------------ derivation
     def spawn(self, run_index: int) -> "RandomSource":
@@ -65,15 +251,19 @@ class RandomSource:
 
         Uses :class:`numpy.random.SeedSequence` spawning semantics via a simple
         deterministic mix, so different run indices give uncorrelated streams while
-        remaining reproducible from the master seed.
+        remaining reproducible from the master seed.  The child inherits this
+        source's ``buffer_size``.
         """
         if run_index < 0:
             raise ParameterError(f"run_index must be non-negative, got {run_index}")
         sequence = np.random.SeedSequence(entropy=self._seed, spawn_key=(run_index,))
         child = RandomSource.__new__(RandomSource)
         child._seed = int(sequence.generate_state(1)[0])
-        child._generator = np.random.Generator(np.random.PCG64(sequence))
+        child._bit_generator = np.random.PCG64(sequence)
+        child._generator = np.random.Generator(child._bit_generator)
+        child._buffer_size = self._buffer_size
+        child._reset_buffer_state()
         return child
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
-        return f"RandomSource(seed={self._seed})"
+        return f"RandomSource(seed={self._seed}, buffer_size={self._buffer_size})"

@@ -80,8 +80,14 @@ def run_many_grid(
     ]
     workers = min(max_workers or 1, len(expanded))
     if workers > 1:
+        # Ship several runs per IPC round-trip: with the vectorised Markov backend
+        # an individual run takes milliseconds, so per-run task dispatch would be
+        # dominated by pickling overhead on big grids.  Four waves per worker keeps
+        # the pool balanced when run times are uneven; results come back in input
+        # order either way, so chunking cannot change the aggregates.
+        chunksize = max(1, len(expanded) // (workers * 4))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(partial(run_once, backend=backend), expanded))
+            results = list(pool.map(partial(run_once, backend=backend), expanded, chunksize=chunksize))
     else:
         results = [run_once(run_config, backend=backend) for run_config in expanded]
     return [

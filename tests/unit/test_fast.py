@@ -40,11 +40,92 @@ class TestBasics:
         simulator.run()
         assert simulator._events_run == 100
 
-    def test_transition_cache_reused(self):
+    def test_compiled_tables_stay_small(self):
         simulator = MarkovMonteCarlo(config(blocks=5_000))
+        simulator.run()
+        # Only a modest number of distinct states should ever be visited/compiled.
+        assert 1 < simulator.tables.num_states < 200
+
+    def test_transition_cache_reused_by_scalar_path(self):
+        simulator = MarkovMonteCarlo(config(blocks=5_000), accumulate="scalar")
         simulator.run()
         # Only a modest number of distinct states should ever be visited.
         assert 1 < len(simulator._transition_cache) < 200
+
+    def test_unknown_accumulate_mode_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            MarkovMonteCarlo(config(), accumulate="vector")
+
+
+class TestAccumulateModesAgree:
+    """PR 2 regression contract: the compiled-table walk is a drop-in replacement.
+
+    For a given seed the table mode must sample the *identical* transition sequence
+    as the scalar per-event loop, and every accumulated total must agree to float
+    reassociation accuracy (count-times-value versus repeated addition).
+    """
+
+    CASES = [
+        (0.35, 0.5, None, 1),
+        (0.10, 0.0, None, 7),
+        (0.45, 0.8, None, 3),
+        (0.30, 0.5, BitcoinSchedule(), 11),
+    ]
+
+    @pytest.mark.parametrize("alpha,gamma,schedule,seed", CASES)
+    def test_same_seed_transition_sequence_identical(self, alpha, gamma, schedule, seed):
+        cfg = config(alpha=alpha, gamma=gamma, schedule=schedule, blocks=20_000, seed=seed)
+        table_trace: list[int] = []
+        scalar_trace: list[int] = []
+        MarkovMonteCarlo(cfg, accumulate="table").run(trace=table_trace)
+        MarkovMonteCarlo(cfg, accumulate="scalar").run(trace=scalar_trace)
+        assert table_trace == scalar_trace
+
+    @pytest.mark.parametrize("alpha,gamma,schedule,seed", CASES)
+    def test_aggregates_agree_to_reassociation_tolerance(self, alpha, gamma, schedule, seed):
+        cfg = config(alpha=alpha, gamma=gamma, schedule=schedule, blocks=20_000, seed=seed)
+        table = MarkovMonteCarlo(cfg, accumulate="table").run()
+        scalar = MarkovMonteCarlo(cfg, accumulate="scalar").run()
+        assert table.pool_rewards.isclose(scalar.pool_rewards, rel_tol=1e-9)
+        assert table.honest_rewards.isclose(scalar.honest_rewards, rel_tol=1e-9)
+        for name in (
+            "regular_blocks",
+            "pool_regular_blocks",
+            "honest_regular_blocks",
+            "uncle_blocks",
+            "pool_uncle_blocks",
+            "honest_uncle_blocks",
+            "stale_blocks",
+        ):
+            assert getattr(table, name) == pytest.approx(
+                getattr(scalar, name), rel=1e-9, abs=1e-9
+            ), name
+        for table_counts, scalar_counts in (
+            (table.honest_uncle_distance_counts, scalar.honest_uncle_distance_counts),
+            (table.pool_uncle_distance_counts, scalar.pool_uncle_distance_counts),
+        ):
+            assert set(table_counts) == set(scalar_counts)
+            for distance, value in table_counts.items():
+                assert value == pytest.approx(scalar_counts[distance], rel=1e-9, abs=1e-9)
+
+    def test_honest_strategy_modes_agree_exactly(self):
+        cfg = config(blocks=30_000, seed=5).with_strategy("honest")
+        table = MarkovMonteCarlo(cfg, accumulate="table").run()
+        scalar = MarkovMonteCarlo(cfg, accumulate="scalar").run()
+        # Block attribution is integer counting over the identical draw stream.
+        assert table.pool_regular_blocks == scalar.pool_regular_blocks
+        assert table.pool_rewards == scalar.pool_rewards
+
+    def test_final_state_matches_scalar_path(self):
+        cfg = config(blocks=10_000, seed=13)
+        table_sim = MarkovMonteCarlo(cfg, accumulate="table")
+        scalar_sim = MarkovMonteCarlo(cfg, accumulate="scalar")
+        table_sim.run()
+        scalar_sim.run()
+        assert table_sim.state == scalar_sim.state
+        assert table_sim._events_run == scalar_sim._events_run == 10_000
 
 
 class TestStatisticalAgreement:

@@ -90,3 +90,32 @@ class TestStateSpace:
 
     def test_describe_mentions_truncation(self):
         assert "max_lead=7" in StateSpace(7).describe()
+
+
+class TestIntegerEncoding:
+    def test_codes_match_enumeration_order(self):
+        from repro.markov.state import decode_state
+
+        states = enumerate_states(40)
+        for position, state in enumerate(states):
+            assert state.encode() == position
+            assert decode_state(position) == state
+
+    def test_codes_are_truncation_independent(self):
+        small = enumerate_states(10)
+        large = enumerate_states(50)
+        for state in small:
+            assert state in large[: len(small)]
+            assert state.encode() == large.index(state)
+
+    def test_unreachable_state_has_no_code(self):
+        with pytest.raises(StateSpaceError):
+            State(3, 2).encode()
+        with pytest.raises(StateSpaceError):
+            State(0, 1).encode()
+
+    def test_negative_code_rejected(self):
+        from repro.markov.state import decode_state
+
+        with pytest.raises(StateSpaceError):
+            decode_state(-5)

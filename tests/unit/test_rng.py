@@ -74,3 +74,45 @@ class TestDecisions:
     def test_uniform_in_unit_interval(self):
         source = RandomSource(seed=9)
         assert all(0.0 <= source.uniform() < 1.0 for _ in range(100))
+
+
+class TestBuffering:
+    def test_default_source_is_buffered(self):
+        assert RandomSource(seed=1).buffer_size > 1
+
+    def test_negative_buffer_size_rejected(self):
+        with pytest.raises(ParameterError):
+            RandomSource(seed=1, buffer_size=-1)
+
+    def test_buffered_matches_unbuffered_mixed_calls(self):
+        buffered = RandomSource(seed=21, buffer_size=8)
+        unbuffered = RandomSource(seed=21, buffer_size=1)
+        for step in range(500):
+            if step % 3 == 0:
+                assert buffered.uniform() == unbuffered.uniform()
+            elif step % 3 == 1:
+                assert buffered.honest_miner_index(999) == unbuffered.honest_miner_index(999)
+            else:
+                assert buffered.pool_mines_next(0.4) == unbuffered.pool_mines_next(0.4)
+
+    def test_uniform_block_is_the_uniform_sequence(self):
+        block_source = RandomSource(seed=30, buffer_size=16)
+        scalar_source = RandomSource(seed=30, buffer_size=16)
+        drawn = block_source.uniform_block(200)
+        assert drawn == [scalar_source.uniform() for _ in range(200)]
+
+    def test_uniform_array_shares_the_stream(self):
+        source = RandomSource(seed=31)
+        reference = RandomSource(seed=31, buffer_size=1)
+        first = source.uniform_array(10)
+        assert list(first) == [reference.uniform() for _ in range(10)]
+        # Draws after a block pick up exactly where the block stopped.
+        assert source.uniform() == reference.uniform()
+
+    def test_uniform_block_rejects_negative_count(self):
+        with pytest.raises(ParameterError):
+            RandomSource(seed=1).uniform_block(-1)
+
+    def test_spawn_inherits_buffer_size(self):
+        assert RandomSource(seed=2, buffer_size=4).spawn(0).buffer_size == 4
+        assert RandomSource(seed=2, buffer_size=1).spawn(0).buffer_size == 1
