@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the event-driven network simulator.
+
+The network backend pays for its fidelity (an event queue, per-miner views, one
+delivery per miner per block) with wall-clock cost that scales in the number of
+miners; these benchmarks track that cost for the two configurations the network
+experiments lean on, so regressions in the event loop or the race bookkeeping
+show up next to the engine benchmarks.
+
+Sizes honour ``REPRO_BENCH_SCALE`` exactly like ``bench_engines.py``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.network import multi_pool_topology, single_pool_topology
+from repro.network.simulator import NetworkSimulator
+from repro.params import MiningParams
+from repro.rewards.schedule import EthereumByzantiumSchedule
+from repro.simulation.config import SimulationConfig
+
+PARAMS = MiningParams(alpha=0.35, gamma=0.5)
+
+#: Scale multiplier for the simulated block counts (CI smoke runs use < 1).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(blocks: int) -> int:
+    """``blocks`` scaled by ``REPRO_BENCH_SCALE`` (at least 1000)."""
+    return max(1000, int(blocks * BENCH_SCALE))
+
+
+def test_network_single_pool_benchmark(benchmark):
+    """Single selfish pool vs 8 honest miners, exponential latency."""
+    blocks = scaled(10_000)
+    benchmark.extra_info["blocks"] = blocks
+    config = SimulationConfig(
+        params=PARAMS,
+        schedule=EthereumByzantiumSchedule(),
+        num_blocks=blocks,
+        seed=1,
+        topology=single_pool_topology(
+            PARAMS.alpha, strategy="selfish", num_honest=8, latency="exponential:0.2"
+        ),
+    )
+    result = benchmark.pedantic(lambda: NetworkSimulator(config).run(), rounds=1, iterations=1)
+    assert result.total_blocks == blocks
+
+
+def test_network_two_pool_benchmark(benchmark):
+    """Two selfish pools plus 6 honest miners (the multi-attacker hot path)."""
+    blocks = scaled(10_000)
+    benchmark.extra_info["blocks"] = blocks
+    config = SimulationConfig(
+        params=PARAMS,
+        schedule=EthereumByzantiumSchedule(),
+        num_blocks=blocks,
+        seed=1,
+        topology=multi_pool_topology(
+            [(0.25, "selfish"), (0.2, "selfish")], num_honest=6, latency="exponential:0.1"
+        ),
+    )
+    result = benchmark.pedantic(lambda: NetworkSimulator(config).run(), rounds=1, iterations=1)
+    assert result.total_blocks == blocks

@@ -24,6 +24,7 @@ import argparse
 import json
 import os
 import platform
+import shlex
 import subprocess
 import sys
 import tempfile
@@ -32,7 +33,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
-DEFAULT_SELECT = "benchmarks/bench_engines.py"
+#: Default pytest selection: the engine suite plus the network-backend suite
+#: (whitespace-separated; each token is passed to pytest as its own argument).
+DEFAULT_SELECT = "benchmarks/bench_engines.py benchmarks/bench_network.py"
 
 #: Full-scale timings measured immediately before the PR 2 optimisations landed
 #: (same machine as the committed BENCH_PR2.json), so the recorded JSON carries
@@ -59,7 +62,7 @@ def run_suite(select: str, scale: float) -> dict:
             sys.executable,
             "-m",
             "pytest",
-            select,
+            *shlex.split(select),
             "-q",
             "--benchmark-json",
             str(payload_path),

@@ -54,10 +54,19 @@ from .rewards.schedule import (
     ethereum_schedule,
     flat_uncle_schedule,
 )
+from .network.latency import ConstantLatency, ExponentialLatency, LatencyModel, ZeroLatency
+from .network.simulator import NetworkSimulator
+from .network.topology import MinerSpec, Topology, multi_pool_topology, single_pool_topology
 from .simulation.config import SimulationConfig
 from .simulation.engine import ChainSimulator
 from .simulation.fast import MarkovMonteCarlo
-from .simulation.metrics import AggregatedResult, SimulationResult, aggregate_results
+from .simulation.metrics import (
+    AggregatedResult,
+    MinerOutcome,
+    NetworkSimulationResult,
+    SimulationResult,
+    aggregate_results,
+)
 from .simulation.runner import (
     run_many,
     run_many_grid,
@@ -89,17 +98,24 @@ __all__ = [
     "ChainSimulator",
     "ChainStructureError",
     "ClosedFormRevenue",
+    "ConstantLatency",
     "ConvergenceError",
     "CustomSchedule",
     "EqualForkStubbornStrategy",
     "EthereumByzantiumSchedule",
+    "ExponentialLatency",
     "FlatUncleSchedule",
     "HonestStrategy",
+    "LatencyModel",
     "LeadEqualForkStubbornStrategy",
     "LeadStubbornStrategy",
     "MarkovMonteCarlo",
+    "MinerOutcome",
+    "MinerSpec",
     "MiningParams",
     "MiningStrategy",
+    "NetworkSimulationResult",
+    "NetworkSimulator",
     "ParameterError",
     "PartyRewards",
     "ReproError",
@@ -115,7 +131,9 @@ __all__ = [
     "SolverError",
     "StateSpaceError",
     "ThresholdResult",
+    "Topology",
     "UncleDistanceDistribution",
+    "ZeroLatency",
     "absolute_revenue",
     "aggregate_results",
     "available_strategies",
@@ -128,6 +146,7 @@ __all__ = [
     "honest_relative_revenue",
     "honest_uncle_distance_distribution",
     "make_strategy",
+    "multi_pool_topology",
     "profitable_threshold",
     "register_strategy",
     "run_many",
@@ -135,6 +154,7 @@ __all__ = [
     "run_once",
     "simulate_alpha_sweep",
     "simulate_strategy_sweep",
+    "single_pool_topology",
     "sweep_alpha",
     "sweep_gamma",
     "__version__",

@@ -179,6 +179,27 @@ class BlockTree:
                 return False
             block = blocks[block.parent_id]
 
+    def fork_point(self, first_id: int, second_id: int) -> Block:
+        """The deepest common ancestor of two blocks, found by lockstep descent.
+
+        Unlike :meth:`common_ancestor` (which materialises one full ancestor set)
+        this walks both chains down to a common height and then descends them in
+        lockstep, so the cost is proportional to the height difference plus the
+        fork depth — near-constant for the short-lived forks simulations produce.
+        This is the network simulator's race-bookkeeping hot path.
+        """
+        blocks = self._blocks
+        first = self.block(first_id)
+        second = self.block(second_id)
+        while first.height > second.height:
+            first = blocks[first.parent_id]
+        while second.height > first.height:
+            second = blocks[second.parent_id]
+        while first.block_id != second.block_id:
+            first = blocks[first.parent_id]
+            second = blocks[second.parent_id]
+        return first
+
     def common_ancestor(self, first_id: int, second_id: int) -> Block:
         """The deepest block that is an ancestor of both arguments."""
         first_path = {block.block_id for block in self.ancestors(first_id, include_self=True)}

@@ -16,6 +16,7 @@ from .discussion import DiscussionResult, run_discussion
 from .figure8 import Figure8Result, run_figure8
 from .figure9 import Figure9Result, run_figure9
 from .figure10 import Figure10Result, run_figure10
+from .network import NetworkExperimentResult, run_network
 from .pools import MiningPool, TOP_POOLS_2018, pool_concentration_report
 from .strategies import StrategyComparisonResult, run_strategy_comparison
 from .table1 import Table1Result, run_table1
@@ -27,6 +28,7 @@ __all__ = [
     "Figure8Result",
     "Figure9Result",
     "MiningPool",
+    "NetworkExperimentResult",
     "StrategyComparisonResult",
     "TOP_POOLS_2018",
     "Table1Result",
@@ -36,6 +38,7 @@ __all__ = [
     "run_figure10",
     "run_figure8",
     "run_figure9",
+    "run_network",
     "run_strategy_comparison",
     "run_table1",
     "run_table2",

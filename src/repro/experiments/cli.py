@@ -5,12 +5,22 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments figure8              # full-fidelity run of the Fig. 8 driver
     repro-experiments figure10 --fast      # quick smoke version of Fig. 10
     repro-experiments strategies -j 4      # strategy sweep on 4 worker processes
+    repro-experiments figure8 --backend markov   # overlay via the Markov backend
+    repro-experiments network --fast       # latency -> effective gamma + 2-pool races
     repro-experiments all --fast           # every artifact, fast settings
 
-Each sub-command prints the corresponding driver's text report to stdout.  The
-``--workers`` flag fans the independent simulation runs behind the
-simulation-backed drivers out over a process pool; results are bit-identical to a
-serial run.
+Each sub-command prints the corresponding driver's text report to stdout.  All
+sub-commands share one set of flags (:class:`ExperimentOptions`):
+
+* ``--fast`` shrinks grids and simulations to smoke-test fidelity;
+* ``--workers`` fans independent work (simulation runs, threshold solves) out
+  over a process pool — results are bit-identical to a serial run;
+* ``--backend`` selects the simulator behind the simulation-backed drivers
+  (``chain``, ``markov`` or ``network``; the ``network`` experiment always runs
+  its own backend).
+
+Purely descriptive artifacts (``table1``, ``figure6``) accept and ignore the
+worker/backend flags so that scripted invocations stay uniform.
 """
 
 from __future__ import annotations
@@ -18,33 +28,66 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..simulation.runner import BACKENDS
 from .discussion import run_discussion
 from .figure8 import run_figure8
 from .figure9 import run_figure9
 from .figure10 import run_figure10
+from .network import run_network
 from .pools import pool_concentration_report
 from .strategies import run_strategy_comparison
 from .table1 import run_table1
 from .table2 import run_table2
 
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """The flags shared by every sub-command, resolved from argparse."""
+
+    fast: bool = False
+    workers: int | None = None
+    backend: str = "chain"
+
+
 #: Mapping of sub-command name to a callable producing the report text.  Every
-#: callable takes ``(fast, workers)``; the drivers with a simulation stage
-#: (figure8, table2, strategies) fan their runs out over ``workers`` processes,
-#: the purely analytical/descriptive ones ignore the worker count.
-_EXPERIMENTS: dict[str, Callable[[bool, int | None], str]] = {
-    "figure6": lambda fast, workers: pool_concentration_report(),
-    "figure8": lambda fast, workers: run_figure8(fast=fast, max_workers=workers).report(),
-    "figure9": lambda fast, workers: run_figure9(fast=fast).report(),
-    "figure10": lambda fast, workers: run_figure10(fast=fast).report(),
-    "table1": lambda fast, workers: run_table1().report(),
-    "table2": lambda fast, workers: run_table2(
-        fast=fast, include_simulation=not fast, max_workers=workers
+#: callable receives the shared :class:`ExperimentOptions`; drivers without a
+#: simulation or solver stage ignore the fields that do not apply to them.
+_EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
+    "figure6": lambda options: pool_concentration_report(),
+    "figure8": lambda options: run_figure8(
+        fast=options.fast,
+        max_workers=options.workers,
+        simulation_backend=options.backend,
     ).report(),
-    "discussion": lambda fast, workers: run_discussion(fast=fast).report(),
-    "strategies": lambda fast, workers: run_strategy_comparison(
-        fast=fast, max_workers=workers
+    "figure9": lambda options: run_figure9(
+        fast=options.fast,
+        include_simulation=not options.fast,
+        max_workers=options.workers,
+        simulation_backend=options.backend,
+    ).report(),
+    "figure10": lambda options: run_figure10(
+        fast=options.fast, max_workers=options.workers
+    ).report(),
+    "table1": lambda options: run_table1().report(),
+    "table2": lambda options: run_table2(
+        fast=options.fast,
+        include_simulation=not options.fast,
+        max_workers=options.workers,
+        simulation_backend=options.backend,
+    ).report(),
+    "discussion": lambda options: run_discussion(
+        fast=options.fast, max_workers=options.workers
+    ).report(),
+    "strategies": lambda options: run_strategy_comparison(
+        fast=options.fast,
+        max_workers=options.workers,
+        simulation_backend=options.backend,
+    ).report(),
+    "network": lambda options: run_network(
+        fast=options.fast, max_workers=options.workers
     ).report(),
 }
 
@@ -71,7 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=None,
         metavar="N",
-        help="run independent simulation runs on N worker processes (default: serial)",
+        help="fan independent runs/solves out over N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="chain",
+        help=(
+            "simulator behind the simulation-backed drivers (default: chain; "
+            "'markov' is fastest but models only honest/selfish, 'network' is the "
+            "event-driven latency-aware simulator)"
+        ),
     )
     return parser
 
@@ -83,9 +136,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def run_experiment(name: str, *, fast: bool = False, workers: int | None = None) -> str:
+def run_experiment(
+    name: str,
+    *,
+    fast: bool = False,
+    workers: int | None = None,
+    backend: str = "chain",
+) -> str:
     """Run one named experiment and return its report text."""
-    return _EXPERIMENTS[name](fast, workers)
+    options = ExperimentOptions(fast=fast, workers=workers, backend=backend)
+    return _EXPERIMENTS[name](options)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -95,7 +155,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for name in names:
         started = time.time()
-        report = run_experiment(name, fast=arguments.fast, workers=arguments.workers)
+        report = run_experiment(
+            name, fast=arguments.fast, workers=arguments.workers, backend=arguments.backend
+        )
         elapsed = time.time() - started
         print(f"==== {name} ({elapsed:.1f}s) ====")
         print(report)

@@ -16,7 +16,15 @@ from ..analysis.absolute import Scenario
 from ..analysis.revenue import RevenueModel
 from ..analysis.threshold import ThresholdResult, profitable_threshold
 from ..rewards.schedule import EthereumByzantiumSchedule, FlatUncleSchedule, RewardSchedule
+from ..utils.parallel import parallel_map
 from ..utils.tables import Table
+
+
+def _solve_threshold(task: tuple[float, RewardSchedule, Scenario, int]) -> ThresholdResult:
+    """One threshold solve (top-level so it pickles; model rebuilt in the worker)."""
+    gamma, schedule, scenario, max_lead = task
+    model = RevenueModel(schedule, max_lead=max_lead)
+    return profitable_threshold(gamma, scenario=scenario, model=model)
 
 #: The flat uncle fraction proposed in Section VI.
 PROPOSED_FLAT_FRACTION = 0.5
@@ -76,27 +84,32 @@ def run_discussion(
     current_schedule: RewardSchedule | None = None,
     proposed_schedule: RewardSchedule | None = None,
     max_lead: int = 40,
+    max_workers: int | None = None,
     fast: bool = False,
 ) -> DiscussionResult:
-    """Recompute the Section VI threshold comparison."""
+    """Recompute the Section VI threshold comparison.
+
+    The four threshold solves (two schedules x two scenarios) are independent, so
+    ``max_workers`` fans them out over a process pool; being deterministic, the
+    result is identical to a serial run.
+    """
     if current_schedule is None:
         current_schedule = EthereumByzantiumSchedule()
     if proposed_schedule is None:
         proposed_schedule = FlatUncleSchedule(PROPOSED_FLAT_FRACTION)
     if fast:
         max_lead = min(max_lead, 30)
-    current_model = RevenueModel(current_schedule, max_lead=max_lead)
-    proposed_model = RevenueModel(proposed_schedule, max_lead=max_lead)
+    tasks = [
+        (gamma, current_schedule, Scenario.REGULAR_ONLY, max_lead),
+        (gamma, current_schedule, Scenario.REGULAR_PLUS_UNCLE, max_lead),
+        (gamma, proposed_schedule, Scenario.REGULAR_ONLY, max_lead),
+        (gamma, proposed_schedule, Scenario.REGULAR_PLUS_UNCLE, max_lead),
+    ]
+    solved = parallel_map(_solve_threshold, tasks, max_workers)
     return DiscussionResult(
         gamma=gamma,
-        current_scenario1=profitable_threshold(gamma, scenario=Scenario.REGULAR_ONLY, model=current_model),
-        current_scenario2=profitable_threshold(
-            gamma, scenario=Scenario.REGULAR_PLUS_UNCLE, model=current_model
-        ),
-        proposed_scenario1=profitable_threshold(
-            gamma, scenario=Scenario.REGULAR_ONLY, model=proposed_model
-        ),
-        proposed_scenario2=profitable_threshold(
-            gamma, scenario=Scenario.REGULAR_PLUS_UNCLE, model=proposed_model
-        ),
+        current_scenario1=solved[0],
+        current_scenario2=solved[1],
+        proposed_scenario1=solved[2],
+        proposed_scenario2=solved[3],
     )

@@ -24,7 +24,24 @@ from ..analysis.revenue import RevenueModel
 from ..analysis.threshold import ThresholdResult, profitable_threshold
 from ..rewards.schedule import EthereumByzantiumSchedule, RewardSchedule
 from ..utils.grids import inclusive_range
+from ..utils.parallel import parallel_map
 from ..utils.tables import Table
+
+
+def _solve_thresholds(
+    task: tuple[float, RewardSchedule, int]
+) -> tuple[ThresholdResult, ThresholdResult]:
+    """Both scenario thresholds at one ``gamma`` (top-level so it pickles).
+
+    The model is rebuilt inside the worker — construction is cheap and this keeps
+    the inter-process payload to the schedule and the truncation.
+    """
+    gamma, schedule, max_lead = task
+    model = RevenueModel(schedule, max_lead=max_lead)
+    return (
+        profitable_threshold(gamma, scenario=Scenario.REGULAR_ONLY, model=model),
+        profitable_threshold(gamma, scenario=Scenario.REGULAR_PLUS_UNCLE, model=model),
+    )
 
 
 @dataclass(frozen=True)
@@ -100,6 +117,7 @@ def run_figure10(
     gammas: Sequence[float] | None = None,
     schedule: RewardSchedule | None = None,
     max_lead: int = 40,
+    max_workers: int | None = None,
     fast: bool = False,
 ) -> Figure10Result:
     """Reproduce Fig. 10 by solving for the threshold at every ``gamma``.
@@ -115,6 +133,9 @@ def run_figure10(
         Truncation of the analytical model.  Thresholds are insensitive to the
         truncation well below this value, and a smaller state space keeps the
         two-scenario sweep fast.
+    max_workers:
+        Fan the per-``gamma`` threshold solves out over a process pool.  The
+        solves are deterministic, so the result is identical to a serial run.
     """
     if schedule is None:
         schedule = EthereumByzantiumSchedule()
@@ -123,17 +144,16 @@ def run_figure10(
     if fast:
         max_lead = min(max_lead, 30)
 
-    model = RevenueModel(schedule, max_lead=max_lead)
-    points: list[Figure10Point] = []
-    for gamma in gammas:
-        scenario1 = profitable_threshold(gamma, scenario=Scenario.REGULAR_ONLY, model=model)
-        scenario2 = profitable_threshold(gamma, scenario=Scenario.REGULAR_PLUS_UNCLE, model=model)
-        points.append(
-            Figure10Point(
-                gamma=gamma,
-                bitcoin=bitcoin_threshold(gamma),
-                ethereum_scenario1=scenario1,
-                ethereum_scenario2=scenario2,
-            )
+    tasks = [(gamma, schedule, max_lead) for gamma in gammas]
+    solved = parallel_map(_solve_thresholds, tasks, max_workers)
+
+    points = [
+        Figure10Point(
+            gamma=gamma,
+            bitcoin=bitcoin_threshold(gamma),
+            ethereum_scenario1=scenario1,
+            ethereum_scenario2=scenario2,
         )
+        for gamma, (scenario1, scenario2) in zip(gammas, solved)
+    ]
     return Figure10Result(points=tuple(points), schedule_name=type(schedule).__name__)

@@ -21,7 +21,10 @@ from typing import Mapping, Sequence
 from ..analysis.absolute import Scenario
 from ..analysis.revenue import RevenueModel
 from ..analysis.sweep import AlphaSweep, alpha_grid, sweep_alpha
+from ..params import MiningParams
 from ..rewards.schedule import EthereumByzantiumSchedule, FlatUncleSchedule, RewardSchedule
+from ..simulation.config import SimulationConfig
+from ..simulation.runner import SimulatedAlphaSweep, simulate_alpha_sweep
 from ..utils.tables import Table
 
 #: The flat uncle-reward fractions swept by the figure, keyed by their legend label.
@@ -54,11 +57,18 @@ def figure9_schedules() -> dict[str, RewardSchedule]:
 
 @dataclass(frozen=True)
 class Figure9Result:
-    """One analytical sweep per reward schedule."""
+    """One analytical sweep per reward schedule, plus an optional simulation overlay.
+
+    The overlay (``simulation``) validates the Ethereum ``Ku(.)`` curve with the
+    simulator; the flat-reward curves are analytical-only because the figure reads
+    them with an *unwindowed* uncle reward (any referencing distance), which has no
+    finite protocol window for the simulator to enforce.
+    """
 
     gamma: float
     scenario: Scenario
     sweeps: Mapping[str, AlphaSweep]
+    simulation: SimulatedAlphaSweep | None = None
 
     @property
     def alphas(self) -> list[float]:
@@ -76,6 +86,8 @@ class Figure9Result:
         headers = ["alpha"]
         for label in labels:
             headers += [f"{label} pool", f"{label} honest", f"{label} total"]
+        if self.simulation is not None:
+            headers += [f"{ETHEREUM_LABEL} pool (sim)", f"{ETHEREUM_LABEL} honest (sim)"]
         table = Table(
             headers=headers,
             title=(
@@ -83,12 +95,16 @@ class Figure9Result:
                 f"(gamma={self.gamma}, {self.scenario.value})"
             ),
         )
+        simulated_pool = self.simulation.pool_absolute_scenario1() if self.simulation else []
+        simulated_honest = self.simulation.honest_absolute_scenario1() if self.simulation else []
         for index, alpha in enumerate(self.alphas):
             row: list[object] = [alpha]
             for label in labels:
                 sweep = self.sweeps[label]
                 point = sweep.points[index]
                 row += [point.pool_absolute, point.honest_absolute, point.total_absolute]
+            if self.simulation is not None:
+                row += [simulated_pool[index], simulated_honest[index]]
             table.add_row(*row)
         lines = [table.render()]
         if "Ku=7/8" in self.sweeps:
@@ -105,19 +121,49 @@ def run_figure9(
     alphas: Sequence[float] | None = None,
     gamma: float = FIGURE9_GAMMA,
     max_lead: int = 60,
+    include_simulation: bool = False,
+    simulation_blocks: int = 15_000,
+    simulation_runs: int = 2,
+    simulation_backend: str = "chain",
+    seed: int = 2019,
+    max_workers: int | None = None,
     fast: bool = False,
 ) -> Figure9Result:
     """Reproduce Fig. 9 from the analytical model.
 
-    The paper draws these curves from the analysis (the simulator is used in Fig. 8);
-    the integration tests separately confirm simulator agreement for spot checks.
+    The paper draws these curves from the analysis (the simulator is used in
+    Fig. 8).  ``include_simulation`` adds a simulated overlay of the Ethereum
+    ``Ku(.)`` curve — the one curve whose reward window the protocol actually
+    enforces — on the chosen ``simulation_backend``, fanned out over
+    ``max_workers`` processes (bit-identical to serial).
     """
     if alphas is None:
         alphas = alpha_grid(0.0, 0.45, 0.05) if not fast else alpha_grid(0.15, 0.45, 0.15)
     if fast:
         max_lead = min(max_lead, 40)
+        simulation_blocks = min(simulation_blocks, 6_000)
+        simulation_runs = 1
     sweeps: dict[str, AlphaSweep] = {}
     for label, schedule in figure9_schedules().items():
         model = RevenueModel(schedule, max_lead=max_lead)
         sweeps[label] = sweep_alpha(alphas, gamma, scenario=Scenario.REGULAR_ONLY, model=model)
-    return Figure9Result(gamma=gamma, scenario=Scenario.REGULAR_ONLY, sweeps=sweeps)
+
+    simulation: SimulatedAlphaSweep | None = None
+    if include_simulation:
+        base_config = SimulationConfig(
+            params=MiningParams(alpha=max(alphas[0], 1e-3), gamma=gamma),
+            schedule=EthereumByzantiumSchedule(),
+            num_blocks=simulation_blocks,
+            seed=seed,
+        )
+        simulation = simulate_alpha_sweep(
+            alphas,
+            base_config,
+            num_runs=simulation_runs,
+            backend=simulation_backend,
+            max_workers=max_workers,
+        )
+
+    return Figure9Result(
+        gamma=gamma, scenario=Scenario.REGULAR_ONLY, sweeps=sweeps, simulation=simulation
+    )

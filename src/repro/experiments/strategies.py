@@ -25,6 +25,7 @@ from ..errors import ParameterError
 from ..params import MiningParams
 from ..rewards.schedule import RewardSchedule
 from ..simulation.config import SimulationConfig
+from ..simulation.fast import MARKOV_STRATEGIES
 from ..simulation.metrics import AggregatedResult
 from ..simulation.runner import run_many_grid
 from ..strategies import available_strategies
@@ -46,6 +47,7 @@ class StrategyComparisonResult:
     strategies: tuple[str, ...]
     alphas: tuple[float, ...]
     aggregates: Mapping[str, tuple[AggregatedResult, ...]]
+    backend: str = "chain"
 
     def relative_revenue(self, strategy: str) -> list[float]:
         """Mean relative pool revenue of ``strategy`` at every swept ``alpha``."""
@@ -79,7 +81,7 @@ class StrategyComparisonResult:
             headers=["alpha"] + [strategy.replace("_", " ") for strategy in self.strategies],
             title=(
                 "Strategy comparison - relative pool revenue vs pool size "
-                f"(gamma={self.gamma}, chain simulator)"
+                f"(gamma={self.gamma}, {self.backend} simulator)"
             ),
         )
         columns = {strategy: self.relative_revenue(strategy) for strategy in self.strategies}
@@ -105,6 +107,7 @@ def run_strategy_comparison(
     schedule: RewardSchedule | None = None,
     simulation_blocks: int = 25_000,
     simulation_runs: int = 3,
+    simulation_backend: str = "chain",
     seed: int = 2019,
     max_workers: int | None = None,
     fast: bool = False,
@@ -122,6 +125,10 @@ def run_strategy_comparison(
     simulation_blocks, simulation_runs, seed:
         Simulation fidelity; every (strategy, alpha) cell averages
         ``simulation_runs`` runs seeded from the same master seed.
+    simulation_backend:
+        ``"chain"`` (default) or ``"network"`` — the two backends that support
+        every registered strategy (the Markov backend models only honest/selfish
+        and raises for the stubborn variants).
     max_workers:
         Fan the runs of each cell out over a process pool (bit-identical to
         serial; purely a wall-clock optimisation).
@@ -133,6 +140,13 @@ def run_strategy_comparison(
         raise ParameterError(
             f"unknown strategies {unknown!r}; available: {', '.join(available_strategies())}"
         )
+    if simulation_backend == "markov":
+        unsupported = [name for name in strategies if name not in MARKOV_STRATEGIES]
+        if unsupported:
+            raise ParameterError(
+                f"the 'markov' backend has no transition model for {unsupported!r}; "
+                "compare these strategies on the 'chain' or 'network' backend"
+            )
     if alphas is None:
         alphas = alpha_grid(0.05, 0.45, 0.05) if not fast else alpha_grid(0.15, 0.45, 0.15)
     if fast:
@@ -152,7 +166,7 @@ def run_strategy_comparison(
         for alpha in alphas
     ]
     grid_aggregates = run_many_grid(
-        grid_configs, simulation_runs, backend="chain", max_workers=max_workers
+        grid_configs, simulation_runs, backend=simulation_backend, max_workers=max_workers
     )
     aggregates: dict[str, tuple[AggregatedResult, ...]] = {
         strategy: tuple(
@@ -166,4 +180,5 @@ def run_strategy_comparison(
         strategies=tuple(strategies),
         alphas=tuple(alphas),
         aggregates=aggregates,
+        backend=simulation_backend,
     )

@@ -84,6 +84,7 @@ def run_table2(
     include_simulation: bool = False,
     simulation_blocks: int = 75_000,
     simulation_runs: int = 2,
+    simulation_backend: str = "chain",
     seed: int = 2019,
     max_lead: int = 60,
     max_distance: int = MAX_UNCLE_DISTANCE,
@@ -93,7 +94,8 @@ def run_table2(
     """Reproduce Table II.
 
     The analytical distribution is exact (up to state-space truncation); the optional
-    simulation overlay estimates the same histogram from settled chain runs.
+    simulation overlay estimates the same histogram from settled runs of the chosen
+    ``simulation_backend`` (any backend that materialises real uncle references).
     """
     if fast:
         simulation_blocks = min(simulation_blocks, 10_000)
@@ -114,7 +116,9 @@ def run_table2(
                 num_blocks=simulation_blocks,
                 seed=seed,
             )
-            aggregate = run_many(config, simulation_runs, max_workers=max_workers)
+            aggregate = run_many(
+                config, simulation_runs, backend=simulation_backend, max_workers=max_workers
+            )
             simulated = aggregate.honest_uncle_distance_distribution()
             simulated_expectation = sum(d * p for d, p in simulated.items())
         columns.append(

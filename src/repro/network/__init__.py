@@ -1,0 +1,54 @@
+"""Event-driven network layer: latency-aware races between many miners.
+
+The paper's model (and :class:`repro.simulation.engine.ChainSimulator`) treats the
+pool's communication advantage ``gamma`` and the single attacking pool as exogenous
+inputs: broadcast is instantaneous and tie-breaking is a coin flip.  This package
+replaces that network model with a discrete-event simulation in which
+
+* every miner is an explicit node with its own hash power, its own (possibly
+  strategic) behaviour and its own *local view* of the block tree,
+* block propagation takes time, drawn per link from a pluggable
+  :class:`~repro.network.latency.LatencyModel`,
+* honest miners mine on the first-seen longest chain of their local view, so the
+  effective tie-breaking ratio *emerges* from message latency instead of being a
+  parameter,
+* several strategic pools — each an arbitrary
+  :class:`~repro.strategies.base.MiningStrategy` — can race simultaneously.
+
+The zero-latency, single-attacker special case collapses back to the paper's model
+(same-instant ties are broken by the configured ``gamma`` coin), which is pinned by
+the equivalence tests in ``tests/integration/test_network_equivalence.py``.
+"""
+
+from .latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    ZeroLatency,
+    available_latency_models,
+    make_latency,
+)
+from .simulator import NetworkSimulationResult, NetworkSimulator
+from .topology import (
+    MinerSpec,
+    Topology,
+    build_topology,
+    multi_pool_topology,
+    single_pool_topology,
+)
+
+__all__ = [
+    "ConstantLatency",
+    "ExponentialLatency",
+    "LatencyModel",
+    "MinerSpec",
+    "NetworkSimulationResult",
+    "NetworkSimulator",
+    "Topology",
+    "ZeroLatency",
+    "available_latency_models",
+    "build_topology",
+    "make_latency",
+    "multi_pool_topology",
+    "single_pool_topology",
+]

@@ -1,0 +1,65 @@
+"""The discrete-event scheduler backing the network simulator.
+
+A tiny priority queue of timestamped events.  Two event kinds exist:
+
+* :class:`MineEvent` — the network-wide Poisson clock fires and some miner finds a
+  block (who exactly is decided at pop time, from the hash-power distribution);
+* :class:`DeliverEvent` — a broadcast block reaches one destination miner.
+
+Events at equal timestamps are processed in scheduling order (a monotonically
+increasing sequence number breaks ties), which makes runs deterministic and gives
+the zero-latency special case the same causal order as the paper's model: a block's
+deliveries always precede the deliveries of any block published in reaction to it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MineEvent:
+    """The global mining clock fires: the next block is found."""
+
+
+@dataclass(frozen=True)
+class DeliverEvent:
+    """Block ``block_id`` reaches miner ``dst``."""
+
+    block_id: int
+    dst: int
+
+
+Event = MineEvent | DeliverEvent
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    event: Event = field(compare=False)
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic same-time ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, event: Event) -> None:
+        """Schedule ``event`` at ``time`` (after every already-scheduled same-time event)."""
+        heapq.heappush(self._heap, _Entry(time=time, seq=self._seq, event=event))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, Event]:
+        """Remove and return the earliest event as ``(time, event)``."""
+        entry = heapq.heappop(self._heap)
+        return entry.time, entry.event

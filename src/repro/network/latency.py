@@ -1,0 +1,163 @@
+"""Per-link message latency models for the network simulator.
+
+A :class:`LatencyModel` answers one question: how long does a block broadcast by
+miner ``src`` take to reach miner ``dst``?  Models are stateless frozen dataclasses
+(hashable, picklable — a requirement of the process-parallel runner); all
+randomness flows through the simulator's :class:`~repro.simulation.rng.RandomSource`
+so that runs stay exactly reproducible from their seed.
+
+Three models ship with the package:
+
+* :class:`ZeroLatency` — instantaneous broadcast, the paper's network model;
+* :class:`ConstantLatency` — every link takes a fixed ``delay``;
+* :class:`ExponentialLatency` — delays are exponential with a per-link ``mean``
+  (the memoryless propagation model used by discrete-event P2P simulators).
+
+New models register themselves via :func:`register_latency_model`, and
+:func:`make_latency` builds a model from a compact ``"name"`` or ``"name:value"``
+spec string (used by configuration and the CLI).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from ..errors import ParameterError
+from ..simulation.rng import RandomSource
+
+
+@runtime_checkable
+class LatencyModel(Protocol):
+    """Delay distribution of one directed link, sampled per delivered block."""
+
+    #: Registry name of the model (also used in reports and spec strings).
+    name: str
+
+    def sample(self, src: int, dst: int, rng: RandomSource) -> float:
+        """One delay draw (same time unit as the topology's ``block_interval``)."""
+        ...
+
+    def mean_delay(self) -> float:
+        """Expected delay of one delivery (used by reports)."""
+        ...
+
+
+@dataclass(frozen=True)
+class ZeroLatency:
+    """Instantaneous broadcast: every miner sees every published block at once."""
+
+    name: str = "zero"
+
+    def sample(self, src: int, dst: int, rng: RandomSource) -> float:
+        return 0.0
+
+    def mean_delay(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class ConstantLatency:
+    """Every delivery takes exactly ``delay`` time units."""
+
+    delay: float = 0.1
+    name: str = "constant"
+
+    def __post_init__(self) -> None:
+        if not self.delay >= 0.0:
+            raise ParameterError(f"delay must be non-negative, got {self.delay}")
+
+    def sample(self, src: int, dst: int, rng: RandomSource) -> float:
+        return self.delay
+
+    def mean_delay(self) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class ExponentialLatency:
+    """Exponentially distributed delivery delays with the given ``mean``.
+
+    The exponential's memorylessness mirrors the interarrival model used by
+    discrete-event P2P simulators; a zero mean degenerates to instantaneous
+    broadcast so latency sweeps can include the paper's model as their origin.
+    """
+
+    mean: float = 0.1
+    name: str = "exponential"
+
+    def __post_init__(self) -> None:
+        if not self.mean >= 0.0:
+            raise ParameterError(f"mean must be non-negative, got {self.mean}")
+
+    def sample(self, src: int, dst: int, rng: RandomSource) -> float:
+        if self.mean == 0.0:
+            return 0.0
+        # Inverse-CDF transform of one uniform draw; 1 - u avoids log(0).
+        return -self.mean * math.log(1.0 - rng.uniform())
+
+    def mean_delay(self) -> float:
+        return self.mean
+
+
+#: Registry of latency-model factories keyed by model name.  Each factory takes the
+#: optional numeric argument of a ``"name:value"`` spec (``None`` when absent).
+_REGISTRY: dict[str, Callable[[float | None], LatencyModel]] = {}
+
+
+def register_latency_model(name: str, factory: Callable[[float | None], LatencyModel]) -> None:
+    """Register a latency-model factory under ``name`` (rejects duplicates)."""
+    if name in _REGISTRY:
+        raise ParameterError(f"latency model {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_latency_models() -> tuple[str, ...]:
+    """Names of all registered latency models, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_latency(spec: str | LatencyModel) -> LatencyModel:
+    """Build a latency model from a ``"name"`` / ``"name:value"`` spec string.
+
+    An already-constructed model passes through unchanged, so configuration fields
+    accept either form.  Examples: ``"zero"``, ``"constant:0.5"``,
+    ``"exponential:0.2"``.
+    """
+    if isinstance(spec, LatencyModel) and not isinstance(spec, str):
+        return spec
+    if not isinstance(spec, str):
+        raise ParameterError(f"latency spec must be a string or LatencyModel, got {spec!r}")
+    name, _, argument = spec.partition(":")
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown latency model {name!r}; available: {', '.join(available_latency_models())}"
+        ) from None
+    value: float | None = None
+    if argument:
+        try:
+            value = float(argument)
+        except ValueError:
+            raise ParameterError(
+                f"latency spec {spec!r} carries a non-numeric argument {argument!r}"
+            ) from None
+    return factory(value)
+
+
+def _zero_factory(value: float | None) -> LatencyModel:
+    if value not in (None, 0.0):
+        raise ParameterError(f"the zero latency model takes no argument, got {value}")
+    return ZeroLatency()
+
+
+register_latency_model("zero", _zero_factory)
+register_latency_model(
+    "constant", lambda value: ConstantLatency() if value is None else ConstantLatency(delay=value)
+)
+register_latency_model(
+    "exponential",
+    lambda value: ExponentialLatency() if value is None else ExponentialLatency(mean=value),
+)

@@ -1,0 +1,442 @@
+"""The event-driven network simulator: N miners, latency, emergent tie-breaking.
+
+:class:`NetworkSimulator` generalises :class:`~repro.simulation.engine.ChainSimulator`
+along the two axes the paper holds fixed:
+
+* **the network is explicit** — blocks propagate over links with pluggable delay
+  models, every miner mines on its own *local view*, and honest miners adopt the
+  first-seen longest chain, so the tie-breaking ratio ``gamma`` becomes an emergent
+  quantity (reported as :attr:`~repro.simulation.metrics.NetworkSimulationResult.effective_gamma`)
+  instead of an input;
+* **any number of pools attack at once** — every miner whose
+  :class:`~repro.network.topology.MinerSpec` names a non-honest strategy runs that
+  :class:`~repro.strategies.base.MiningStrategy` against its own private branch,
+  so multi-pool races and eclipse-style scenarios are first-class.
+
+Mechanics
+---------
+
+Time is continuous.  A network-wide Poisson clock (mean ``block_interval``) fires
+mining events; the finder is drawn from the hash-power distribution, mirroring the
+race model's "each event mines one block, attributed with probability equal to hash
+power".  A found block is broadcast (honest miners immediately; pools when their
+strategy releases it) as one delivery per destination, each delayed by the link's
+latency model.  Deliveries arriving before their parent are buffered until the
+parent arrives, so local views are always internally consistent.
+
+Strategic miners keep the race bookkeeping of the single-pool engine, generalised
+to a moving fork point: the miner's own blocks above the fork (``private_length``),
+the best competing public chain it knows (``public_length``) and its own published
+prefix (``published_count``) are recomputed against the first-seen longest public
+tip in its local view, and the strategy is consulted through the same
+:class:`~repro.strategies.base.RaceView` protocol the chain engine uses — every
+registered strategy runs on this backend unchanged.
+
+**Special case.**  With zero latency and a single attacking pool the causal order
+of events collapses to the paper's model: every honest block reaches everyone
+instantly, matches arrive in the same instant as the block they answer, and the
+resulting exact ties are broken per honest miner by the configured ``gamma`` coin.
+The equivalence (same relative revenue as :class:`ChainSimulator` within
+statistical error) is pinned by the integration tests.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import accumulate
+
+from ..chain.block import Block, MinerKind
+from ..chain.blocktree import BlockTree
+from ..chain.fork_choice import LongestChainRule
+from ..chain.rewards import ChainSettlement, settle_rewards
+from ..chain.uncles import eligible_uncles
+from ..chain.validation import validate_tree
+from ..errors import SimulationError
+from ..rewards.breakdown import PartyRewards
+from ..simulation.config import SimulationConfig
+from ..simulation.metrics import MinerOutcome, NetworkSimulationResult
+from ..simulation.rng import RandomSource
+from ..strategies import Action, MiningStrategy, make_strategy
+from .events import DeliverEvent, EventQueue, MineEvent
+from .topology import MinerSpec, Topology, build_topology
+
+
+class _MinerState:
+    """Local view shared by honest and strategic miners."""
+
+    __slots__ = ("index", "spec", "known", "waiting", "blocks_mined")
+
+    def __init__(self, index: int, spec: MinerSpec) -> None:
+        self.index = index
+        self.spec = spec
+        self.known: set[int] = set()
+        # Blocks delivered before their parent, buffered per missing parent id.
+        self.waiting: dict[int, list[int]] = {}
+        self.blocks_mined = 0
+
+
+class _HonestState(_MinerState):
+    """An honest miner: mines on the first-seen longest chain of its view."""
+
+    __slots__ = ("preferred_id", "preferred_height", "preferred_since")
+
+    def __init__(self, index: int, spec: MinerSpec, genesis_id: int) -> None:
+        super().__init__(index, spec)
+        self.known.add(genesis_id)
+        self.preferred_id = genesis_id
+        self.preferred_height = 0
+        self.preferred_since = 0.0
+
+
+class _PoolState(_MinerState):
+    """A strategic miner: private branch plus a view of the best competing chain.
+
+    ``anchor_id`` is the block the private branch is rooted on, ``branch`` the
+    miner's own blocks above it (oldest first) of which the first
+    ``published_count`` have been broadcast; ``public_tip_id`` is the first-seen
+    longest published block of the local view outside the private branch.
+    """
+
+    __slots__ = ("strategy", "anchor_id", "branch", "published_count", "public_tip_id")
+
+    def __init__(
+        self, index: int, spec: MinerSpec, strategy: MiningStrategy, genesis_id: int
+    ) -> None:
+        super().__init__(index, spec)
+        self.known.add(genesis_id)
+        self.strategy = strategy
+        self.anchor_id = genesis_id
+        self.branch: list[int] = []
+        self.published_count = 0
+        self.public_tip_id = genesis_id
+
+    def tip_id(self) -> int:
+        """Block the pool mines on (its own private tip)."""
+        return self.branch[-1] if self.branch else self.anchor_id
+
+
+@dataclass(frozen=True)
+class _RaceNumbers:
+    """The three integers a :class:`~repro.strategies.base.RaceView` exposes."""
+
+    private_length: int
+    public_length: int
+    published_count: int
+
+
+class NetworkSimulator:
+    """Simulate one run of N miners racing over an explicit network."""
+
+    def __init__(self, config: SimulationConfig, *, topology: Topology | None = None) -> None:
+        self.config = config
+        self.topology = topology if topology is not None else build_topology(config)
+        self.tree = BlockTree()
+        self.rng = RandomSource(config.seed)
+        self.queue = EventQueue()
+        genesis_id = self.tree.genesis.block_id
+        self.miners: list[_MinerState] = []
+        for index, spec in enumerate(self.topology.miners):
+            if spec.is_strategic:
+                state: _MinerState = _PoolState(index, spec, make_strategy(spec.strategy), genesis_id)
+            else:
+                state = _HonestState(index, spec, genesis_id)
+            self.miners.append(state)
+        self._cumulative_power = list(accumulate(spec.hash_power for spec in self.topology.miners))
+        self._miner_of_block: dict[int, int] = {}
+        self._events_run = 0
+        self.tie_wins = 0
+        self.tie_losses = 0
+
+    # ------------------------------------------------------------------ public API
+    def run(self) -> NetworkSimulationResult:
+        """Mine ``config.num_blocks`` blocks, settle rewards, and return the result."""
+        self.queue.push(self._interarrival(), MineEvent())
+        while self.queue:
+            time, event = self.queue.pop()
+            if isinstance(event, MineEvent):
+                self._mine(time)
+                self._events_run += 1
+                if self._events_run < self.config.num_blocks:
+                    self.queue.push(time + self._interarrival(), MineEvent())
+            else:
+                self._deliver(time, event.block_id, event.dst)
+        self.finalise()
+        settlement = self.settle()
+        return self._build_result(settlement)
+
+    def finalise(self) -> None:
+        """Publish whatever every pool still withholds (end-of-run cleanup)."""
+        for miner in self.miners:
+            if isinstance(miner, _PoolState):
+                for block_id in miner.branch[miner.published_count :]:
+                    self.tree.publish(block_id)
+                miner.published_count = len(miner.branch)
+
+    def settle(self) -> ChainSettlement:
+        """Validate the finished tree (optionally) and settle rewards on the longest chain."""
+        if self.config.validate_chain:
+            validate_tree(
+                self.tree,
+                max_uncles_per_block=self.config.max_uncles_per_block,
+                max_uncle_distance=self.config.max_uncle_distance,
+            )
+        tip = LongestChainRule().best_tip(self.tree, published_only=True)
+        return settle_rewards(
+            self.tree,
+            tip.block_id,
+            self.config.schedule,
+            skip_heights_below=self.config.warmup_blocks,
+        )
+
+    # ------------------------------------------------------------------ randomness
+    def _interarrival(self) -> float:
+        """One draw of the network-wide time to the next block (exponential)."""
+        return -self.topology.block_interval * math.log(1.0 - self.rng.uniform())
+
+    def _pick_miner(self) -> _MinerState:
+        """The finder of the next block, drawn from the hash-power distribution."""
+        draw = self.rng.uniform()
+        # Clamp for the (float-rounding) case of a draw at or above the last edge.
+        return self.miners[min(bisect_right(self._cumulative_power, draw), len(self.miners) - 1)]
+
+    # ------------------------------------------------------------------ propagation
+    def _broadcast(self, src: _MinerState, block_id: int, time: float) -> None:
+        """Publish ``block_id`` and schedule one delivery per other miner."""
+        self.tree.publish(block_id)
+        for dst in self.miners:
+            if dst.index == src.index:
+                continue
+            delay = self.topology.link_model(src.index, dst.index).sample(
+                src.index, dst.index, self.rng
+            )
+            self.queue.push(time + delay, DeliverEvent(block_id=block_id, dst=dst.index))
+
+    def _deliver(self, time: float, block_id: int, dst_index: int) -> None:
+        miner = self.miners[dst_index]
+        if block_id in miner.known:
+            return
+        block = self.tree.block(block_id)
+        if block.parent_id not in miner.known:
+            # Out-of-order arrival: hold the block until its parent is known.
+            miner.waiting.setdefault(block.parent_id, []).append(block_id)
+            return
+        self._receive(miner, block, time)
+        # The arrival may release buffered descendants, oldest ancestors first.
+        released = miner.waiting.pop(block_id, None)
+        while released:
+            next_ids = []
+            for held_id in released:
+                held = self.tree.block(held_id)
+                self._receive(miner, held, time)
+                next_ids.extend(miner.waiting.pop(held_id, ()))
+            released = next_ids
+
+    def _receive(self, miner: _MinerState, block: Block, time: float) -> None:
+        miner.known.add(block.block_id)
+        if isinstance(miner, _PoolState):
+            self._pool_observes(miner, block, time)
+        else:
+            self._honest_observes(miner, block, time)
+
+    # ------------------------------------------------------------------ honest miners
+    def _honest_observes(self, miner: _HonestState, block: Block, time: float) -> None:
+        if block.height > miner.preferred_height:
+            miner.preferred_id = block.block_id
+            miner.preferred_height = block.height
+            miner.preferred_since = time
+            return
+        if block.height != miner.preferred_height or block.block_id == miner.preferred_id:
+            return
+        # Equal-height competitor.  First-seen wins, except for blocks arriving in
+        # the very same instant as the incumbent — the zero-latency signature of a
+        # pool match — where the paper's gamma coin decides which branch this
+        # miner's hash power joins.
+        if time != miner.preferred_since:
+            return
+        incumbent_is_pool = self.tree.block(miner.preferred_id).miner.is_pool
+        challenger_is_pool = block.miner.is_pool
+        if challenger_is_pool == incumbent_is_pool:
+            return
+        switch_probability = (
+            self.config.params.gamma if challenger_is_pool else 1.0 - self.config.params.gamma
+        )
+        if self.rng.uniform() < switch_probability:
+            miner.preferred_id = block.block_id
+
+    def _honest_mines(self, miner: _HonestState, time: float) -> None:
+        parent_id = miner.preferred_id
+        self._count_tie(miner, parent_id)
+        block = self._create_block(miner, parent_id, published=True)
+        miner.preferred_id = block.block_id
+        miner.preferred_height = block.height
+        miner.preferred_since = time
+        self._broadcast(miner, block.block_id, time)
+
+    def _count_tie(self, miner: _HonestState, parent_id: int) -> None:
+        """Track whether this honest block settles an equal-height fork, and for whom."""
+        parent = self.tree.block(parent_id)
+        if parent.is_genesis:
+            return
+        competitors = [
+            other
+            for other in self.tree.blocks_at_height(parent.height)
+            if other.block_id != parent_id and other.block_id in miner.known
+        ]
+        if not competitors:
+            return
+        if parent.miner.is_pool and any(other.miner.is_honest for other in competitors):
+            self.tie_wins += 1
+        elif parent.miner.is_honest and any(other.miner.is_pool for other in competitors):
+            self.tie_losses += 1
+
+    # ------------------------------------------------------------------ strategic miners
+    def _race_numbers(self, pool: _PoolState) -> _RaceNumbers:
+        """Recompute the pool's race view against its current public tip.
+
+        As a side effect the private branch is trimmed when the public chain has
+        absorbed a prefix of it (the fork point moved up), mirroring the chain
+        engine's bookkeeping.
+        """
+        tree = self.tree
+        tip_id = pool.tip_id()
+        fork = tree.fork_point(tip_id, pool.public_tip_id)
+        anchor_height = tree.block(pool.anchor_id).height
+        if fork.height > anchor_height:
+            # The fork point moved up into the private branch: the agreed prefix
+            # leaves the race and the anchor advances to the fork point.
+            agreed = fork.height - anchor_height
+            if pool.branch[agreed - 1] != fork.block_id:
+                raise SimulationError(
+                    f"miner {pool.spec.name!r}: fork point {fork.block_id} is not on "
+                    "the private branch"
+                )
+            pool.branch = pool.branch[agreed:]
+            pool.published_count = max(0, pool.published_count - agreed)
+            pool.anchor_id = fork.block_id
+            anchor_height = fork.height
+        foreign_prefix = anchor_height - fork.height  # published blocks below the anchor
+        return _RaceNumbers(
+            private_length=len(pool.branch) + foreign_prefix,
+            public_length=tree.block(pool.public_tip_id).height - fork.height,
+            published_count=pool.published_count + foreign_prefix,
+        )
+
+    def _pool_observes(self, pool: _PoolState, block: Block, time: float) -> None:
+        if block.height <= self.tree.block(pool.public_tip_id).height:
+            return  # not a new best public chain: first-seen tip stands
+        pool.public_tip_id = block.block_id
+        race = self._race_numbers(pool)
+        self._apply(pool, pool.strategy.after_honest_block(race), race, time)
+
+    def _pool_mines(self, pool: _PoolState, time: float) -> None:
+        block = self._create_block(pool, pool.tip_id(), published=False)
+        pool.branch.append(block.block_id)
+        race = self._race_numbers(pool)
+        self._apply(pool, pool.strategy.after_pool_block(race), race, time)
+
+    def _apply(self, pool: _PoolState, action: Action, race: _RaceNumbers, time: float) -> None:
+        if action is Action.WITHHOLD:
+            return
+        if action is Action.PUBLISH:
+            self._publish_pool_blocks(pool, upto=pool.published_count + 1, time=time)
+        elif action is Action.MATCH:
+            # Reveal until the published part of the private chain is as long as
+            # the competing public chain (race.published_count counts published
+            # blocks above the fork point, including any foreign prefix).
+            missing = race.public_length - race.published_count
+            self._publish_pool_blocks(pool, upto=pool.published_count + max(0, missing), time=time)
+        elif action is Action.OVERRIDE:
+            self._publish_pool_blocks(pool, upto=len(pool.branch), time=time)
+            pool.anchor_id = pool.tip_id()
+            pool.branch = []
+            pool.published_count = 0
+            pool.public_tip_id = pool.anchor_id
+        elif action is Action.ADOPT:
+            pool.anchor_id = pool.public_tip_id
+            pool.branch = []
+            pool.published_count = 0
+        else:  # pragma: no cover - exhaustive over the Action enum
+            raise SimulationError(f"strategy emitted unknown action {action!r}")
+
+    def _publish_pool_blocks(self, pool: _PoolState, *, upto: int, time: float) -> None:
+        upto = min(upto, len(pool.branch))
+        for position in range(pool.published_count, upto):
+            self._broadcast(pool, pool.branch[position], time)
+        pool.published_count = max(pool.published_count, upto)
+
+    # ------------------------------------------------------------------ block creation
+    def _mine(self, time: float) -> None:
+        miner = self._pick_miner()
+        if isinstance(miner, _PoolState):
+            self._pool_mines(miner, time)
+        else:
+            self._honest_mines(miner, time)
+
+    def _select_uncles(self, miner: _MinerState, parent_id: int) -> list[int]:
+        """Uncle references for a block mined on ``parent_id``, from the local view."""
+        if self.config.max_uncles_per_block == 0 or self.config.max_uncle_distance == 0:
+            return []
+        new_height = self.tree.block(parent_id).height + 1
+        candidates = [
+            candidate
+            for candidate in self.tree.uncle_candidates(
+                new_height - self.config.max_uncle_distance, new_height - 1
+            )
+            if candidate.block_id in miner.known
+        ]
+        chosen = eligible_uncles(
+            self.tree, parent_id, candidates, max_distance=self.config.max_uncle_distance
+        )
+        return [block.block_id for block in chosen[: self.config.max_uncles_per_block]]
+
+    def _create_block(self, miner: _MinerState, parent_id: int, *, published: bool) -> Block:
+        kind = MinerKind.POOL if miner.spec.counts_as_pool else MinerKind.HONEST
+        block = self.tree.add_block(
+            parent_id,
+            kind,
+            miner_index=miner.index,
+            created_at=self._events_run,
+            uncle_ids=self._select_uncles(miner, parent_id),
+            published=published,
+        )
+        miner.known.add(block.block_id)
+        miner.blocks_mined += 1
+        self._miner_of_block[block.block_id] = miner.index
+        return block
+
+    # ------------------------------------------------------------------ results
+    def _build_result(self, settlement: ChainSettlement) -> NetworkSimulationResult:
+        outcomes = []
+        for miner in self.miners:
+            kind = MinerKind.POOL if miner.spec.counts_as_pool else MinerKind.HONEST
+            rewards = settlement.per_miner.get((kind, miner.index), PartyRewards())
+            outcomes.append(
+                MinerOutcome(
+                    name=miner.spec.name,
+                    strategy=miner.spec.strategy,
+                    hash_power=miner.spec.hash_power,
+                    rewards=rewards,
+                    blocks_mined=miner.blocks_mined,
+                )
+            )
+        return NetworkSimulationResult(
+            config=self.config,
+            pool_rewards=settlement.split.pool,
+            honest_rewards=settlement.split.honest,
+            regular_blocks=float(settlement.regular_blocks),
+            pool_regular_blocks=float(settlement.pool_regular_blocks),
+            honest_regular_blocks=float(settlement.honest_regular_blocks),
+            uncle_blocks=float(settlement.uncle_blocks),
+            pool_uncle_blocks=float(settlement.pool_uncle_blocks),
+            honest_uncle_blocks=float(settlement.honest_uncle_blocks),
+            stale_blocks=float(settlement.stale_blocks),
+            total_blocks=float(settlement.total_blocks),
+            num_events=self._events_run,
+            honest_uncle_distance_counts=dict(settlement.honest_uncle_distance_counts),
+            pool_uncle_distance_counts=dict(settlement.pool_uncle_distance_counts),
+            miners=tuple(outcomes),
+            tie_wins=self.tie_wins,
+            tie_losses=self.tie_losses,
+        )

@@ -1,0 +1,253 @@
+"""Network topologies: who mines, with how much hash power, behind which links.
+
+A :class:`Topology` lists the network's miners (:class:`MinerSpec`: name, hash
+power, behaviour) and the latency of every directed link.  Links default to one
+shared :class:`~repro.network.latency.LatencyModel`; individual links can be
+overridden per ``(src, dst)`` miner-name pair, which is how eclipse-style
+scenarios (one victim behind slow links) are expressed.
+
+Two factory helpers cover the common cases:
+
+* :func:`single_pool_topology` — the paper's setting: one strategic pool of size
+  ``alpha`` against a population of equal honest miners;
+* :func:`multi_pool_topology` — several strategic pools racing simultaneously
+  against the honest rest.
+
+:func:`build_topology` resolves a :class:`~repro.simulation.config.SimulationConfig`
+into a concrete topology (explicit ``config.topology`` wins; otherwise the
+single-pool default is derived from ``config.params`` and ``config.strategy``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..errors import ParameterError
+from ..strategies import available_strategies
+from .latency import LatencyModel, ZeroLatency, make_latency
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config imports topology)
+    from ..simulation.config import SimulationConfig
+
+#: Honest miners in the default (derived) topologies.  Per-miner statistics do not
+#: depend on the honest population size, but delivery fan-out costs one event per
+#: miner per block, so the default favours a small population.
+DEFAULT_HONEST_MINERS = 8
+
+#: Strategy name marking a protocol-following miner.
+HONEST = "honest"
+
+
+@dataclass(frozen=True)
+class MinerSpec:
+    """One miner of the network: its name, hash-power share and behaviour.
+
+    ``pool`` controls which *party* the miner's blocks and rewards are attributed
+    to in the aggregate pool/honest split (``None`` means "pool iff strategic").
+    Setting ``pool=True`` on an honest-strategy miner keeps a pool's honest
+    baseline comparable across backends: the chain and Markov engines attribute
+    the honestly-mining pool's blocks to the pool party, and the derived
+    single-pool network topology does the same.
+    """
+
+    name: str
+    hash_power: float
+    strategy: str = HONEST
+    pool: bool | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("miner name must be non-empty")
+        if not 0.0 < self.hash_power < 1.0:
+            raise ParameterError(
+                f"hash_power of miner {self.name!r} must lie in (0, 1), got {self.hash_power}"
+            )
+        if self.strategy not in available_strategies():
+            raise ParameterError(
+                f"unknown mining strategy {self.strategy!r} for miner {self.name!r}; "
+                f"available: {', '.join(available_strategies())}"
+            )
+
+    @property
+    def is_strategic(self) -> bool:
+        """True when the miner runs a non-honest strategy (an attacking pool)."""
+        return self.strategy != HONEST
+
+    @property
+    def counts_as_pool(self) -> bool:
+        """Party attribution: the explicit ``pool`` flag, defaulting to strategic."""
+        return self.pool if self.pool is not None else self.is_strategic
+
+
+@dataclass(frozen=True)
+class Topology:
+    """The network: miners, link latencies, and the mining-time scale.
+
+    Attributes
+    ----------
+    miners:
+        The network's miners; hash powers must sum to one.
+    latency:
+        Default delay model of every directed link (spec string or model).
+    link_latencies:
+        Per-link overrides keyed by ``(src_name, dst_name)``.
+    block_interval:
+        Mean time between consecutive blocks network-wide; latencies use the same
+        unit, so ``latency mean / block_interval`` is the dimensionless knob the
+        emergent-``gamma`` experiments sweep.
+    """
+
+    miners: tuple[MinerSpec, ...]
+    latency: LatencyModel | str = field(default_factory=ZeroLatency)
+    link_latencies: Mapping[tuple[str, str], LatencyModel | str] = field(default_factory=dict)
+    block_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.miners) < 2:
+            raise ParameterError("a topology needs at least two miners")
+        names = [miner.name for miner in self.miners]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"miner names must be unique, got {names}")
+        total = sum(miner.hash_power for miner in self.miners)
+        if not math.isclose(total, 1.0, rel_tol=0.0, abs_tol=1e-9):
+            raise ParameterError(f"miner hash powers must sum to 1, got {total}")
+        if not self.block_interval > 0.0:
+            raise ParameterError(f"block_interval must be positive, got {self.block_interval}")
+        object.__setattr__(self, "miners", tuple(self.miners))
+        object.__setattr__(self, "latency", make_latency(self.latency))
+        resolved_links: dict[tuple[str, str], LatencyModel] = {}
+        for (src, dst), model in dict(self.link_latencies).items():
+            for endpoint in (src, dst):
+                if endpoint not in names:
+                    raise ParameterError(
+                        f"link ({src!r}, {dst!r}) references unknown miner {endpoint!r}"
+                    )
+            if src == dst:
+                raise ParameterError(f"self-link ({src!r}, {dst!r}) is not allowed")
+            resolved_links[(src, dst)] = make_latency(model)
+        object.__setattr__(self, "link_latencies", resolved_links)
+
+    @property
+    def num_miners(self) -> int:
+        """Number of miners in the network."""
+        return len(self.miners)
+
+    @property
+    def strategic_miners(self) -> tuple[MinerSpec, ...]:
+        """The attacking pools (miners running a non-honest strategy)."""
+        return tuple(miner for miner in self.miners if miner.is_strategic)
+
+    def link_model(self, src_index: int, dst_index: int) -> LatencyModel:
+        """The latency model of the directed link ``src -> dst`` (by miner index)."""
+        key = (self.miners[src_index].name, self.miners[dst_index].name)
+        override = self.link_latencies.get(key)
+        return override if override is not None else self.latency  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        pools = ", ".join(
+            f"{miner.name}({miner.strategy}, {miner.hash_power:g})"
+            for miner in self.strategic_miners
+        )
+        honest_power = sum(m.hash_power for m in self.miners if not m.is_strategic)
+        return (
+            f"Topology({self.num_miners} miners, pools=[{pools}], "
+            f"honest={honest_power:g}, latency={getattr(self.latency, 'name', self.latency)}, "
+            f"interval={self.block_interval:g})"
+        )
+
+
+def _honest_specs(total_power: float, count: int) -> list[MinerSpec]:
+    if count < 1:
+        raise ParameterError(f"num_honest must be positive, got {count}")
+    if not total_power > 0.0:
+        raise ParameterError(
+            f"honest miners must hold positive hash power, got {total_power} "
+            "(pools own everything)"
+        )
+    share = total_power / count
+    return [MinerSpec(name=f"honest-{index}", hash_power=share) for index in range(count)]
+
+
+def single_pool_topology(
+    alpha: float,
+    *,
+    strategy: str = "selfish",
+    num_honest: int = DEFAULT_HONEST_MINERS,
+    latency: LatencyModel | str = "zero",
+    link_latencies: Mapping[tuple[str, str], LatencyModel | str] | None = None,
+    block_interval: float = 1.0,
+) -> Topology:
+    """The paper's setting: one pool of size ``alpha`` vs equal honest miners."""
+    miners = [MinerSpec(name="pool", hash_power=alpha, strategy=strategy, pool=True)]
+    miners += _honest_specs(1.0 - alpha, num_honest)
+    return Topology(
+        miners=tuple(miners),
+        latency=latency,
+        link_latencies=link_latencies or {},
+        block_interval=block_interval,
+    )
+
+
+def multi_pool_topology(
+    pools: Sequence[tuple[float, str]] | Sequence[float],
+    *,
+    num_honest: int = DEFAULT_HONEST_MINERS,
+    latency: LatencyModel | str = "zero",
+    link_latencies: Mapping[tuple[str, str], LatencyModel | str] | None = None,
+    block_interval: float = 1.0,
+) -> Topology:
+    """Several strategic pools racing at once against the honest rest.
+
+    ``pools`` is a sequence of ``(alpha, strategy)`` pairs; bare floats default to
+    the paper's selfish strategy.  Pools are named ``pool-0``, ``pool-1``, ... in
+    input order.
+    """
+    if not pools:
+        raise ParameterError("multi_pool_topology needs at least one pool")
+    specs: list[MinerSpec] = []
+    total_pool_power = 0.0
+    for index, entry in enumerate(pools):
+        if isinstance(entry, tuple):
+            alpha, strategy = entry
+        else:
+            alpha, strategy = entry, "selfish"
+        specs.append(MinerSpec(name=f"pool-{index}", hash_power=alpha, strategy=strategy, pool=True))
+        total_pool_power += alpha
+    specs += _honest_specs(1.0 - total_pool_power, num_honest)
+    return Topology(
+        miners=tuple(specs),
+        latency=latency,
+        link_latencies=link_latencies or {},
+        block_interval=block_interval,
+    )
+
+
+def build_topology(config: "SimulationConfig") -> Topology:
+    """Resolve a simulation configuration into a concrete network topology.
+
+    An explicit ``config.topology`` wins.  Otherwise the paper's single-pool
+    setting is derived from ``config.params`` and ``config.strategy``, with the
+    honest hash power split over :data:`DEFAULT_HONEST_MINERS` equal miners (capped
+    by ``config.num_honest_miners``) and ``config.latency`` (default zero) on every
+    link.
+    """
+    if config.topology is not None:
+        return config.topology
+    alpha = config.params.alpha
+    if not alpha > 0.0:
+        # A zero-size pool mines nothing: degrade to an all-honest network so that
+        # alpha sweeps starting at 0 work on every backend (the pool party then
+        # earns exactly zero, as it does on the chain backend).
+        return Topology(
+            miners=tuple(_honest_specs(1.0, min(DEFAULT_HONEST_MINERS, config.num_honest_miners))),
+            latency=config.latency if config.latency is not None else "zero",
+        )
+    return single_pool_topology(
+        alpha,
+        strategy=config.strategy_name,
+        num_honest=min(DEFAULT_HONEST_MINERS, config.num_honest_miners),
+        latency=config.latency if config.latency is not None else "zero",
+    )

@@ -5,11 +5,20 @@ parameters, the reward schedule, the run length, protocol limits for uncle
 referencing, the warm-up prefix dropped from the statistics, and the random seed.
 The defaults mirror the paper's evaluation setup (Section V): 1000 equal miners,
 100 000 blocks per run, ``gamma = 0.5``.
+
+The network backend adds two optional fields: ``topology`` (an explicit
+:class:`~repro.network.topology.Topology` — several pools, per-link latency
+overrides) and ``latency`` (a latency model or spec string applied to the derived
+single-pool topology when no explicit topology is given).  Both are ignored by the
+``chain`` and ``markov`` backends, whose network model is the paper's instantaneous
+broadcast.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from ..constants import (
     MAX_UNCLE_DISTANCE,
@@ -21,6 +30,17 @@ from ..errors import ParameterError
 from ..params import MiningParams
 from ..rewards.schedule import EthereumByzantiumSchedule, RewardSchedule
 from ..strategies import MiningStrategy, available_strategies, make_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from ..network.latency import LatencyModel
+    from ..network.topology import Topology
+
+#: Message of the deprecation warning emitted when the legacy ``selfish`` flag is
+#: used (tests pin it; keep the first words stable for warning filters).
+SELFISH_FLAG_DEPRECATION = (
+    "the 'selfish' flag of SimulationConfig is deprecated; "
+    "select the pool behaviour with strategy='selfish' / strategy='honest' instead"
+)
 
 
 @dataclass(frozen=True)
@@ -43,12 +63,20 @@ class SimulationConfig:
         aggregate honest behaviour is identical for any value).
     strategy:
         Name of the pool's mining strategy (see :func:`repro.strategies.available_strategies`).
-        ``None`` defers to the deprecated ``selfish`` flag.
+        ``None`` defers to the deprecated ``selfish`` flag (default: selfish).
     selfish:
         Deprecated alias kept for backwards compatibility: ``selfish=False`` is
-        shorthand for ``strategy="honest"``, ``selfish=True`` (the default) for
-        ``strategy="selfish"``.  An explicit ``strategy`` wins; combining
-        ``selfish=False`` with a non-honest ``strategy`` is rejected.
+        shorthand for ``strategy="honest"``, ``selfish=True`` for
+        ``strategy="selfish"``.  Setting it emits a :class:`DeprecationWarning`;
+        an explicit ``strategy`` wins, and combining ``selfish=False`` with a
+        non-honest ``strategy`` is rejected.
+    topology:
+        Explicit network topology for the ``network`` backend (``None`` derives the
+        paper's single-pool setting from ``params`` and ``strategy``).
+    latency:
+        Link latency model (or spec string such as ``"exponential:0.2"``) applied
+        to the *derived* single-pool topology; ignored when ``topology`` is given
+        (the topology carries its own latency configuration).
     max_uncles_per_block, max_uncle_distance:
         Protocol limits applied when composing blocks.
     warmup_blocks:
@@ -65,7 +93,9 @@ class SimulationConfig:
     seed: int = 0
     num_honest_miners: int = PAPER_NUM_MINERS - 1
     strategy: str | None = None
-    selfish: bool = True
+    selfish: bool | None = None
+    topology: "Topology | None" = None
+    latency: "LatencyModel | str | None" = None
     max_uncles_per_block: int = MAX_UNCLES_PER_BLOCK
     max_uncle_distance: int = MAX_UNCLE_DISTANCE
     warmup_blocks: int = 0
@@ -90,39 +120,73 @@ class SimulationConfig:
                     f"unknown mining strategy {self.strategy!r}; "
                     f"available: {', '.join(available_strategies())}"
                 )
-            if not self.selfish and self.strategy != "honest":
+            if self.selfish is not None and not self.selfish and self.strategy != "honest":
                 raise ParameterError(
                     f"selfish=False conflicts with strategy={self.strategy!r}; "
                     "drop the deprecated selfish flag when selecting a strategy"
                 )
+        # Warn only after validation so the both-set error keeps precedence even
+        # when DeprecationWarning is escalated to an error (-W error::DeprecationWarning).
+        if self.selfish is not None:
+            warnings.warn(SELFISH_FLAG_DEPRECATION, DeprecationWarning, stacklevel=3)
+        if self.topology is not None:
+            from ..network.topology import Topology
+
+            if not isinstance(self.topology, Topology):
+                raise ParameterError(
+                    f"topology must be a repro.network.topology.Topology, got {self.topology!r}"
+                )
+        if self.latency is not None:
+            from ..network.latency import make_latency
+
+            object.__setattr__(self, "latency", make_latency(self.latency))
 
     @property
     def strategy_name(self) -> str:
         """The resolved strategy name (``strategy`` field, falling back to ``selfish``)."""
         if self.strategy is not None:
             return self.strategy
-        return "selfish" if self.selfish else "honest"
+        if self.selfish is not None:
+            return "selfish" if self.selfish else "honest"
+        return "selfish"
 
     def make_strategy(self) -> MiningStrategy:
         """Instantiate the pool's mining strategy for this configuration."""
         return make_strategy(self.strategy_name)
 
+    def _replace_resolved(self, **changes: object) -> "SimulationConfig":
+        """``dataclasses.replace`` with the legacy ``selfish`` flag resolved away.
+
+        The derived copies carry the resolved ``strategy`` name and ``selfish=None``
+        so that copying a legacy configuration does not re-emit the deprecation
+        warning on every derived run.
+        """
+        changes.setdefault("strategy", self.strategy_name)
+        return replace(self, selfish=None, **changes)
+
     def with_strategy(self, strategy: str) -> "SimulationConfig":
         """A copy of this configuration running a different mining strategy."""
-        return replace(self, strategy=strategy, selfish=strategy != "honest")
+        return self._replace_resolved(strategy=strategy)
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         """A copy of this configuration with a different seed (used by the runner)."""
-        return replace(self, seed=seed)
+        return self._replace_resolved(seed=seed)
 
     def with_params(self, params: MiningParams) -> "SimulationConfig":
         """A copy of this configuration at a different ``(alpha, gamma)`` point."""
-        return replace(self, params=params)
+        return self._replace_resolved(params=params)
+
+    def with_topology(self, topology: "Topology") -> "SimulationConfig":
+        """A copy of this configuration running on an explicit network topology."""
+        return self._replace_resolved(topology=topology)
 
     def describe(self) -> str:
         """One-line human-readable summary."""
-        return (
+        parts = [
             f"SimulationConfig({self.params.describe()}, blocks={self.num_blocks}, "
             f"seed={self.seed}, strategy={self.strategy_name}, "
-            f"schedule={type(self.schedule).__name__})"
-        )
+            f"schedule={type(self.schedule).__name__}"
+        ]
+        if self.topology is not None:
+            parts.append(f", topology={self.topology.describe()}")
+        return "".join(parts) + ")"

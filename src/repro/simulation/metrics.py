@@ -55,9 +55,16 @@ class SimulationResult:
 
     @property
     def relative_pool_revenue(self) -> float:
-        """The pool's share of all rewards (the paper's ``Rs``)."""
+        """The pool's share of all rewards (the paper's ``Rs``).
+
+        A degenerate run that paid no reward at all has no meaningful revenue
+        share, so — consistently with :meth:`pool_absolute_revenue` — it raises
+        instead of silently reporting ``0.0``.
+        """
         total = self.total_reward
-        return self.pool_rewards.total / total if total > 0 else 0.0
+        if total <= 0:
+            raise SimulationError("run paid no rewards; relative revenue is undefined")
+        return self.pool_rewards.total / total
 
     def normaliser(self, scenario: Scenario) -> float:
         """Block count the chosen difficulty rule holds constant (per Section IV-E.2)."""
@@ -135,6 +142,82 @@ class SimulationResult:
 
 
 @dataclass(frozen=True)
+class MinerOutcome:
+    """Per-miner outcome of a network-backend run (generalised pool/honest split)."""
+
+    name: str
+    strategy: str
+    hash_power: float
+    rewards: PartyRewards
+    blocks_mined: int
+
+    @property
+    def is_strategic(self) -> bool:
+        """True when the miner ran a non-honest strategy (an attacking pool)."""
+        return self.strategy != "honest"
+
+
+@dataclass(frozen=True)
+class NetworkSimulationResult(SimulationResult):
+    """A :class:`SimulationResult` with per-miner outcomes and emergent-tie statistics.
+
+    The aggregate pool/honest split sums the strategic miners into the "pool" party
+    and everyone else into the "honest" party, so every consumer of
+    :class:`SimulationResult` (aggregation, sweeps, reports) works unchanged; the
+    per-miner breakdown and the tie counters are additional views.
+
+    ``tie_wins`` / ``tie_losses`` count honest blocks mined on an attacker branch /
+    on an honest branch while the miner's local view contained an equal-height
+    competitor of the other party; their ratio is the *emergent* tie-breaking
+    capability the paper models as the exogenous parameter ``gamma``.
+    """
+
+    miners: tuple[MinerOutcome, ...] = ()
+    tie_wins: int = 0
+    tie_losses: int = 0
+
+    @property
+    def tie_count(self) -> int:
+        """Number of honest blocks mined while facing an equal-height fork."""
+        return self.tie_wins + self.tie_losses
+
+    @property
+    def effective_gamma(self) -> float | None:
+        """Fraction of contested honest blocks that extended an attacker branch.
+
+        ``None`` when the run produced no contested blocks (e.g. an all-honest
+        zero-latency network, which never forks).
+        """
+        if self.tie_count == 0:
+            return None
+        return self.tie_wins / self.tie_count
+
+    def miner_relative_revenue(self, name: str) -> float:
+        """One miner's share of all rewards paid during the run."""
+        total = self.total_reward
+        if total <= 0:
+            raise SimulationError("run paid no rewards; relative revenue is undefined")
+        for miner in self.miners:
+            if miner.name == name:
+                return miner.rewards.total / total
+        raise SimulationError(f"no miner named {name!r} in this result")
+
+
+def mean_effective_gamma(results: Sequence[SimulationResult]) -> MeanStd:
+    """Mean and spread of the emergent tie ratio over several network runs.
+
+    Runs without any contested block (``effective_gamma is None``) are skipped;
+    with no contested run at all the count is zero.
+    """
+    values = [
+        result.effective_gamma
+        for result in results
+        if isinstance(result, NetworkSimulationResult) and result.effective_gamma is not None
+    ]
+    return mean_std(values)
+
+
+@dataclass(frozen=True)
 class MeanStd:
     """A sample mean together with its sample standard deviation."""
 
@@ -146,7 +229,12 @@ class MeanStd:
         return f"{self.mean:.4f} +/- {self.std:.4f} (n={self.count})"
 
 
-def _mean_std(values: Sequence[float]) -> MeanStd:
+def mean_std(values: Sequence[float]) -> MeanStd:
+    """Sample mean and (n-1)-normalised standard deviation of ``values``.
+
+    Zero values yield a zero-count record; a single value has zero spread.  This
+    is the one definition every aggregate in the package uses.
+    """
     count = len(values)
     if count == 0:
         return MeanStd(mean=0.0, std=0.0, count=0)
@@ -155,6 +243,10 @@ def _mean_std(values: Sequence[float]) -> MeanStd:
         return MeanStd(mean=mean, std=0.0, count=1)
     variance = sum((value - mean) ** 2 for value in values) / (count - 1)
     return MeanStd(mean=mean, std=math.sqrt(variance), count=count)
+
+
+#: Backwards-compatible private alias (pre-PR 3 spelling).
+_mean_std = mean_std
 
 
 @dataclass(frozen=True)

@@ -28,8 +28,11 @@ from .fast import MarkovMonteCarlo
 from .metrics import AggregatedResult, SimulationResult, aggregate_results
 from .rng import RandomSource
 
-#: Names of the available simulator backends.
-BACKENDS = ("chain", "markov")
+#: Names of the available simulator backends.  ``chain`` and ``markov`` implement
+#: the paper's instantaneous-broadcast model; ``network`` is the event-driven
+#: latency-aware simulator of :mod:`repro.network` (per-miner local views,
+#: emergent tie-breaking, multiple simultaneous pools).
+BACKENDS = ("chain", "markov", "network")
 
 
 def _build_simulator(config: SimulationConfig, backend: str):
@@ -37,6 +40,11 @@ def _build_simulator(config: SimulationConfig, backend: str):
         return ChainSimulator(config)
     if backend == "markov":
         return MarkovMonteCarlo(config)
+    if backend == "network":
+        # Imported lazily: repro.network imports this package's config module.
+        from ..network.simulator import NetworkSimulator
+
+        return NetworkSimulator(config)
     raise SimulationError(f"unknown simulator backend {backend!r}; expected one of {BACKENDS}")
 
 

@@ -1,0 +1,37 @@
+"""Shared process-pool dispatch for deterministic, independent tasks.
+
+Several experiment drivers fan independent deterministic solves out over a
+process pool (figure 10's per-``gamma`` thresholds, the discussion driver's four
+schedule/scenario solves).  :func:`parallel_map` is the one implementation of
+the "pool when asked, serial otherwise" pattern: results come back in input
+order either way, so for deterministic functions the output is identical to a
+serial run regardless of worker count.
+
+For *simulation* fan-out prefer :func:`repro.simulation.runner.run_many_grid`,
+which additionally owns the per-run seed-derivation protocol.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+
+def parallel_map(
+    function: Callable[[Task], Result],
+    tasks: Sequence[Task],
+    max_workers: int | None = None,
+) -> list[Result]:
+    """``[function(task) for task in tasks]``, optionally on a process pool.
+
+    ``max_workers`` of ``None`` or ``1`` (or fewer than two tasks) runs serially
+    in-process.  ``function`` and every task must be picklable; module-level
+    functions taking one argument satisfy this.
+    """
+    if max_workers is not None and max_workers > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(tasks))) as pool:
+            return list(pool.map(function, tasks))
+    return [function(task) for task in tasks]

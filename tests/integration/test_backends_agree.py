@@ -35,7 +35,7 @@ class TestBackendsAgree:
             schedule=EthereumByzantiumSchedule(),
             num_blocks=20_000,
             seed=5,
-            selfish=False,
+            strategy="honest",
         )
         chain = run_many(config, 2, backend="chain")
         assert chain.pool_absolute_scenario1.mean == pytest.approx(0.3, abs=0.02)

@@ -43,7 +43,7 @@ def _config_for(case: dict) -> SimulationConfig:
         schedule=SCHEDULES[case["schedule"]](),
         num_blocks=case["blocks"],
         seed=case["seed"],
-        selfish=case["selfish"],
+        strategy="selfish" if case["selfish"] else "honest",
         warmup_blocks=case.get("warmup", 0),
     )
 

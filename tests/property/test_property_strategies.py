@@ -11,6 +11,7 @@ integration suite; here the focus is on universally quantified safety properties
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -123,11 +124,11 @@ def test_decisions_are_total_and_deterministic(view, name):
     seed=st.integers(min_value=0, max_value=2**16),
 )
 def test_selfish_matches_deprecated_flag_spelling(alpha, gamma, seed):
-    """``strategy="selfish"`` and the legacy ``selfish=True`` are the same run."""
+    """``strategy="selfish"`` and the legacy ``selfish=True`` are the same run (which warns)."""
     params = MiningParams(alpha=alpha, gamma=gamma)
-    legacy = ChainSimulator(
-        SimulationConfig(params=params, num_blocks=150, seed=seed, selfish=True)
-    ).run()
+    with pytest.warns(DeprecationWarning, match="'selfish' flag"):
+        legacy_config = SimulationConfig(params=params, num_blocks=150, seed=seed, selfish=True)
+    legacy = ChainSimulator(legacy_config).run()
     explicit = ChainSimulator(
         SimulationConfig(params=params, num_blocks=150, seed=seed, strategy="selfish")
     ).run()

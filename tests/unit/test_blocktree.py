@@ -110,6 +110,34 @@ class TestWalks:
         ancestor = tree.common_ancestor(blocks[2].block_id, fork.block_id)
         assert ancestor.block_id == blocks[0].block_id
 
+    def test_fork_point_agrees_with_common_ancestor(self, tree):
+        blocks = build_linear_chain(tree, 5)
+        fork = tree.add_block(blocks[1].block_id, MinerKind.POOL)
+        deeper = tree.add_block(fork.block_id, MinerKind.POOL)
+        for first, second in [
+            (blocks[4].block_id, deeper.block_id),
+            (deeper.block_id, blocks[4].block_id),  # argument order is irrelevant
+            (blocks[4].block_id, blocks[2].block_id),  # one chain contains the other
+        ]:
+            assert (
+                tree.fork_point(first, second).block_id
+                == tree.common_ancestor(first, second).block_id
+            )
+
+    def test_fork_point_of_a_block_with_itself(self, tree):
+        blocks = build_linear_chain(tree, 2)
+        assert tree.fork_point(blocks[1].block_id, blocks[1].block_id).block_id == blocks[1].block_id
+
+    def test_fork_point_of_disjoint_branches_is_genesis(self, tree):
+        blocks = build_linear_chain(tree, 2)
+        other = tree.add_block(GENESIS_ID, MinerKind.POOL)
+        assert tree.fork_point(blocks[1].block_id, other.block_id).block_id == GENESIS_ID
+
+    def test_fork_point_unknown_block_rejected(self, tree):
+        build_linear_chain(tree, 1)
+        with pytest.raises(UnknownBlockError):
+            tree.fork_point(1, 999)
+
 
 class TestTipsAndHeights:
     def test_tips_of_linear_chain(self, tree):

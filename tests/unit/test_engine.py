@@ -83,7 +83,7 @@ class TestStrategyBehaviour:
         assert result.regular_blocks == result.total_blocks
 
     def test_honest_mode_produces_no_forks(self):
-        result = ChainSimulator(config(blocks=1500, selfish=False)).run()
+        result = ChainSimulator(config(blocks=1500, strategy="honest")).run()
         assert result.stale_blocks == 0
         assert result.uncle_blocks == 0
         assert result.relative_pool_revenue == pytest.approx(0.3, abs=0.05)

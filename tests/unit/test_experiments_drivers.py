@@ -9,6 +9,7 @@ from repro.experiments.discussion import run_discussion
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import figure9_schedules, run_figure9
 from repro.experiments.figure10 import run_figure10
+from repro.experiments.network import run_network
 from repro.experiments.strategies import run_strategy_comparison
 from repro.experiments.table2 import run_table2
 
@@ -154,9 +155,113 @@ class TestStrategyComparisonDriver:
         with pytest.raises(ParameterError):
             run_strategy_comparison(strategies=("quantum",), alphas=(0.3,))
 
+    def test_markov_backend_rejected_for_stubborn_strategies_up_front(self):
+        with pytest.raises(ParameterError, match="no transition model"):
+            run_strategy_comparison(simulation_backend="markov", alphas=(0.3,))
+
+    def test_markov_backend_accepted_for_supported_strategies(self):
+        result = run_strategy_comparison(
+            strategies=("honest", "selfish"),
+            alphas=(0.3,),
+            simulation_blocks=2000,
+            simulation_runs=1,
+            simulation_backend="markov",
+        )
+        assert result.backend == "markov"
+        assert result.relative_revenue("honest")[0] == pytest.approx(0.3, abs=0.04)
+
     def test_fast_mode_shrinks_the_run(self):
         result = run_strategy_comparison(fast=True, strategies=("selfish",))
         assert len(result.alphas) <= 3
+
+
+class TestFigure9SimulationOverlay:
+    def test_overlay_tracks_the_ethereum_analysis(self):
+        result = run_figure9(
+            alphas=(0.3,),
+            include_simulation=True,
+            simulation_blocks=5000,
+            simulation_runs=1,
+            simulation_backend="markov",
+            max_lead=30,
+        )
+        assert result.simulation is not None
+        analytical = result.sweeps["Ku(.)"].points[0].pool_absolute
+        simulated = result.simulation.pool_absolute_scenario1()[0]
+        assert simulated == pytest.approx(analytical, abs=0.05)
+        assert "Ku(.) pool (sim)" in result.report()
+
+    def test_default_is_analysis_only(self):
+        result = run_figure9(fast=True)
+        assert result.simulation is None
+
+
+class TestFigure10Workers:
+    def test_parallel_solve_matches_serial(self):
+        serial = run_figure10(gammas=[0.2, 0.8], max_lead=25)
+        parallel = run_figure10(gammas=[0.2, 0.8], max_lead=25, max_workers=2)
+        for first, second in zip(serial.points, parallel.points):
+            assert first.ethereum_scenario1.alpha_star == second.ethereum_scenario1.alpha_star
+            assert first.ethereum_scenario2.alpha_star == second.ethereum_scenario2.alpha_star
+
+
+class TestNetworkDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_network(
+            latency_means=(0.0, 0.4),
+            two_pool_grid=((0.2, 0.2),),
+            simulation_blocks=4000,
+            simulation_runs=2,
+            max_lead=30,
+        )
+
+    def test_zero_latency_point_recovers_the_configured_gamma(self, result):
+        first = result.latency_points[0]
+        assert first.mean_delay == 0.0
+        assert first.effective_gamma.mean == pytest.approx(result.gamma, abs=0.12)
+
+    def test_latency_erodes_effective_gamma(self, result):
+        gammas = result.effective_gammas()
+        assert gammas[-1] < gammas[0]
+
+    def test_model_closes_the_loop_at_the_measured_gamma(self, result):
+        for point in result.latency_points:
+            assert point.predicted_revenue is not None
+            assert point.relative_revenue.mean == pytest.approx(
+                point.predicted_revenue, abs=0.05
+            )
+
+    def test_two_pool_shares_are_consistent(self, result):
+        point = result.two_pool_points[0]
+        total = point.pool_revenues[0].mean + point.pool_revenues[1].mean
+        assert 0.0 < total < 1.0
+        assert point.honest_revenue == pytest.approx(1.0 - total)
+
+    def test_report_renders_both_tables(self, result):
+        text = result.report()
+        assert "emergent tie-breaking" in text
+        assert "two selfish pools" in text
+        assert "effective gamma" in text
+
+    def test_fast_mode_shrinks_the_grids(self):
+        result = run_network(fast=True)
+        assert len(result.latency_points) <= 3
+        assert len(result.two_pool_points) <= 1
+
+    def test_parallel_runs_match_serial(self):
+        serial = run_network(
+            latency_means=(0.1,), two_pool_grid=(), simulation_blocks=1500,
+            simulation_runs=2, max_lead=25,
+        )
+        parallel = run_network(
+            latency_means=(0.1,), two_pool_grid=(), simulation_blocks=1500,
+            simulation_runs=2, max_lead=25, max_workers=2,
+        )
+        assert (
+            serial.latency_points[0].relative_revenue.mean
+            == parallel.latency_points[0].relative_revenue.mean
+        )
 
 
 class TestDiscussionDriver:
@@ -177,3 +282,8 @@ class TestDiscussionDriver:
     def test_report_quotes_paper_numbers(self, result):
         text = result.report()
         assert "0.054" in text and "0.163" in text
+
+    def test_parallel_solve_matches_serial(self, result):
+        parallel = run_discussion(fast=True, max_workers=2)
+        assert parallel.current_scenario1.alpha_star == result.current_scenario1.alpha_star
+        assert parallel.proposed_scenario2.alpha_star == result.proposed_scenario2.alpha_star

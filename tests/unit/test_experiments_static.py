@@ -85,8 +85,32 @@ class TestCli:
         arguments = build_parser().parse_args(["strategies", "--fast"])
         assert arguments.experiment == "strategies"
 
+    def test_backend_flag_on_every_subcommand(self):
+        for name in ("figure8", "figure9", "table2", "strategies", "network", "table1"):
+            arguments = build_parser().parse_args([name, "--backend", "markov"])
+            assert arguments.backend == "markov"
+        assert build_parser().parse_args(["figure8"]).backend == "chain"
+
+    def test_backend_flag_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure8", "--backend", "quantum"])
+
+    def test_parser_accepts_network_experiment(self):
+        arguments = build_parser().parse_args(["network", "--fast", "-j", "2"])
+        assert arguments.experiment == "network"
+        assert arguments.workers == 2
+
+    def test_workers_flag_on_analytical_subcommands(self):
+        # The shared plumbing covers every driver, not only the simulation-backed ones.
+        for name in ("figure9", "figure10", "table1", "discussion", "figure6"):
+            arguments = build_parser().parse_args([name, "-j", "3"])
+            assert arguments.workers == 3
+
     def test_run_experiment_table1(self):
         assert "Table I" in run_experiment("table1")
+
+    def test_run_experiment_table1_ignores_workers_and_backend(self):
+        assert "Table I" in run_experiment("table1", workers=2, backend="markov")
 
     def test_run_experiment_figure6(self):
         assert "Ethermine" in run_experiment("figure6")

@@ -57,6 +57,54 @@ class TestSimulationResult:
         with pytest.raises(SimulationError):
             empty.pool_absolute_revenue(Scenario.REGULAR_ONLY)
 
+    def test_degenerate_run_raises_consistently(self):
+        """A run that paid no reward raises for relative *and* absolute revenue."""
+        broke = result(
+            pool=PartyRewards(),
+            honest=PartyRewards(),
+            regular=0.0,
+            uncle=0.0,
+            stale=5.0,
+        )
+        with pytest.raises(SimulationError, match="no rewards"):
+            broke.relative_pool_revenue
+        with pytest.raises(SimulationError):
+            broke.pool_absolute_revenue(Scenario.REGULAR_ONLY)
+        # Block-statistic fractions stay defined: the run did mine blocks.
+        assert broke.stale_fraction == 1.0
+
+    def test_alpha_zero_extreme_still_has_defined_relative_revenue(self):
+        """Regression: an alpha=0 run pays the pool nothing but is not degenerate."""
+        from repro.simulation.engine import ChainSimulator
+
+        config = SimulationConfig(params=MiningParams(alpha=0.0, gamma=0.5), num_blocks=400)
+        outcome = ChainSimulator(config).run()
+        assert outcome.pool_rewards.total == 0.0
+        assert outcome.relative_pool_revenue == 0.0
+
+    def test_real_degenerate_run_raises_for_relative_and_absolute(self):
+        """Regression: a run whose warm-up discards every settled reward raises.
+
+        A large selfish pool loses blocks to stale forks, so the main chain ends
+        below the warm-up height and the settlement pays nothing at all —
+        previously ``relative_pool_revenue`` reported a silent 0.0 here while
+        ``pool_absolute_revenue`` raised.
+        """
+        from repro.simulation.engine import ChainSimulator
+
+        config = SimulationConfig(
+            params=MiningParams(alpha=0.45, gamma=0.0),
+            num_blocks=60,
+            warmup_blocks=59,
+            seed=0,
+        )
+        outcome = ChainSimulator(config).run()
+        assert outcome.total_reward == 0.0
+        with pytest.raises(SimulationError, match="no rewards"):
+            outcome.relative_pool_revenue
+        with pytest.raises(SimulationError):
+            outcome.pool_absolute_revenue(Scenario.REGULAR_ONLY)
+
     def test_fractions(self):
         r = result()
         assert r.stale_fraction == pytest.approx(3.0 / 100.0)
@@ -112,6 +160,33 @@ class TestAggregation:
     def test_empty_aggregation_rejected(self):
         with pytest.raises(SimulationError):
             aggregate_results([])
+
+    def test_single_run_aggregate_reports_every_field(self):
+        """n=1: every MeanStd equals the run's own value with zero spread."""
+        single = result()
+        aggregate = aggregate_results([single])
+        assert aggregate.num_runs == 1
+        for stats, value in [
+            (aggregate.relative_pool_revenue, single.relative_pool_revenue),
+            (aggregate.pool_absolute_scenario1, single.pool_absolute_revenue(Scenario.REGULAR_ONLY)),
+            (aggregate.honest_absolute_scenario2, single.honest_absolute_revenue(Scenario.REGULAR_PLUS_UNCLE)),
+            (aggregate.uncle_fraction, single.uncle_fraction),
+            (aggregate.stale_fraction, single.stale_fraction),
+            (aggregate.expected_honest_uncle_distance, single.expected_honest_uncle_distance()),
+        ]:
+            assert stats.count == 1
+            assert stats.std == 0.0
+            assert stats.mean == pytest.approx(value)
+        assert (
+            aggregate.honest_uncle_distance_distribution()
+            == single.honest_uncle_distance_distribution()
+        )
+
+    def test_aggregating_a_degenerate_run_raises(self):
+        """A zero-reward member makes the aggregate fail loudly, not average a lie."""
+        broke = result(pool=PartyRewards(), honest=PartyRewards(), regular=0.0, uncle=0.0, stale=1.0)
+        with pytest.raises(SimulationError):
+            aggregate_results([result(), broke])
 
     def test_pooled_distance_distribution(self):
         first = result(distances={1: 1.0})

@@ -1,0 +1,88 @@
+"""Unit tests for the per-link latency models and their registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.network.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    ZeroLatency,
+    available_latency_models,
+    make_latency,
+)
+from repro.simulation.rng import RandomSource
+
+
+class TestModels:
+    def test_zero_latency_is_always_zero(self):
+        rng = RandomSource(1)
+        assert ZeroLatency().sample(0, 1, rng) == 0.0
+        assert ZeroLatency().mean_delay() == 0.0
+
+    def test_constant_latency_returns_the_delay(self):
+        model = ConstantLatency(delay=0.25)
+        rng = RandomSource(1)
+        assert model.sample(0, 1, rng) == 0.25
+        assert model.sample(3, 2, rng) == 0.25
+        assert model.mean_delay() == 0.25
+
+    def test_constant_rejects_negative_delay(self):
+        with pytest.raises(ParameterError):
+            ConstantLatency(delay=-0.1)
+
+    def test_exponential_mean_matches_parameter(self):
+        model = ExponentialLatency(mean=0.4)
+        rng = RandomSource(42)
+        draws = [model.sample(0, 1, rng) for _ in range(20_000)]
+        assert all(draw >= 0.0 for draw in draws)
+        assert sum(draws) / len(draws) == pytest.approx(0.4, rel=0.05)
+
+    def test_exponential_zero_mean_degenerates_to_zero(self):
+        rng = RandomSource(1)
+        assert ExponentialLatency(mean=0.0).sample(0, 1, rng) == 0.0
+
+    def test_exponential_rejects_negative_mean(self):
+        with pytest.raises(ParameterError):
+            ExponentialLatency(mean=-1.0)
+
+    def test_sampling_is_deterministic_from_the_seed(self):
+        model = ExponentialLatency(mean=0.3)
+        first = [model.sample(0, 1, RandomSource(5)) for _ in range(1)]
+        second = [model.sample(0, 1, RandomSource(5)) for _ in range(1)]
+        assert first == second
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_latency_models()) >= {"zero", "constant", "exponential"}
+
+    def test_make_latency_parses_specs(self):
+        assert isinstance(make_latency("zero"), ZeroLatency)
+        constant = make_latency("constant:0.5")
+        assert isinstance(constant, ConstantLatency)
+        assert constant.delay == 0.5
+        exponential = make_latency("exponential:0.2")
+        assert isinstance(exponential, ExponentialLatency)
+        assert exponential.mean == 0.2
+
+    def test_make_latency_defaults_without_argument(self):
+        assert isinstance(make_latency("constant"), ConstantLatency)
+        assert isinstance(make_latency("exponential"), ExponentialLatency)
+
+    def test_model_instances_pass_through(self):
+        model = ConstantLatency(delay=0.7)
+        assert make_latency(model) is model
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ParameterError, match="unknown latency model"):
+            make_latency("quantum")
+
+    def test_bad_argument_rejected(self):
+        with pytest.raises(ParameterError, match="non-numeric"):
+            make_latency("constant:fast")
+
+    def test_zero_with_argument_rejected(self):
+        with pytest.raises(ParameterError):
+            make_latency("zero:1.0")

@@ -1,0 +1,163 @@
+"""Unit tests for network topologies and their derivation from configurations."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.network.latency import ConstantLatency, ExponentialLatency, ZeroLatency
+from repro.network.topology import (
+    DEFAULT_HONEST_MINERS,
+    MinerSpec,
+    Topology,
+    build_topology,
+    multi_pool_topology,
+    single_pool_topology,
+)
+from repro.params import MiningParams
+from repro.simulation.config import SimulationConfig
+
+PARAMS = MiningParams(alpha=0.3, gamma=0.5)
+
+
+class TestMinerSpec:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ParameterError):
+            MinerSpec(name="", hash_power=0.5)
+
+    def test_rejects_out_of_range_power(self):
+        with pytest.raises(ParameterError):
+            MinerSpec(name="m", hash_power=0.0)
+        with pytest.raises(ParameterError):
+            MinerSpec(name="m", hash_power=1.0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ParameterError, match="unknown mining strategy"):
+            MinerSpec(name="m", hash_power=0.5, strategy="quantum")
+
+    def test_party_attribution_defaults_to_strategic(self):
+        assert MinerSpec(name="m", hash_power=0.5, strategy="selfish").counts_as_pool
+        assert not MinerSpec(name="m", hash_power=0.5).counts_as_pool
+        assert MinerSpec(name="m", hash_power=0.5, pool=True).counts_as_pool
+
+
+class TestTopology:
+    def test_powers_must_sum_to_one(self):
+        with pytest.raises(ParameterError, match="sum to 1"):
+            Topology(
+                miners=(
+                    MinerSpec(name="a", hash_power=0.5),
+                    MinerSpec(name="b", hash_power=0.4),
+                )
+            )
+
+    def test_names_must_be_unique(self):
+        with pytest.raises(ParameterError, match="unique"):
+            Topology(
+                miners=(
+                    MinerSpec(name="a", hash_power=0.5),
+                    MinerSpec(name="a", hash_power=0.5),
+                )
+            )
+
+    def test_needs_two_miners(self):
+        with pytest.raises(ParameterError, match="at least two"):
+            Topology(miners=(MinerSpec(name="a", hash_power=1.0 - 1e-12),))
+
+    def test_latency_spec_strings_are_resolved(self):
+        topology = single_pool_topology(0.3, latency="constant:0.5")
+        assert isinstance(topology.latency, ConstantLatency)
+
+    def test_link_overrides_win_over_the_default(self):
+        topology = single_pool_topology(
+            0.3,
+            num_honest=2,
+            latency="zero",
+            link_latencies={("pool", "honest-0"): "constant:0.9"},
+        )
+        assert isinstance(topology.link_model(0, 1), ConstantLatency)
+        assert isinstance(topology.link_model(0, 2), ZeroLatency)
+        assert isinstance(topology.link_model(1, 0), ZeroLatency)
+
+    def test_link_overrides_validate_endpoints(self):
+        with pytest.raises(ParameterError, match="unknown miner"):
+            single_pool_topology(0.3, link_latencies={("pool", "nobody"): "zero"})
+        with pytest.raises(ParameterError, match="self-link"):
+            single_pool_topology(0.3, link_latencies={("pool", "pool"): "zero"})
+
+    def test_block_interval_must_be_positive(self):
+        with pytest.raises(ParameterError, match="block_interval"):
+            single_pool_topology(0.3, block_interval=0.0)
+
+    def test_topologies_pickle(self):
+        topology = multi_pool_topology(
+            [(0.2, "selfish"), (0.15, "lead_stubborn")],
+            latency=ExponentialLatency(mean=0.2),
+            link_latencies={("pool-0", "pool-1"): "constant:0.4"},
+        )
+        clone = pickle.loads(pickle.dumps(topology))
+        assert clone == topology
+
+
+class TestFactories:
+    def test_single_pool_layout(self):
+        topology = single_pool_topology(0.3, num_honest=4)
+        assert topology.num_miners == 5
+        assert topology.miners[0].name == "pool"
+        assert topology.miners[0].counts_as_pool
+        assert sum(m.hash_power for m in topology.miners) == pytest.approx(1.0)
+        assert topology.strategic_miners == (topology.miners[0],)
+
+    def test_honest_baseline_pool_still_counts_as_pool(self):
+        topology = single_pool_topology(0.3, strategy="honest")
+        assert not topology.miners[0].is_strategic
+        assert topology.miners[0].counts_as_pool
+
+    def test_multi_pool_layout(self):
+        topology = multi_pool_topology([(0.2, "selfish"), 0.15], num_honest=3)
+        assert [m.name for m in topology.strategic_miners] == ["pool-0", "pool-1"]
+        assert topology.miners[1].strategy == "selfish"  # bare floats default to selfish
+        assert sum(m.hash_power for m in topology.miners) == pytest.approx(1.0)
+
+    def test_multi_pool_needs_pools(self):
+        with pytest.raises(ParameterError):
+            multi_pool_topology([])
+
+    def test_pools_owning_everything_rejected(self):
+        with pytest.raises(ParameterError, match="positive hash power"):
+            multi_pool_topology([(0.6, "selfish"), (0.4, "selfish")])
+
+
+class TestBuildTopology:
+    def test_explicit_topology_wins(self):
+        topology = single_pool_topology(0.2, num_honest=2)
+        config = SimulationConfig(params=PARAMS, topology=topology)
+        assert build_topology(config) is topology
+
+    def test_derived_topology_uses_params_strategy_and_latency(self):
+        config = SimulationConfig(
+            params=PARAMS, strategy="lead_stubborn", latency="exponential:0.3"
+        )
+        topology = build_topology(config)
+        assert topology.miners[0].hash_power == pytest.approx(0.3)
+        assert topology.miners[0].strategy == "lead_stubborn"
+        assert isinstance(topology.latency, ExponentialLatency)
+        assert topology.num_miners == 1 + DEFAULT_HONEST_MINERS
+
+    def test_alpha_zero_degrades_to_all_honest(self):
+        config = SimulationConfig(params=MiningParams(alpha=0.0, gamma=0.5))
+        topology = build_topology(config)
+        assert topology.strategic_miners == ()
+        assert sum(m.hash_power for m in topology.miners) == pytest.approx(1.0)
+
+    def test_config_validates_topology_type(self):
+        with pytest.raises(ParameterError, match="Topology"):
+            SimulationConfig(params=PARAMS, topology="not-a-topology")
+
+    def test_config_resolves_latency_specs(self):
+        config = SimulationConfig(params=PARAMS, latency="constant:0.2")
+        assert isinstance(config.latency, ConstantLatency)
+        with pytest.raises(ParameterError):
+            SimulationConfig(params=PARAMS, latency="quantum")

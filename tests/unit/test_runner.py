@@ -100,14 +100,14 @@ class TestSweepAndHelpers:
         values = sweep.pool_absolute_scenario1()
         assert values[1] > values[0]
 
-    def test_compare_backends_returns_both(self):
+    def test_compare_backends_returns_every_backend(self):
         small = SimulationConfig(params=MiningParams(alpha=0.3, gamma=0.5), num_blocks=1500, seed=2)
         results = compare_backends(small, num_runs=1)
-        assert set(results) == {"chain", "markov"}
+        assert set(results) == {"chain", "markov", "network"}
 
-    def test_honest_baseline_config_flips_selfish_flag_only(self):
+    def test_honest_baseline_config_switches_strategy_only(self):
         baseline = honest_baseline_config(CONFIG)
-        assert baseline.selfish is False
+        assert baseline.selfish is None
         assert baseline.strategy_name == "honest"
         assert baseline.params == CONFIG.params
         assert baseline.num_blocks == CONFIG.num_blocks

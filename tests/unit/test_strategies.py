@@ -179,7 +179,10 @@ class TestConfigIntegration:
 
     def test_selfish_flag_remains_a_working_alias(self):
         assert SimulationConfig(params=PARAMS).strategy_name == "selfish"
-        assert SimulationConfig(params=PARAMS, selfish=False).strategy_name == "honest"
+        with pytest.warns(DeprecationWarning, match="'selfish' flag"):
+            assert SimulationConfig(params=PARAMS, selfish=False).strategy_name == "honest"
+        with pytest.warns(DeprecationWarning, match="'selfish' flag"):
+            assert SimulationConfig(params=PARAMS, selfish=True).strategy_name == "selfish"
 
     def test_explicit_strategy_wins_over_default_flag(self):
         config = SimulationConfig(params=PARAMS, strategy="honest")

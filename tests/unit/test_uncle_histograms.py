@@ -1,0 +1,87 @@
+"""Uncle-distance histogram bookkeeping under the stubborn-mining strategies.
+
+Table II's machinery (per-distance uncle counts collected at settlement) was
+built and validated against Algorithm 1; the stubborn variants produce deeper and
+longer-lived forks, so their histograms exercise the bookkeeping harder.  These
+tests pin the accounting invariants for every strategy: the histograms tally
+exactly the classified uncle blocks, distances stay inside the protocol window,
+and the derived distribution/expectation are well-formed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import MiningParams
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import ChainSimulator
+from repro.simulation.metrics import aggregate_results
+
+STUBBORN_STRATEGIES = ("lead_stubborn", "equal_fork_stubborn", "lead_equal_fork_stubborn")
+
+
+def run(strategy: str, *, seed: int = 3, blocks: int = 4000):
+    config = SimulationConfig(
+        params=MiningParams(alpha=0.4, gamma=0.5),
+        num_blocks=blocks,
+        seed=seed,
+        strategy=strategy,
+    )
+    return ChainSimulator(config).run()
+
+
+@pytest.fixture(scope="module", params=STUBBORN_STRATEGIES)
+def stubborn_result(request):
+    return run(request.param)
+
+
+class TestStubbornHistograms:
+    def test_histograms_tally_the_classified_uncles(self, stubborn_result):
+        result = stubborn_result
+        assert sum(result.honest_uncle_distance_counts.values()) == result.honest_uncle_blocks
+        assert sum(result.pool_uncle_distance_counts.values()) == result.pool_uncle_blocks
+        assert result.honest_uncle_blocks + result.pool_uncle_blocks == result.uncle_blocks
+
+    def test_stubborn_races_produce_uncles_at_all(self, stubborn_result):
+        # A 40% stubborn pool forks constantly; both parties lose blocks that end
+        # up referenced, so the histograms cannot be empty.
+        assert stubborn_result.uncle_blocks > 0
+        assert stubborn_result.honest_uncle_distance_counts
+
+    def test_distances_stay_inside_the_protocol_window(self, stubborn_result):
+        result = stubborn_result
+        window = result.config.max_uncle_distance
+        for counts in (result.honest_uncle_distance_counts, result.pool_uncle_distance_counts):
+            for distance, count in counts.items():
+                assert 1 <= distance <= window
+                assert count > 0
+
+    def test_distribution_is_normalised_and_expectation_in_range(self, stubborn_result):
+        result = stubborn_result
+        distribution = result.honest_uncle_distance_distribution()
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert list(distribution) == sorted(distribution)
+        expectation = result.expected_honest_uncle_distance()
+        assert 1.0 <= expectation <= result.config.max_uncle_distance
+
+    def test_deeper_stubbornness_pushes_honest_uncles_further_out(self):
+        """Sanity on the physics: stubborn racing defers references vs Algorithm 1."""
+        selfish = run("selfish")
+        stubborn = run("lead_equal_fork_stubborn")
+        assert (
+            stubborn.expected_honest_uncle_distance()
+            >= selfish.expected_honest_uncle_distance() - 0.25
+        )
+
+    def test_aggregated_histogram_pools_runs_and_normalises(self):
+        results = [run("lead_stubborn", seed=seed, blocks=2000) for seed in (1, 2)]
+        aggregate = aggregate_results(results)
+        pooled = aggregate.honest_uncle_distance_distribution()
+        assert sum(pooled.values()) == pytest.approx(1.0)
+        total_counts = sum(
+            sum(result.honest_uncle_distance_counts.values()) for result in results
+        )
+        first_distance_count = sum(
+            result.honest_uncle_distance_counts.get(1, 0.0) for result in results
+        )
+        assert pooled[1] == pytest.approx(first_distance_count / total_counts)
