@@ -33,9 +33,10 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
-#: Default pytest selection: the engine suite plus the network-backend suite
-#: (whitespace-separated; each token is passed to pytest as its own argument).
-DEFAULT_SELECT = "benchmarks/bench_engines.py benchmarks/bench_network.py"
+#: Default pytest selection: the engine suite plus the network-backend and MDP
+#: solver suites (whitespace-separated; each token is passed to pytest as its own
+#: argument).
+DEFAULT_SELECT = "benchmarks/bench_engines.py benchmarks/bench_network.py benchmarks/bench_mdp.py"
 
 #: Full-scale timings measured immediately before the PR 2 optimisations landed
 #: (same machine as the committed BENCH_PR2.json), so the recorded JSON carries

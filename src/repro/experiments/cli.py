@@ -31,12 +31,14 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..errors import ExperimentError
 from ..simulation.runner import BACKENDS
 from .discussion import run_discussion
 from .figure8 import run_figure8
 from .figure9 import run_figure9
 from .figure10 import run_figure10
 from .network import run_network
+from .optimal import run_optimal
 from .pools import pool_concentration_report
 from .strategies import run_strategy_comparison
 from .table1 import run_table1
@@ -88,6 +90,14 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
     ).report(),
     "network": lambda options: run_network(
         fast=options.fast, max_workers=options.workers
+    ).report(),
+    "optimal": lambda options: run_optimal(
+        fast=options.fast,
+        max_workers=options.workers,
+        # The stubborn comparison needs a full-fidelity backend; the markov
+        # backend still validates the extracted optimal strategy itself.
+        include_catalogue=options.backend != "markov",
+        simulation_backend=options.backend,
     ).report(),
 }
 
@@ -143,9 +153,20 @@ def run_experiment(
     workers: int | None = None,
     backend: str = "chain",
 ) -> str:
-    """Run one named experiment and return its report text."""
+    """Run one named experiment and return its report text.
+
+    Unknown names raise :class:`~repro.errors.ExperimentError` listing the
+    available experiments (the CLI parser already rejects them; this guards the
+    programmatic entry point).
+    """
     options = ExperimentOptions(fast=fast, workers=workers, backend=backend)
-    return _EXPERIMENTS[name](options)
+    try:
+        experiment = _EXPERIMENTS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(_EXPERIMENTS))}"
+        ) from None
+    return experiment(options)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

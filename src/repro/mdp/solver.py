@@ -1,0 +1,407 @@
+"""Relative value iteration over the mining MDP, driven by a Dinkelbach ratio loop.
+
+The pool's objective is its *share* of all rewards — a ratio of two long-run
+averages — so the solve is the classic two-level scheme for ratio objectives
+(Dinkelbach's method, the approach of Sapirshtein et al. for Bitcoin):
+
+1. **Inner level** (:meth:`MdpSolver.improve`): for a candidate share ``rho`` run
+   relative value iteration on the auxiliary average-reward MDP with one-step
+   reward ``pool(s, a) - rho * total(s, a)``.  The optimal gain of that MDP is
+   positive exactly when some policy earns a share above ``rho``; the greedy
+   policy of the converged values is the improving policy.
+2. **Outer level** (:meth:`MdpSolver.solve`): evaluate the improving policy
+   *exactly* — build the induced :class:`~repro.markov.chain.MarkovChain`, solve
+   its stationary distribution with the package's sparse solver, and accumulate
+   the Appendix-B reward records into :class:`~repro.analysis.revenue.RevenueRates`
+   (the same arithmetic :class:`~repro.analysis.revenue.RevenueModel` performs for
+   Algorithm 1, so a policy pinned to the selfish decisions reproduces the paper's
+   revenue to solver precision).  The evaluated share becomes the next ``rho``.
+
+The share sequence is non-decreasing and strictly increases until the optimal
+policy is found (policy-improvement monotonicity — pinned by the property suite),
+so the loop terminates after finitely many improvements; in practice two or three.
+
+Solved policies are cached per ``(alpha, gamma, max_lead, schedule)`` via
+:func:`solve_optimal_policy`, so repeated simulation runs (including process-pool
+workers, each of which re-solves at most once per parameter point) stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..analysis.revenue import RevenueRates
+from ..errors import ConvergenceError, ParameterError
+from ..markov.chain import MarkovChain
+from ..markov.state import State
+from ..markov.stationary import stationary_distribution
+from ..params import MiningParams
+from ..rewards.breakdown import PartyRewards, RevenueSplit
+from ..rewards.schedule import EthereumByzantiumSchedule, RewardSchedule
+from .model import MdpModel, PoolDecision
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from ..strategies.optimal import OptimalStrategy
+
+#: Default truncation of the solved policy's state space.  Matches the analytical
+#: :class:`~repro.analysis.revenue.RevenueModel` default; the truncation error of
+#: the extracted policy's value decays like ``(alpha / beta) ** max_lead``.
+DEFAULT_POLICY_MAX_LEAD = 60
+
+#: Default span tolerance of the relative-value-iteration sweeps.
+DEFAULT_RVI_TOLERANCE = 1e-10
+
+#: Default iteration budget of one relative-value-iteration solve.
+DEFAULT_RVI_MAX_ITERATIONS = 200_000
+
+#: Default share tolerance of the outer Dinkelbach loop.
+DEFAULT_SHARE_TOLERANCE = 1e-12
+
+#: Safety cap on outer improvements (each must strictly raise the share).
+DEFAULT_MAX_IMPROVEMENTS = 50
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Exact long-run rates of one decision table (stationary-solver backed)."""
+
+    rates: RevenueRates
+    residual: float
+
+    @property
+    def share(self) -> float:
+        """The pool's relative revenue under the evaluated policy."""
+        return self.rates.relative_pool_revenue
+
+
+@dataclass(frozen=True)
+class OptimalPolicyResult:
+    """A solved optimal policy with its exact value and solve diagnostics.
+
+    Attributes
+    ----------
+    params, max_lead:
+        The parameter point and truncation the policy was solved for.
+    decisions:
+        The chosen :class:`~repro.mdp.model.PoolDecision` per state, in the state
+        space's index order.
+    override_codes:
+        ``State.encode`` codes of the states whose pool-event response is
+        ``OVERRIDE`` (always includes the forced tie-break at ``(1, 1)``).  This is
+        the lookup table :class:`~repro.strategies.optimal.OptimalStrategy` carries.
+    revenue:
+        Exact long-run rates of the optimal policy (stationary-solver backed).
+    shares:
+        The Dinkelbach share sequence, starting from Algorithm 1's share; it is
+        non-decreasing and its last entry is the optimal share.
+    rvi_iterations:
+        Total inner value-iteration sweeps spent across all improvements.
+    """
+
+    params: MiningParams
+    max_lead: int
+    decisions: tuple[PoolDecision, ...]
+    override_codes: tuple[int, ...]
+    revenue: RevenueRates
+    shares: tuple[float, ...]
+    rvi_iterations: int
+
+    @property
+    def optimal_share(self) -> float:
+        """The pool's optimal relative revenue at this parameter point."""
+        return self.revenue.relative_pool_revenue
+
+    def divergence_from_selfish(self) -> tuple[State, ...]:
+        """States where the optimal policy deviates from Algorithm 1.
+
+        Algorithm 1 withholds everywhere except the forced tie-break, so the
+        divergence is exactly the overridden states other than ``(1, 1)``.
+        """
+        from .model import TIE_STATE_CODE
+        from ..markov.state import decode_state
+
+        return tuple(
+            decode_state(code) for code in self.override_codes if code != TIE_STATE_CODE
+        )
+
+    def policy_label(self) -> str:
+        """Compact description of the policy's structure for reports.
+
+        ``"honest"`` — the pool publishes immediately at ``(0, 0)`` and never
+        races; ``"selfish"`` — Algorithm 1 exactly; ``"selfish+k"`` — Algorithm 1
+        with ``k`` extra override states (deep-lead deviations).
+        """
+        divergence = self.divergence_from_selfish()
+        if any(state == State(0, 0) for state in divergence):
+            return "honest"
+        if not divergence:
+            return "selfish"
+        return f"selfish+{len(divergence)}"
+
+    def strategy(self) -> "OptimalStrategy":
+        """The solved policy as a registered, engine-ready mining strategy."""
+        from ..strategies.optimal import OptimalStrategy
+
+        return OptimalStrategy(override_codes=self.override_codes)
+
+
+class MdpSolver:
+    """Solve the withhold/override decision problem at one parameter point.
+
+    Parameters
+    ----------
+    params:
+        The ``(alpha, gamma)`` point.
+    schedule:
+        Reward schedule (defaults to Ethereum Byzantium, like the analysis).
+    max_lead:
+        Truncation of the state space.
+    """
+
+    def __init__(
+        self,
+        params: MiningParams,
+        schedule: RewardSchedule | None = None,
+        *,
+        max_lead: int = DEFAULT_POLICY_MAX_LEAD,
+    ) -> None:
+        self.schedule = schedule if schedule is not None else EthereumByzantiumSchedule()
+        self.model = MdpModel(params, self.schedule, max_lead=max_lead)
+
+    @property
+    def params(self) -> MiningParams:
+        """The parameter point the solver was built for."""
+        return self.model.params
+
+    # ------------------------------------------------------------------ evaluation
+    def evaluate(self, policy: np.ndarray) -> PolicyEvaluation:
+        """Exact long-run rates of ``policy`` (flat action index per state).
+
+        Builds the induced Markov chain, solves its stationary distribution with
+        the package's sparse direct solver, and accumulates the per-transition
+        Appendix-B records — the identical arithmetic
+        :meth:`repro.analysis.revenue.RevenueModel.revenue_rates` performs, so the
+        selfish-pinned policy reproduces the paper's revenue exactly.
+        """
+        model = self.model
+        chosen = [model.actions[int(flat)] for flat in policy]
+        chain = MarkovChain(
+            model.space.states,
+            [t.as_transition() for action in chosen for t in action.transitions],
+        )
+        stationary = stationary_distribution(chain, method="direct")
+        probabilities = stationary.probabilities
+
+        pool = PartyRewards()
+        honest = PartyRewards()
+        regular_rate = 0.0
+        uncle_rate = 0.0
+        pool_uncle_rate = 0.0
+        honest_uncle_rate = 0.0
+        stale_rate = 0.0
+        distance_rates: dict[int, float] = {}
+        for state_index, action in enumerate(chosen):
+            occupancy = probabilities[state_index]
+            if occupancy == 0.0:
+                continue
+            for transition, record in zip(action.transitions, action.records):
+                weight = occupancy * transition.rate
+                if weight == 0.0:
+                    continue
+                pool = pool + record.pool.scaled(weight)
+                honest = honest + record.honest.scaled(weight)
+                regular_rate += weight * record.regular_probability
+                uncle_rate += weight * record.uncle_probability
+                stale_rate += weight * record.stale_probability
+                pool_uncle_rate += weight * record.uncle_probability * record.pool_mined_probability
+                honest_mined = 1.0 - record.pool_mined_probability
+                honest_uncle_rate += weight * record.uncle_probability * honest_mined
+                if (
+                    record.uncle_distance is not None
+                    and record.uncle_probability > 0.0
+                    and honest_mined > 0.0
+                ):
+                    distance = record.uncle_distance
+                    distance_rates[distance] = distance_rates.get(distance, 0.0) + (
+                        weight * record.uncle_probability * honest_mined
+                    )
+
+        rates = RevenueRates(
+            params=self.params,
+            split=RevenueSplit(pool=pool, honest=honest),
+            regular_rate=regular_rate,
+            uncle_rate=uncle_rate,
+            pool_uncle_rate=pool_uncle_rate,
+            honest_uncle_rate=honest_uncle_rate,
+            honest_uncle_distance_rates=dict(sorted(distance_rates.items())),
+            stale_rate=stale_rate,
+        )
+        return PolicyEvaluation(rates=rates, residual=stationary.residual)
+
+    def evaluate_decisions(self, decisions: dict[State, PoolDecision]) -> PolicyEvaluation:
+        """Evaluate a policy given as a (possibly partial) ``state -> decision`` map.
+
+        States absent from the map take Algorithm 1's decision; the map form is
+        what the pinning tests use.
+        """
+        policy = self.model.selfish_policy().copy()
+        for state, decision in decisions.items():
+            index = self.model.space.index_of(state)
+            policy[index] = self.model.flat_index(index, decision)
+        return self.evaluate(policy)
+
+    # ------------------------------------------------------------------ inner RVI
+    def improve(
+        self,
+        rho: float,
+        *,
+        values: np.ndarray | None = None,
+        tolerance: float = DEFAULT_RVI_TOLERANCE,
+        max_iterations: int = DEFAULT_RVI_MAX_ITERATIONS,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Relative value iteration on the ``rho``-adjusted MDP.
+
+        Returns ``(policy, values, iterations)``: the greedy policy of the
+        converged relative values (flat action index per state; ties keep the
+        first — withhold-preferring — action so the extracted policy deviates
+        from Algorithm 1 only where it strictly pays), the values themselves
+        (reusable as a warm start for the next ``rho``), and the sweep count.
+        """
+        model = self.model
+        rewards = model.pool_rewards - rho * model.total_rewards
+        starts = model.action_offsets[:-1]
+        h = np.zeros(model.num_states) if values is None else values.copy()
+        for iteration in range(1, max_iterations + 1):
+            q = rewards + model.transition_matrix @ h
+            best = np.maximum.reduceat(q, starts)
+            delta = best - h
+            span = float(delta.max() - delta.min())
+            # Subtract the reference state's value (state 0 is ``(0, 0)``) so the
+            # iterates stay bounded — the defining trick of *relative* VI.
+            h = best - best[0]
+            if span < tolerance:
+                q = rewards + model.transition_matrix @ h
+                return self._greedy(q), h, iteration
+        raise ConvergenceError(
+            f"relative value iteration did not reach span {tolerance:g} within "
+            f"{max_iterations} sweeps at rho={rho:.6f} ({model.describe()})"
+        )
+
+    def _greedy(self, q: np.ndarray) -> np.ndarray:
+        """First-maximum greedy policy of the action values ``q`` (flat indices)."""
+        offsets = self.model.action_offsets
+        policy = np.empty(self.model.num_states, dtype=np.int64)
+        for index in range(self.model.num_states):
+            start, stop = int(offsets[index]), int(offsets[index + 1])
+            policy[index] = start + int(np.argmax(q[start:stop]))
+        return policy
+
+    # ------------------------------------------------------------------ outer loop
+    def solve(
+        self,
+        *,
+        share_tolerance: float = DEFAULT_SHARE_TOLERANCE,
+        max_improvements: int = DEFAULT_MAX_IMPROVEMENTS,
+        rvi_tolerance: float = DEFAULT_RVI_TOLERANCE,
+        rvi_max_iterations: int = DEFAULT_RVI_MAX_ITERATIONS,
+    ) -> OptimalPolicyResult:
+        """Run the Dinkelbach loop to the optimal policy and its exact value."""
+        model = self.model
+        policy = model.selfish_policy()
+        evaluation = self.evaluate(policy)
+        shares = [evaluation.share]
+        values: np.ndarray | None = None
+        total_sweeps = 0
+        for _ in range(max_improvements):
+            improved, values, sweeps = self.improve(
+                shares[-1],
+                values=values,
+                tolerance=rvi_tolerance,
+                max_iterations=rvi_max_iterations,
+            )
+            total_sweeps += sweeps
+            if np.array_equal(improved, policy):
+                break
+            improved_evaluation = self.evaluate(improved)
+            if improved_evaluation.share <= shares[-1] + share_tolerance:
+                # The candidate rearranges decisions without raising the share
+                # (ties in states of negligible stationary mass): keep the
+                # incumbent, which deviates less from Algorithm 1.
+                break
+            policy = improved
+            evaluation = improved_evaluation
+            shares.append(evaluation.share)
+        else:
+            raise ConvergenceError(
+                f"policy improvement did not stabilise within {max_improvements} "
+                f"rounds ({model.describe()}); last shares {shares[-3:]}"
+            )
+        decisions = tuple(model.actions[int(flat)].decision for flat in policy)
+        override_codes = tuple(
+            model.space.state_at(index).encode()
+            for index, decision in enumerate(decisions)
+            if decision is PoolDecision.OVERRIDE
+        )
+        return OptimalPolicyResult(
+            params=self.params,
+            max_lead=model.space.max_lead,
+            decisions=decisions,
+            override_codes=override_codes,
+            revenue=evaluation.rates,
+            shares=tuple(shares),
+            rvi_iterations=total_sweeps,
+        )
+
+
+# ---------------------------------------------------------------------- caching
+def _schedule_key(schedule: RewardSchedule) -> tuple:
+    """A value-based fingerprint of a reward schedule, used as a cache key.
+
+    Probes the reward functions over the includable window (capped at 16
+    distances, like :meth:`RewardSchedule.has_uncle_rewards`), which separates
+    every schedule the package ships; exotic custom schedules that differ only
+    beyond distance 16 should bypass the cache by calling :class:`MdpSolver`
+    directly.
+    """
+    probe = min(int(schedule.max_uncle_distance), 16)
+    return (
+        type(schedule).__name__,
+        float(schedule.static_reward),
+        int(schedule.max_uncle_distance),
+        tuple(float(schedule.uncle_reward(d)) for d in range(1, probe + 1)),
+        tuple(float(schedule.nephew_reward(d)) for d in range(1, probe + 1)),
+    )
+
+
+_POLICY_CACHE: dict[tuple, OptimalPolicyResult] = {}
+
+
+def solve_optimal_policy(
+    params: MiningParams,
+    schedule: RewardSchedule | None = None,
+    *,
+    max_lead: int = DEFAULT_POLICY_MAX_LEAD,
+) -> OptimalPolicyResult:
+    """Solve (or fetch from cache) the optimal policy at ``params``.
+
+    Results are cached per ``(alpha, gamma, max_lead, schedule)`` — the schedule
+    compared by value, not identity — so strategy construction inside repeated
+    simulation runs costs one solve per distinct parameter point per process.
+    """
+    if max_lead < 2:
+        raise ParameterError(f"max_lead must be at least 2, got {max_lead}")
+    resolved = schedule if schedule is not None else EthereumByzantiumSchedule()
+    key = (params.alpha, params.gamma, int(max_lead), _schedule_key(resolved))
+    cached = _POLICY_CACHE.get(key)
+    if cached is None:
+        cached = MdpSolver(params, resolved, max_lead=max_lead).solve()
+        _POLICY_CACHE[key] = cached
+    return cached
+
+
+def clear_policy_cache() -> None:
+    """Drop every cached solve (exposed for tests and benchmarks)."""
+    _POLICY_CACHE.clear()

@@ -139,7 +139,9 @@ class NetworkSimulator:
         self.miners: list[_MinerState] = []
         for index, spec in enumerate(self.topology.miners):
             if spec.is_strategic:
-                state: _MinerState = _PoolState(index, spec, make_strategy(spec.strategy), genesis_id)
+                state: _MinerState = _PoolState(
+                    index, spec, make_strategy(spec.strategy, config=config), genesis_id
+                )
             else:
                 state = _HonestState(index, spec, genesis_id)
             self.miners.append(state)

@@ -151,8 +151,13 @@ class SimulationConfig:
         return "selfish"
 
     def make_strategy(self) -> MiningStrategy:
-        """Instantiate the pool's mining strategy for this configuration."""
-        return make_strategy(self.strategy_name)
+        """Instantiate the pool's mining strategy for this configuration.
+
+        The configuration itself is forwarded to configuration-aware strategy
+        factories — the ``"optimal"`` strategy solves its policy for this run's
+        ``(params, schedule)`` point (cached per process).
+        """
+        return make_strategy(self.strategy_name, config=self)
 
     def _replace_resolved(self, **changes: object) -> "SimulationConfig":
         """``dataclasses.replace`` with the legacy ``selfish`` flag resolved away.

@@ -26,14 +26,19 @@ both modes sample the identical transition sequence from a given seed and agree 
 every total to float-reassociation accuracy (pinned by regression tests), so the
 scalar path remains available as an independent cross-check.
 
-Strategy support: the backend honours ``SimulationConfig.strategy`` for the two
+Strategy support: the backend honours ``SimulationConfig.strategy`` for the
 behaviours that have an analytical transition model — ``"selfish"`` (the paper's
-Markov process) and ``"honest"`` (a trivial fork-free process).  The stubborn
-variants exist only in the full chain simulator; requesting them here raises a
-:class:`~repro.errors.SimulationError` pointing at ``backend="chain"``.
+Markov process), ``"honest"`` (a trivial fork-free process) and ``"optimal"``
+(the chain induced by the solved withhold/override policy of :mod:`repro.mdp`,
+walked through the same compiled tables via a policy-aware transition
+enumerator).  The stubborn variants exist only in the full chain simulator;
+requesting them here raises a :class:`~repro.errors.SimulationError` pointing at
+``backend="chain"``.
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 from ..analysis.reward_cases import transition_rewards
 from ..errors import SimulationError
@@ -46,7 +51,7 @@ from .rng import RandomSource
 from .tables import CompiledTransitionTables
 
 #: Strategy names the Markov backend can simulate.
-MARKOV_STRATEGIES = ("honest", "selfish")
+MARKOV_STRATEGIES = ("honest", "selfish", "optimal")
 
 #: Accumulation backends of the selfish-strategy run.
 ACCUMULATE_MODES = ("table", "scalar")
@@ -65,7 +70,7 @@ class MarkovMonteCarlo:
     Parameters
     ----------
     config:
-        The run configuration (strategy must be ``"selfish"`` or ``"honest"``).
+        The run configuration (strategy must be one of :data:`MARKOV_STRATEGIES`).
     accumulate:
         ``"table"`` (default) settles rewards through compiled transition tables;
         ``"scalar"`` accumulates per event as the original implementation did.
@@ -87,8 +92,29 @@ class MarkovMonteCarlo:
         self.rng = RandomSource(config.seed)
         self.state = State(0, 0)
         self._events_run = 0
+        if config.strategy_name == "optimal":
+            # The solved policy's induced chain: identical walk/settlement
+            # machinery, policy-aware transition enumeration (cached per process
+            # by the MDP solver, so pool workers pay one solve per point).
+            from ..mdp.model import policy_transitions_from_state
+            from ..mdp.solver import solve_optimal_policy
+
+            policy = solve_optimal_policy(config.params, config.schedule)
+            self._transition_fn = partial(
+                policy_transitions_from_state,
+                params=config.params,
+                override_codes=frozenset(policy.override_codes),
+                max_lead=UNBOUNDED_LEAD,
+            )
+        else:
+            self._transition_fn = partial(
+                transitions_from_state, params=config.params, max_lead=UNBOUNDED_LEAD
+            )
         self.tables = CompiledTransitionTables(
-            config.params, config.schedule, max_lead=UNBOUNDED_LEAD
+            config.params,
+            config.schedule,
+            max_lead=UNBOUNDED_LEAD,
+            transitions=self._transition_fn,
         )
         # Transition enumerations are memoised per state for the scalar path: for a
         # long run only a few hundred distinct states are ever visited.
@@ -98,7 +124,7 @@ class MarkovMonteCarlo:
     def _transitions(self, state: State) -> list[SelfishTransition]:
         cached = self._transition_cache.get(state)
         if cached is None:
-            cached = list(transitions_from_state(state, self.config.params, max_lead=UNBOUNDED_LEAD))
+            cached = list(self._transition_fn(state))
             self._transition_cache[state] = cached
         return cached
 

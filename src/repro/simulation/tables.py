@@ -33,6 +33,7 @@ states a run actually visits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -82,12 +83,27 @@ class CompiledTransitionTables:
     max_lead:
         Truncation forwarded to the transition enumeration (the Monte Carlo
         backends use an effectively unbounded value).
+    transitions:
+        Optional replacement transition enumerator (``state -> transitions``).
+        Defaults to the paper's Algorithm-1 chain
+        (:func:`~repro.markov.transitions.transitions_from_state`); the optimal
+        strategy passes the chain induced by its solved policy
+        (:func:`~repro.mdp.model.policy_transitions_from_state`) so the same walk
+        and settlement machinery simulates any withhold/override decision table.
     """
 
-    def __init__(self, params: MiningParams, schedule: RewardSchedule, *, max_lead: int) -> None:
+    def __init__(
+        self,
+        params: MiningParams,
+        schedule: RewardSchedule,
+        *,
+        max_lead: int,
+        transitions: Callable[[State], list[SelfishTransition]] | None = None,
+    ) -> None:
         self.params = params
         self.schedule = schedule
         self.max_lead = max_lead
+        self._transition_fn = transitions
         self._rows: dict[int, list] = {}
         self._transitions: list[SelfishTransition] = []
         self._component_rows: list[tuple[float, ...]] = []
@@ -121,7 +137,10 @@ class CompiledTransitionTables:
 
     def _compile(self, code: int) -> list:
         state = decode_state(code)
-        transitions = list(transitions_from_state(state, self.params, max_lead=self.max_lead))
+        if self._transition_fn is None:
+            transitions = list(transitions_from_state(state, self.params, max_lead=self.max_lead))
+        else:
+            transitions = list(self._transition_fn(state))
         thresholds: list[float] = []
         cumulative = 0.0
         for transition in transitions:

@@ -20,6 +20,7 @@ from .catalogue import (
     make_strategy,
     register_strategy,
 )
+from .optimal import OptimalStrategy, solve_optimal_strategy
 
 __all__ = [
     "Action",
@@ -28,9 +29,11 @@ __all__ = [
     "LeadEqualForkStubbornStrategy",
     "LeadStubbornStrategy",
     "MiningStrategy",
+    "OptimalStrategy",
     "RaceView",
     "SelfishStrategy",
     "available_strategies",
     "make_strategy",
     "register_strategy",
+    "solve_optimal_strategy",
 ]

@@ -19,11 +19,15 @@ New strategies register themselves via :func:`register_strategy`.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..errors import ParameterError
 from .base import Action, MiningStrategy, RaceView
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from ..simulation.config import SimulationConfig
 
 
 @dataclass(frozen=True)
@@ -121,12 +125,20 @@ class LeadEqualForkStubbornStrategy(LeadStubbornStrategy):
         return Action.WITHHOLD
 
 
-#: Registry of strategy factories keyed by strategy name.
-_REGISTRY: dict[str, Callable[[], MiningStrategy]] = {}
+#: Registry of strategy factories keyed by strategy name.  A factory either takes
+#: no required argument (the stateless catalogue strategies) or exactly one — the
+#: run's :class:`~repro.simulation.config.SimulationConfig` — for strategies whose
+#: construction depends on the run parameters (the solved ``"optimal"`` policy).
+_REGISTRY: dict[str, Callable[..., MiningStrategy]] = {}
 
 
-def register_strategy(name: str, factory: Callable[[], MiningStrategy]) -> None:
-    """Register a strategy factory under ``name`` (rejects duplicates)."""
+def register_strategy(name: str, factory: Callable[..., MiningStrategy]) -> None:
+    """Register a strategy factory under ``name`` (rejects duplicates).
+
+    A factory with a required positional parameter is treated as
+    *configuration-aware*: :func:`make_strategy` calls it with the run
+    configuration (or ``None`` when constructed outside a run).
+    """
     if name in _REGISTRY:
         raise ParameterError(f"strategy {name!r} is already registered")
     _REGISTRY[name] = factory
@@ -137,14 +149,40 @@ def available_strategies() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def make_strategy(name: str) -> MiningStrategy:
-    """Instantiate the strategy registered under ``name``."""
+def _requires_config(factory: Callable[..., MiningStrategy]) -> bool:
+    """True when ``factory`` declares a required positional parameter.
+
+    The catalogue classes themselves double as factories; their dataclass
+    signatures carry only defaulted fields, so they stay zero-argument calls.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins without signatures
+        return False
+    return any(
+        parameter.default is inspect.Parameter.empty
+        and parameter.kind
+        in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        for parameter in signature.parameters.values()
+    )
+
+
+def make_strategy(name: str, *, config: "SimulationConfig | None" = None) -> MiningStrategy:
+    """Instantiate the strategy registered under ``name``.
+
+    ``config`` is forwarded to configuration-aware factories (strategies solved
+    per parameter point, like ``"optimal"``); the stateless catalogue strategies
+    ignore it.  :meth:`SimulationConfig.make_strategy` and the simulator backends
+    always pass the run configuration through this parameter.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
         raise ParameterError(
             f"unknown mining strategy {name!r}; available: {', '.join(available_strategies())}"
         ) from None
+    if _requires_config(factory):
+        return factory(config)
     return factory()
 
 

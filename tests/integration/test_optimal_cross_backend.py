@@ -1,0 +1,128 @@
+"""Cross-backend regression for the optimal strategy on a pinned seed fixture.
+
+One solved policy (alpha=0.35, gamma=0.5 — Algorithm 1 territory) is run through
+all three simulator backends from the same master seed.  The fixture
+``tests/fixtures/optimal_fixtures.json`` pins, per backend, the aggregate
+relative revenue (mean and spread over the runs) and the first run's exact
+reward totals, so
+
+* any drift in a backend's handling of the policy table is caught bit-exactly,
+* and the three backends must agree with each other within statistical error
+  (the zero-latency network backend implements the same stochastic process as
+  the chain engine; the compiled-table Monte Carlo accrues the analytical
+  expected rewards, which share the same mean).
+
+Regenerate after an intentional engine change with::
+
+    PYTHONPATH=src python tests/integration/test_optimal_cross_backend.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.params import MiningParams
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import BACKENDS, run_many
+
+FIXTURE_PATH = Path(__file__).parent.parent / "fixtures" / "optimal_fixtures.json"
+
+ALPHA = 0.35
+GAMMA = 0.5
+BLOCKS = 4_000
+RUNS = 3
+SEED = 2026
+
+
+def _config() -> SimulationConfig:
+    return SimulationConfig(
+        params=MiningParams(alpha=ALPHA, gamma=GAMMA),
+        num_blocks=BLOCKS,
+        seed=SEED,
+        strategy="optimal",
+    )
+
+
+def _run_backend(backend: str):
+    return run_many(_config(), RUNS, backend=backend)
+
+
+def _record(backend: str) -> dict:
+    aggregate = _run_backend(backend)
+    first = aggregate.results[0]
+    return {
+        "relative_mean": aggregate.relative_pool_revenue.mean,
+        "relative_std": aggregate.relative_pool_revenue.std,
+        "pool_total_run0": first.pool_rewards.total,
+        "honest_total_run0": first.honest_rewards.total,
+        "uncle_blocks_run0": first.uncle_blocks,
+        "stale_blocks_run0": first.stale_blocks,
+    }
+
+
+class TestOptimalCrossBackend:
+    @pytest.fixture(scope="class")
+    def fixtures(self):
+        with FIXTURE_PATH.open() as handle:
+            return json.load(handle)
+
+    @pytest.fixture(scope="class")
+    def aggregates(self):
+        return {backend: _run_backend(backend) for backend in BACKENDS}
+
+    def test_fixture_covers_every_backend(self, fixtures):
+        assert set(fixtures["backends"]) == set(BACKENDS)
+        assert fixtures["config"] == {
+            "alpha": ALPHA,
+            "gamma": GAMMA,
+            "num_blocks": BLOCKS,
+            "runs": RUNS,
+            "seed": SEED,
+        }
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_reproduces_the_pinned_run_bit_exactly(self, fixtures, aggregates, backend):
+        expected = fixtures["backends"][backend]
+        aggregate = aggregates[backend]
+        first = aggregate.results[0]
+        assert aggregate.relative_pool_revenue.mean == expected["relative_mean"]
+        assert aggregate.relative_pool_revenue.std == expected["relative_std"]
+        assert first.pool_rewards.total == expected["pool_total_run0"]
+        assert first.honest_rewards.total == expected["honest_total_run0"]
+        assert first.uncle_blocks == expected["uncle_blocks_run0"]
+        assert first.stale_blocks == expected["stale_blocks_run0"]
+
+    def test_backends_agree_within_statistical_error(self, aggregates):
+        means = {
+            backend: aggregate.relative_pool_revenue for backend, aggregate in aggregates.items()
+        }
+        pairs = [("chain", "markov"), ("chain", "network"), ("markov", "network")]
+        for left, right in pairs:
+            difference = abs(means[left].mean - means[right].mean)
+            sigma = math.sqrt((means[left].std ** 2 + means[right].std ** 2) / RUNS)
+            assert difference <= 3.0 * sigma + 5e-3, (
+                f"{left} {means[left]} vs {right} {means[right]}"
+            )
+
+
+def _regenerate() -> None:  # pragma: no cover - manual fixture refresh
+    document = {
+        "config": {
+            "alpha": ALPHA,
+            "gamma": GAMMA,
+            "num_blocks": BLOCKS,
+            "runs": RUNS,
+            "seed": SEED,
+        },
+        "backends": {backend: _record(backend) for backend in BACKENDS},
+    }
+    FIXTURE_PATH.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual fixture refresh
+    _regenerate()

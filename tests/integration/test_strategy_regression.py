@@ -126,11 +126,15 @@ class TestStrategyBackendSupport:
             result = run_once(config, backend="chain")
             assert result.total_blocks > 0
 
-    def test_markov_backend_supports_honest_and_selfish_only(self):
+    def test_markov_backend_rejects_strategies_without_a_transition_model(self):
         honest = SimulationConfig(params=self.PARAMS, num_blocks=400, seed=1, strategy="honest")
         assert MarkovMonteCarlo(honest).run().stale_blocks == 0.0
         selfish = SimulationConfig(params=self.PARAMS, num_blocks=400, seed=1)
         assert MarkovMonteCarlo(selfish).run().total_blocks == 400
+        optimal = SimulationConfig(
+            params=self.PARAMS, num_blocks=400, seed=1, strategy="optimal"
+        )
+        assert MarkovMonteCarlo(optimal).run().total_blocks == 400
         stubborn = SimulationConfig(
             params=self.PARAMS, num_blocks=400, seed=1, strategy="lead_stubborn"
         )

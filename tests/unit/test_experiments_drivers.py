@@ -10,8 +10,73 @@ from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import figure9_schedules, run_figure9
 from repro.experiments.figure10 import run_figure10
 from repro.experiments.network import run_network
+from repro.experiments.optimal import run_optimal
 from repro.experiments.strategies import run_strategy_comparison
 from repro.experiments.table2 import run_table2
+
+
+class TestOptimalFrontierDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_optimal(fast=True, simulation_blocks=2000, simulation_runs=1)
+
+    def test_fast_grid_covers_one_gamma(self, result):
+        assert result.gammas == (0.5,)
+        assert len(result.alphas) >= 2
+        assert set(result.cells) == {(alpha, 0.5) for alpha in result.alphas}
+
+    def test_optimal_dominates_both_corners_in_every_cell(self, result):
+        for cell in result.cells.values():
+            assert cell.advantage >= -1e-9
+
+    def test_threshold_detected_and_policy_labels_flip(self, result):
+        threshold = result.threshold_alpha(0.5)
+        assert threshold is not None
+        for alpha in result.alphas:
+            label = result.cell(alpha, 0.5).policy.policy_label()
+            assert label == ("honest" if alpha < threshold else "selfish")
+
+    def test_simulation_sections_cover_the_grid(self, result):
+        assert len(result.simulated_optimal) == len(result.alphas)
+        assert result.simulated_catalogue is not None
+        for aggregates in result.simulated_catalogue.values():
+            assert len(aggregates) == len(result.alphas)
+
+    def test_report_renders_every_section(self, result):
+        text = result.report()
+        assert "Optimal-strategy frontier" in text
+        assert "Policy structure" in text
+        assert "solver vs chain simulation" in text
+        assert "stubborn catalogue" in text
+        assert "profitability threshold" in text
+
+    def test_markov_backend_rejected_for_the_catalogue_section(self):
+        with pytest.raises(ParameterError, match="markov"):
+            run_optimal(fast=True, simulation_backend="markov")
+
+    def test_markov_backend_accepted_without_the_catalogue_section(self):
+        result = run_optimal(
+            fast=True,
+            simulation_backend="markov",
+            include_catalogue=False,
+            simulation_blocks=2000,
+        )
+        assert result.simulated_catalogue is None
+        assert len(result.simulated_optimal) == len(result.alphas)
+        assert "markov simulation" in result.report()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError, match="backend"):
+            run_optimal(simulation_backend="quantum")
+
+    def test_non_default_truncation_requires_disabling_the_validation_section(self):
+        with pytest.raises(ParameterError, match="max_lead"):
+            run_optimal(fast=True, max_lead=12)
+        result = run_optimal(
+            fast=True, max_lead=12, include_simulation=False, include_catalogue=False
+        )
+        assert result.max_lead == 12
+        assert result.simulated_optimal == ()
 
 
 class TestFigure8Driver:

@@ -109,6 +109,21 @@ class TestCli:
     def test_run_experiment_table1(self):
         assert "Table I" in run_experiment("table1")
 
+    def test_run_experiment_unknown_name_lists_available_experiments(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError) as excinfo:
+            run_experiment("figure99")
+        message = str(excinfo.value)
+        assert "unknown experiment 'figure99'" in message
+        for name in ("figure8", "strategies", "network", "optimal", "table2"):
+            assert name in message
+
+    def test_parser_accepts_optimal_experiment(self):
+        arguments = build_parser().parse_args(["optimal", "--fast", "-j", "2"])
+        assert arguments.experiment == "optimal"
+        assert arguments.workers == 2
+
     def test_run_experiment_table1_ignores_workers_and_backend(self):
         assert "Table I" in run_experiment("table1", workers=2, backend="markov")
 

@@ -1,0 +1,139 @@
+"""Unit tests for the action-conditioned MDP model (:mod:`repro.mdp.model`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StateSpaceError
+from repro.markov.state import State, StateSpace
+from repro.markov.transitions import TransitionKind, transitions_from_state
+from repro.mdp.model import (
+    MdpModel,
+    PoolDecision,
+    available_decisions,
+    decision_transitions,
+    policy_transitions_from_state,
+)
+from repro.params import MiningParams
+from repro.rewards.schedule import EthereumByzantiumSchedule
+
+PARAMS = MiningParams(alpha=0.3, gamma=0.5)
+SCHEDULE = EthereumByzantiumSchedule()
+MAX_LEAD = 10
+
+
+@pytest.fixture(scope="module")
+def model() -> MdpModel:
+    return MdpModel(PARAMS, SCHEDULE, max_lead=MAX_LEAD)
+
+
+class TestAvailableDecisions:
+    def test_every_state_offers_both_decisions_except_the_tie(self):
+        for state in StateSpace(MAX_LEAD):
+            decisions = available_decisions(state)
+            if state == State(1, 1):
+                assert decisions == (PoolDecision.OVERRIDE,)
+            else:
+                assert decisions == (PoolDecision.WITHHOLD, PoolDecision.OVERRIDE)
+
+    def test_withhold_at_the_tie_rejected(self):
+        with pytest.raises(StateSpaceError, match="tie-breaking"):
+            decision_transitions(State(1, 1), PARAMS, PoolDecision.WITHHOLD, max_lead=MAX_LEAD)
+
+
+class TestDecisionTransitions:
+    def test_withhold_reproduces_the_paper_chain(self):
+        for state in StateSpace(MAX_LEAD):
+            if state == State(1, 1):
+                continue
+            chosen = decision_transitions(state, PARAMS, PoolDecision.WITHHOLD, max_lead=MAX_LEAD)
+            assert chosen == list(transitions_from_state(state, PARAMS, max_lead=MAX_LEAD))
+
+    def test_override_redirects_only_the_pool_event(self):
+        for state in StateSpace(MAX_LEAD):
+            base = list(transitions_from_state(state, PARAMS, max_lead=MAX_LEAD))
+            chosen = decision_transitions(state, PARAMS, PoolDecision.OVERRIDE, max_lead=MAX_LEAD)
+            assert len(chosen) == len(base)
+            for original, redirected in zip(base, chosen):
+                assert redirected.rate == original.rate
+                if state != State(1, 1) and original.kind.case_number in (2, 3, 6):
+                    assert redirected.target == State(0, 0)
+                    assert redirected.kind is TransitionKind.POOL_EXTENDS_PRIVATE_LEAD
+                else:
+                    assert redirected == original
+
+    def test_rates_sum_to_one_under_both_decisions(self):
+        for state in StateSpace(MAX_LEAD):
+            for decision in available_decisions(state):
+                total = sum(
+                    t.rate
+                    for t in decision_transitions(state, PARAMS, decision, max_lead=MAX_LEAD)
+                )
+                assert total == pytest.approx(1.0)
+
+    def test_policy_enumerator_follows_the_override_table(self):
+        overrides = frozenset({State(0, 0).encode()})
+        honest_like = policy_transitions_from_state(
+            State(0, 0), PARAMS, overrides, max_lead=MAX_LEAD
+        )
+        assert all(t.target == State(0, 0) for t in honest_like)
+        selfish_like = policy_transitions_from_state(
+            State(2, 0), PARAMS, overrides, max_lead=MAX_LEAD
+        )
+        assert selfish_like == list(transitions_from_state(State(2, 0), PARAMS, max_lead=MAX_LEAD))
+
+    def test_policy_enumerator_forces_the_tie_resolution(self):
+        transitions = policy_transitions_from_state(
+            State(1, 1), PARAMS, frozenset(), max_lead=MAX_LEAD
+        )
+        assert [t.kind for t in transitions] == [TransitionKind.TIE_RESOLVED]
+
+
+class TestCompiledModel:
+    def test_action_layout_matches_the_state_space(self, model):
+        # Every state has two actions except the single-action tie state.
+        assert model.num_actions == 2 * model.num_states - 1
+        assert model.action_offsets[0] == 0
+        assert model.action_offsets[-1] == model.num_actions
+
+    def test_transition_rows_are_distributions(self, model):
+        row_sums = model.transition_matrix.sum(axis=1)
+        assert row_sums.min() == pytest.approx(1.0)
+        assert row_sums.max() == pytest.approx(1.0)
+
+    def test_override_reward_is_the_certain_static_block(self, model):
+        schedule_static = SCHEDULE.static_reward
+        alpha = PARAMS.alpha
+        for action in model.actions_of(State(5, 1)):
+            if action.decision is PoolDecision.OVERRIDE:
+                # Pool event: alpha * Ks certain; honest events contribute the
+                # unchanged case-7/11 records.
+                withhold = next(
+                    a
+                    for a in model.actions_of(State(5, 1))
+                    if a.decision is PoolDecision.WITHHOLD
+                )
+                assert action.expected_pool_reward == pytest.approx(
+                    withhold.expected_pool_reward
+                )
+                assert action.expected_pool_reward >= alpha * schedule_static
+
+    def test_selfish_policy_picks_withhold_everywhere_but_the_tie(self, model):
+        policy = model.selfish_policy()
+        for index, flat in enumerate(policy):
+            action = model.actions[int(flat)]
+            expected = (
+                PoolDecision.OVERRIDE
+                if model.space.state_at(index) == State(1, 1)
+                else PoolDecision.WITHHOLD
+            )
+            assert action.decision is expected
+
+    def test_honest_policy_overrides_everywhere(self, model):
+        for flat in model.honest_policy():
+            assert model.actions[int(flat)].decision is PoolDecision.OVERRIDE
+
+    def test_flat_index_rejects_missing_decisions(self, model):
+        tie_index = model.space.index_of(State(1, 1))
+        with pytest.raises(StateSpaceError, match="withhold"):
+            model.flat_index(tie_index, PoolDecision.WITHHOLD)

@@ -1,0 +1,120 @@
+"""Unit tests for the MDP solver (:mod:`repro.mdp.solver`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.revenue import RevenueModel
+from repro.errors import ConvergenceError, ParameterError
+from repro.markov.state import State
+from repro.mdp.model import PoolDecision
+from repro.mdp.solver import (
+    MdpSolver,
+    clear_policy_cache,
+    solve_optimal_policy,
+)
+from repro.params import MiningParams
+from repro.rewards.schedule import BitcoinSchedule, EthereumByzantiumSchedule, FlatUncleSchedule
+
+MAX_LEAD = 20
+
+
+def solver_at(alpha: float, gamma: float, **kwargs) -> MdpSolver:
+    return MdpSolver(MiningParams(alpha=alpha, gamma=gamma), max_lead=MAX_LEAD, **kwargs)
+
+
+class TestPolicyEvaluation:
+    def test_selfish_pinned_matches_the_analytical_revenue_model(self):
+        model = RevenueModel(max_lead=MAX_LEAD)
+        for alpha, gamma in [(0.2, 0.3), (0.35, 0.5), (0.45, 0.9)]:
+            solver = solver_at(alpha, gamma)
+            evaluation = solver.evaluate(solver.model.selfish_policy())
+            expected = model.revenue_rates(MiningParams(alpha=alpha, gamma=gamma))
+            assert evaluation.share == pytest.approx(
+                expected.relative_pool_revenue, abs=1e-12
+            )
+            assert evaluation.rates.uncle_rate == pytest.approx(expected.uncle_rate, abs=1e-12)
+            assert evaluation.rates.stale_rate == pytest.approx(expected.stale_rate, abs=1e-12)
+
+    def test_honest_pinned_earns_exactly_alpha(self):
+        for alpha in (0.1, 0.3, 0.45):
+            solver = solver_at(alpha, 0.5)
+            evaluation = solver.evaluate(solver.model.honest_policy())
+            assert evaluation.share == pytest.approx(alpha, abs=1e-12)
+            assert evaluation.rates.stale_rate == pytest.approx(0.0, abs=1e-12)
+
+    def test_decision_map_form_overrides_selected_states(self):
+        solver = solver_at(0.3, 0.5)
+        pinned = solver.evaluate_decisions({State(0, 0): PoolDecision.OVERRIDE})
+        assert pinned.share == pytest.approx(0.3, abs=1e-12)
+
+
+class TestSolve:
+    def test_below_threshold_the_optimal_policy_is_honest(self):
+        result = solver_at(0.1, 0.5).solve()
+        assert result.policy_label() == "honest"
+        assert result.optimal_share == pytest.approx(0.1, abs=1e-10)
+        assert State(0, 0) in result.divergence_from_selfish()
+
+    def test_above_threshold_the_optimal_policy_is_algorithm_1(self):
+        result = solver_at(0.4, 0.5).solve()
+        assert result.policy_label() == "selfish"
+        assert result.divergence_from_selfish() == ()
+        expected = RevenueModel(max_lead=MAX_LEAD).relative_pool_revenue(
+            MiningParams(alpha=0.4, gamma=0.5)
+        )
+        assert result.optimal_share == pytest.approx(expected, abs=1e-12)
+
+    def test_share_sequence_is_monotone_and_ends_at_the_optimum(self):
+        result = solver_at(0.15, 0.5).solve()
+        assert list(result.shares) == sorted(result.shares)
+        assert result.shares[-1] == pytest.approx(result.optimal_share, abs=1e-12)
+
+    def test_override_codes_always_contain_the_forced_tie_break(self):
+        for alpha in (0.1, 0.3, 0.45):
+            result = solver_at(alpha, 0.5).solve()
+            assert State(1, 1).encode() in result.override_codes
+
+    def test_zero_alpha_degenerates_to_share_zero(self):
+        result = solver_at(0.0, 0.5).solve()
+        assert result.optimal_share == 0.0
+        assert result.shares == (0.0,)
+
+    def test_bitcoin_schedule_recovers_the_eyal_sirer_threshold_side(self):
+        # At gamma=0 the Bitcoin threshold is 1/3: below it honest, above selfish.
+        below = MdpSolver(
+            MiningParams(alpha=0.30, gamma=0.0), BitcoinSchedule(), max_lead=MAX_LEAD
+        ).solve()
+        above = MdpSolver(
+            MiningParams(alpha=0.36, gamma=0.0), BitcoinSchedule(), max_lead=MAX_LEAD
+        ).solve()
+        assert below.policy_label() == "honest"
+        assert above.policy_label() == "selfish"
+
+    def test_rvi_iteration_budget_enforced(self):
+        solver = solver_at(0.35, 0.5)
+        with pytest.raises(ConvergenceError, match="relative value iteration"):
+            solver.improve(0.35, max_iterations=2)
+
+
+class TestCaching:
+    def test_cache_returns_the_same_result_object(self):
+        clear_policy_cache()
+        params = MiningParams(alpha=0.33, gamma=0.4)
+        first = solve_optimal_policy(params, max_lead=MAX_LEAD)
+        second = solve_optimal_policy(params, EthereumByzantiumSchedule(), max_lead=MAX_LEAD)
+        assert second is first  # schedules compared by value, not identity
+
+    def test_cache_distinguishes_schedules_and_truncations(self):
+        clear_policy_cache()
+        params = MiningParams(alpha=0.33, gamma=0.4)
+        byzantium = solve_optimal_policy(params, max_lead=MAX_LEAD)
+        flat = solve_optimal_policy(params, FlatUncleSchedule(0.5), max_lead=MAX_LEAD)
+        deeper = solve_optimal_policy(params, max_lead=MAX_LEAD + 5)
+        assert flat is not byzantium
+        assert deeper is not byzantium
+        assert deeper.max_lead == MAX_LEAD + 5
+
+    def test_invalid_truncation_rejected(self):
+        with pytest.raises(ParameterError, match="max_lead"):
+            solve_optimal_policy(MiningParams(alpha=0.3, gamma=0.5), max_lead=1)

@@ -79,6 +79,20 @@ class TestRegistry:
         with pytest.raises(ParameterError, match="unknown latency model"):
             make_latency("quantum")
 
+    def test_unknown_model_error_lists_every_registered_model(self):
+        with pytest.raises(ParameterError) as excinfo:
+            make_latency("quantum:0.5")
+        message = str(excinfo.value)
+        assert "unknown latency model 'quantum'" in message
+        for name in available_latency_models():
+            assert name in message
+
+    def test_bad_argument_error_names_the_offending_spec(self):
+        with pytest.raises(ParameterError) as excinfo:
+            make_latency("constant:fast")
+        assert "constant:fast" in str(excinfo.value)
+        assert "'fast'" in str(excinfo.value)
+
     def test_bad_argument_rejected(self):
         with pytest.raises(ParameterError, match="non-numeric"):
             make_latency("constant:fast")

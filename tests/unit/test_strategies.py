@@ -27,6 +27,11 @@ from repro.strategies import (
 PARAMS = MiningParams(alpha=0.3, gamma=0.5)
 
 
+def _registry_config() -> SimulationConfig:
+    """A small run configuration for exercising configuration-aware factories."""
+    return SimulationConfig(params=PARAMS, num_blocks=100, seed=1)
+
+
 def race(private: int, published: int, public: int) -> RaceState:
     """A race view with the given ``(Ls, published, Lh)`` bookkeeping."""
     return RaceState(
@@ -55,20 +60,40 @@ class TestRegistry:
         with pytest.raises(ParameterError, match="available"):
             make_strategy("nonsense")
 
+    def test_unknown_name_error_lists_every_registered_strategy(self):
+        with pytest.raises(ParameterError) as excinfo:
+            make_strategy("nonsense")
+        message = str(excinfo.value)
+        assert "unknown mining strategy 'nonsense'" in message
+        for name in available_strategies():
+            assert name in message
+
+    def test_unknown_name_in_config_error_lists_every_registered_strategy(self):
+        with pytest.raises(ParameterError) as excinfo:
+            SimulationConfig(params=PARAMS, num_blocks=10, strategy="nonsense")
+        message = str(excinfo.value)
+        for name in available_strategies():
+            assert name in message
+
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ParameterError):
             register_strategy("selfish", SelfishStrategy)
 
     def test_strategies_satisfy_the_protocol(self):
+        # A run configuration is passed through for configuration-aware
+        # factories ("optimal" solves its policy per parameter point); the
+        # stateless catalogue strategies ignore it.
+        config = _registry_config()
         for name in available_strategies():
-            strategy = make_strategy(name)
+            strategy = make_strategy(name, config=config)
             assert isinstance(strategy, MiningStrategy)
             assert strategy.name == name
 
     def test_strategies_are_stateless_value_objects(self):
+        config = _registry_config()
         for name in available_strategies():
-            strategy = make_strategy(name)
-            assert strategy == make_strategy(name)
+            strategy = make_strategy(name, config=config)
+            assert strategy == make_strategy(name, config=config)
             assert pickle.loads(pickle.dumps(strategy)) == strategy
 
     def test_race_state_satisfies_race_view(self):
