@@ -1,0 +1,81 @@
+"""Benchmarks of the sweep engine and the persistent result store.
+
+Two things matter about the store: a *cold* sweep must not pay noticeably for
+writing its results (the store tax is a few JSON dumps against seconds of
+simulation), and a *warm* sweep must collapse to pure reads — zero simulation
+work, milliseconds of wall clock.  Both are measured over the same
+figure-8-shaped scenario (one strategy, an alpha grid, the fast ``markov``
+backend so the cache machinery, not the engine, dominates the warm number).
+
+Sizes honour ``REPRO_BENCH_SCALE`` exactly like ``bench_engines.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+
+from repro.scenarios import ScenarioSpec, run_scenario
+from repro.store import ResultStore
+
+#: Scale multiplier for the simulated block counts (CI smoke runs use < 1).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(blocks: int) -> int:
+    """``blocks`` scaled by ``REPRO_BENCH_SCALE`` (at least 1000)."""
+    return max(1000, int(blocks * BENCH_SCALE))
+
+
+def _figure8_sized_spec(blocks: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bench-sweep",
+        alphas=tuple(round(0.05 * step, 2) for step in range(1, 10)),
+        gammas=(0.5,),
+        strategies=("selfish",),
+        backends=("markov",),
+        num_runs=2,
+        num_blocks=blocks,
+        seed=2019,
+    )
+
+
+def test_sweep_cold_cache_benchmark(benchmark):
+    """Cold sweep: every cell simulated, every result persisted."""
+    blocks = scaled(20_000)
+    spec = _figure8_sized_spec(blocks)
+    benchmark.extra_info["blocks"] = blocks * spec.num_planned_runs
+    root = tempfile.mkdtemp(prefix="bench-sweep-cold-")
+
+    counter = iter(range(10**6))
+
+    def cold_run():
+        result = run_scenario(spec, store=ResultStore(f"{root}/{next(counter)}"))
+        assert result.executed_runs == spec.num_planned_runs
+        return result
+
+    try:
+        benchmark.pedantic(cold_run, rounds=1, iterations=1)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_sweep_warm_cache_benchmark(benchmark):
+    """Warm sweep: the same scenario answered entirely from the store."""
+    blocks = scaled(20_000)
+    spec = _figure8_sized_spec(blocks)
+    benchmark.extra_info["blocks"] = blocks * spec.num_planned_runs
+    root = tempfile.mkdtemp(prefix="bench-sweep-warm-")
+    store = ResultStore(root)
+    run_scenario(spec, store=store)  # populate
+
+    def warm_run():
+        result = run_scenario(spec, store=store)
+        assert result.executed_runs == 0
+        return result
+
+    try:
+        benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -1,14 +1,21 @@
 #!/usr/bin/env python
 """Run the engine benchmark suite and write a machine-readable timing record.
 
-The driver invokes the pytest-benchmark suite (``benchmarks/bench_engines.py`` by
-default), extracts per-benchmark timings, derives blocks-per-second figures for the
-simulator benchmarks, and writes everything to ``BENCH_PR2.json`` at the repository
-root so the performance trajectory is tracked in-repo from PR 2 on.
+The driver invokes the pytest-benchmark suite (engines, network, MDP solver and
+sweep-engine files by default), extracts per-benchmark timings, derives
+blocks-per-second figures for the simulator benchmarks, and writes everything to
+``BENCH_PR5.json`` at the repository root so the performance trajectory is
+tracked in-repo (``BENCH_PR2.json`` holds the PR 2 era record).
+
+Every record is stamped with its provenance — the git commit it measured, the
+interpreter and machine it ran on, and the contents of the four component
+registries (simulator backends, mining strategies, latency models, schedule
+specs) — so a historical JSON answers "what exactly was benchmarked" without
+archaeology.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py                  # full engine suite
+    python benchmarks/run_benchmarks.py                  # full default suite
     python benchmarks/run_benchmarks.py --smoke --check  # CI: tiny sizes + assert
     python benchmarks/run_benchmarks.py --select benchmarks  # every bench file
 
@@ -32,11 +39,14 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR2.json"
-#: Default pytest selection: the engine suite plus the network-backend and MDP
-#: solver suites (whitespace-separated; each token is passed to pytest as its own
-#: argument).
-DEFAULT_SELECT = "benchmarks/bench_engines.py benchmarks/bench_network.py benchmarks/bench_mdp.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR5.json"
+#: Default pytest selection: the engine suite plus the network-backend, MDP
+#: solver and sweep-engine suites (whitespace-separated; each token is passed to
+#: pytest as its own argument).
+DEFAULT_SELECT = (
+    "benchmarks/bench_engines.py benchmarks/bench_network.py benchmarks/bench_mdp.py "
+    "benchmarks/bench_sweep.py"
+)
 
 #: Full-scale timings measured immediately before the PR 2 optimisations landed
 #: (same machine as the committed BENCH_PR2.json), so the recorded JSON carries
@@ -49,6 +59,64 @@ PRE_PR2_BASELINES_S = {
 }
 
 SMOKE_SCALE = 0.05
+
+
+def git_revision() -> dict:
+    """The measured commit: SHA plus a dirty-tree marker (``unknown`` outside git)."""
+
+    def capture(*arguments: str) -> str | None:
+        try:
+            completed = subprocess.run(
+                ["git", *arguments],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if completed.returncode != 0:
+            return None
+        return completed.stdout.strip()
+
+    sha = capture("rev-parse", "HEAD")
+    status = capture("status", "--porcelain")
+    return {
+        "sha": sha if sha else "unknown",
+        "dirty": bool(status) if status is not None else None,
+    }
+
+
+def registry_contents() -> dict:
+    """What was registered when the benchmarks ran (backends, strategies, ...)."""
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.backends import available_backends
+    from repro.network.latency import available_latency_models
+    from repro.rewards.schedule import available_schedule_specs
+    from repro.strategies import available_strategies
+
+    return {
+        "backends": list(available_backends()),
+        "strategies": list(available_strategies()),
+        "latency_models": list(available_latency_models()),
+        "schedule_specs": list(available_schedule_specs()),
+    }
+
+
+def machine_info() -> dict:
+    """The hardware/interpreter the numbers were measured on."""
+    uname = platform.uname()
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": uname.machine,
+        "processor": uname.processor,
+        "system": uname.system,
+        "release": uname.release,
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def run_suite(select: str, scale: float) -> dict:
@@ -140,9 +208,13 @@ def main(argv: list[str] | None = None) -> None:
     payload = run_suite(args.select, scale)
     records = summarise(payload, scale)
     document = {
-        "schema": 1,
+        "schema": 2,
         "created_by": "benchmarks/run_benchmarks.py",
         "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git": git_revision(),
+        "machine_info": machine_info(),
+        "registries": registry_contents(),
+        # Kept for schema-1 consumers.
         "python": platform.python_version(),
         "machine": platform.machine(),
         "scale": scale,

@@ -54,9 +54,12 @@ from .rewards.schedule import (
     ethereum_schedule,
     flat_uncle_schedule,
 )
+from .backends import SimulatorBackend, available_backends, make_simulator, register_backend
 from .network.latency import ConstantLatency, ExponentialLatency, LatencyModel, ZeroLatency
 from .network.simulator import NetworkSimulator
 from .network.topology import MinerSpec, Topology, multi_pool_topology, single_pool_topology
+from .scenarios import ScenarioSpec, run_scenario, run_scenarios
+from .store import ResultStore, config_fingerprint
 from .simulation.config import SimulationConfig
 from .simulation.engine import ChainSimulator
 from .simulation.fast import MarkovMonteCarlo
@@ -119,11 +122,14 @@ __all__ = [
     "ParameterError",
     "PartyRewards",
     "ReproError",
+    "ResultStore",
     "RevenueModel",
     "RevenueRates",
     "RevenueSplit",
     "RewardSchedule",
     "Scenario",
+    "ScenarioSpec",
+    "SimulatorBackend",
     "SelfishStrategy",
     "SimulationConfig",
     "SimulationError",
@@ -136,7 +142,9 @@ __all__ = [
     "ZeroLatency",
     "absolute_revenue",
     "aggregate_results",
+    "available_backends",
     "available_strategies",
+    "config_fingerprint",
     "bitcoin_relative_revenue",
     "bitcoin_threshold",
     "closed_form_revenue",
@@ -145,13 +153,17 @@ __all__ = [
     "honest_absolute_revenue",
     "honest_relative_revenue",
     "honest_uncle_distance_distribution",
+    "make_simulator",
     "make_strategy",
     "multi_pool_topology",
     "profitable_threshold",
+    "register_backend",
     "register_strategy",
     "run_many",
     "run_many_grid",
     "run_once",
+    "run_scenario",
+    "run_scenarios",
     "simulate_alpha_sweep",
     "simulate_strategy_sweep",
     "single_pool_topology",

@@ -1,0 +1,142 @@
+"""Simulator backends: one registry behind every engine that can run a config.
+
+Before this package existed, :mod:`repro.simulation.runner` resolved backend
+names through an if/elif ladder; adding an engine meant editing the runner.  The
+backends package replaces that with the package's shared registry
+infrastructure (:mod:`repro.utils.registry`): every engine registers a
+:class:`SimulatorBackend` under its name, the runner (and the scenario sweep
+engine) resolve names through :func:`make_simulator`, and unknown names fail
+with an error that lists what *is* available.
+
+Three backends ship with the package:
+
+* ``chain`` — :class:`~repro.simulation.engine.ChainSimulator`, the
+  full-fidelity discrete-event simulator (every block materialised);
+* ``markov`` — :class:`~repro.simulation.fast.MarkovMonteCarlo`, the
+  compiled-transition-table Monte Carlo (orders of magnitude faster);
+* ``network`` — :class:`~repro.network.simulator.NetworkSimulator`, the
+  event-driven latency-aware simulator (per-miner local views, emergent
+  tie-breaking, multiple simultaneous pools).
+
+The concrete backend classes import their engine lazily inside
+:meth:`~SimulatorBackend.build`: the engines themselves import
+:mod:`repro.simulation.config`, so importing them at module scope would tie
+this package into the simulation package's import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from ..errors import SimulationError
+from ..utils.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (cycle guard)
+    from ..simulation.config import SimulationConfig
+    from ..simulation.metrics import SimulationResult
+
+
+@runtime_checkable
+class Simulator(Protocol):
+    """What a backend builds: anything that can run one configured simulation."""
+
+    def run(self) -> "SimulationResult":
+        """Execute the simulation and return its settled result."""
+        ...
+
+
+@runtime_checkable
+class SimulatorBackend(Protocol):
+    """One simulation engine, addressable by name.
+
+    A backend is a stateless factory: :meth:`build` turns a
+    :class:`~repro.simulation.config.SimulationConfig` into a ready-to-run
+    simulator.  Backends are frozen dataclasses so they are hashable and
+    picklable (a requirement of the process-parallel runner).
+    """
+
+    #: Registry name of the backend (also used in CLI flags and reports).
+    name: str
+
+    def build(self, config: "SimulationConfig") -> Simulator:
+        """Construct the engine for one run of ``config``."""
+        ...
+
+
+@dataclass(frozen=True)
+class ChainBackend:
+    """The full-fidelity block-tree simulator (the paper's Section V setup)."""
+
+    name: str = "chain"
+
+    def build(self, config: "SimulationConfig") -> Simulator:
+        from ..simulation.engine import ChainSimulator
+
+        return ChainSimulator(config)
+
+
+@dataclass(frozen=True)
+class MarkovBackend:
+    """The compiled-transition-table Monte Carlo over the analytical chain."""
+
+    name: str = "markov"
+
+    def build(self, config: "SimulationConfig") -> Simulator:
+        from ..simulation.fast import MarkovMonteCarlo
+
+        return MarkovMonteCarlo(config)
+
+
+@dataclass(frozen=True)
+class NetworkBackend:
+    """The event-driven latency-aware simulator of :mod:`repro.network`."""
+
+    name: str = "network"
+
+    def build(self, config: "SimulationConfig") -> Simulator:
+        from ..network.simulator import NetworkSimulator
+
+        return NetworkSimulator(config)
+
+
+#: Registry of simulator backends keyed by backend name.  Unknown-name lookups
+#: raise :class:`~repro.errors.SimulationError` (the runner's established error
+#: type for bad backend selections) listing the registered names.
+_REGISTRY: Registry[SimulatorBackend] = Registry("simulator backend", error_type=SimulationError)
+
+
+def register_backend(backend: SimulatorBackend) -> None:
+    """Register ``backend`` under its own name (rejects duplicates)."""
+    _REGISTRY.register(backend.name, backend)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered simulator backends, sorted."""
+    return _REGISTRY.available()
+
+
+def get_backend(name: str) -> SimulatorBackend:
+    """Resolve a backend name, raising an error that lists the alternatives."""
+    return _REGISTRY.get(name)
+
+
+def make_simulator(config: "SimulationConfig", backend: str) -> Simulator:
+    """Build the named backend's simulator for one run of ``config``."""
+    return get_backend(backend).build(config)
+
+
+for _backend in (ChainBackend(), MarkovBackend(), NetworkBackend()):
+    register_backend(_backend)
+
+__all__ = [
+    "ChainBackend",
+    "MarkovBackend",
+    "NetworkBackend",
+    "Simulator",
+    "SimulatorBackend",
+    "available_backends",
+    "get_backend",
+    "make_simulator",
+    "register_backend",
+]

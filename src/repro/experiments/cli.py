@@ -8,6 +8,8 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments figure8 --backend markov   # overlay via the Markov backend
     repro-experiments network --fast       # latency -> effective gamma + 2-pool races
     repro-experiments all --fast           # every artifact, fast settings
+    repro-experiments sweep my_scenario.toml --cache-dir .repro-cache
+    repro-experiments sweep my_scenario.toml --cache-dir .repro-cache --resume
 
 Each sub-command prints the corresponding driver's text report to stdout.  All
 sub-commands share one set of flags (:class:`ExperimentOptions`):
@@ -17,10 +19,19 @@ sub-commands share one set of flags (:class:`ExperimentOptions`):
   over a process pool — results are bit-identical to a serial run;
 * ``--backend`` selects the simulator behind the simulation-backed drivers
   (``chain``, ``markov`` or ``network``; the ``network`` experiment always runs
-  its own backend).
+  its own backend);
+* ``--cache-dir`` points the persistent result store at a directory: the
+  simulation-backed drivers then execute only the runs missing from the cache
+  (a warm re-run of a figure does zero simulation work).
+
+The ``sweep`` sub-command runs an arbitrary scenario file (JSON or TOML; see
+:mod:`repro.scenarios`) end-to-end through the shared sweep engine.  Its extra
+flags: ``--max-cells N`` stops after N grid cells (leaving the rest pending on
+disk), and ``--resume`` continues an interrupted sweep from an existing
+``--cache-dir`` — only the still-missing cells execute.
 
 Purely descriptive artifacts (``table1``, ``figure6``) accept and ignore the
-worker/backend flags so that scripted invocations stay uniform.
+worker/backend/cache flags so that scripted invocations stay uniform.
 """
 
 from __future__ import annotations
@@ -29,10 +40,11 @@ import argparse
 import sys
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
 
+from ..backends import available_backends
 from ..errors import ExperimentError
-from ..simulation.runner import BACKENDS
 from .discussion import run_discussion
 from .figure8 import run_figure8
 from .figure9 import run_figure9
@@ -44,6 +56,9 @@ from .strategies import run_strategy_comparison
 from .table1 import run_table1
 from .table2 import run_table2
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..store import ResultStore
+
 
 @dataclass(frozen=True)
 class ExperimentOptions:
@@ -52,6 +67,15 @@ class ExperimentOptions:
     fast: bool = False
     workers: int | None = None
     backend: str = "chain"
+    cache_dir: Path | None = None
+
+    def store(self) -> "ResultStore | None":
+        """The result store behind ``--cache-dir`` (``None`` when not given)."""
+        if self.cache_dir is None:
+            return None
+        from ..store import ResultStore
+
+        return ResultStore(self.cache_dir)
 
 
 #: Mapping of sub-command name to a callable producing the report text.  Every
@@ -63,12 +87,14 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
         fast=options.fast,
         max_workers=options.workers,
         simulation_backend=options.backend,
+        store=options.store(),
     ).report(),
     "figure9": lambda options: run_figure9(
         fast=options.fast,
         include_simulation=not options.fast,
         max_workers=options.workers,
         simulation_backend=options.backend,
+        store=options.store(),
     ).report(),
     "figure10": lambda options: run_figure10(
         fast=options.fast, max_workers=options.workers
@@ -79,6 +105,7 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
         include_simulation=not options.fast,
         max_workers=options.workers,
         simulation_backend=options.backend,
+        store=options.store(),
     ).report(),
     "discussion": lambda options: run_discussion(
         fast=options.fast, max_workers=options.workers
@@ -87,9 +114,10 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
         fast=options.fast,
         max_workers=options.workers,
         simulation_backend=options.backend,
+        store=options.store(),
     ).report(),
     "network": lambda options: run_network(
-        fast=options.fast, max_workers=options.workers
+        fast=options.fast, max_workers=options.workers, store=options.store()
     ).report(),
     "optimal": lambda options: run_optimal(
         fast=options.fast,
@@ -98,6 +126,7 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
         # backend still validates the extracted optimal strategy itself.
         include_catalogue=options.backend != "markov",
         simulation_backend=options.backend,
+        store=options.store(),
     ).report(),
 }
 
@@ -110,8 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which artifact to regenerate ('all' runs every driver)",
+        choices=sorted(_EXPERIMENTS) + ["all", "sweep"],
+        help=(
+            "which artifact to regenerate ('all' runs every driver; 'sweep' runs "
+            "a scenario file through the shared sweep engine)"
+        ),
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        metavar="SCENARIO_FILE",
+        help="scenario file (.json/.toml) for the 'sweep' sub-command",
     )
     parser.add_argument(
         "--fast",
@@ -128,13 +167,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=BACKENDS,
+        # Resolved at parser-build time, so backends registered before the CLI
+        # runs (plugins calling register_backend on import) are selectable.
+        choices=available_backends(),
         default="chain",
         help=(
             "simulator behind the simulation-backed drivers (default: chain; "
             "'markov' is fastest but models only honest/selfish, 'network' is the "
             "event-driven latency-aware simulator)"
         ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persistent result store: execute only the runs missing from this "
+            "directory and persist new ones (bit-exact round-trip)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "sweep only: continue an interrupted sweep — requires an existing "
+            "--cache-dir; only the still-missing cells execute"
+        ),
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="sweep only: stop after N grid cells (the rest stay pending for --resume)",
     )
     return parser
 
@@ -152,6 +218,7 @@ def run_experiment(
     fast: bool = False,
     workers: int | None = None,
     backend: str = "chain",
+    cache_dir: Path | None = None,
 ) -> str:
     """Run one named experiment and return its report text.
 
@@ -159,7 +226,7 @@ def run_experiment(
     available experiments (the CLI parser already rejects them; this guards the
     programmatic entry point).
     """
-    options = ExperimentOptions(fast=fast, workers=workers, backend=backend)
+    options = ExperimentOptions(fast=fast, workers=workers, backend=backend, cache_dir=cache_dir)
     try:
         experiment = _EXPERIMENTS[name]
     except KeyError:
@@ -169,15 +236,87 @@ def run_experiment(
     return experiment(options)
 
 
+def run_sweep(
+    scenario_path: str | Path,
+    *,
+    workers: int | None = None,
+    cache_dir: Path | None = None,
+    resume: bool = False,
+    max_cells: int | None = None,
+) -> str:
+    """Run one scenario file through the sweep engine and return its report.
+
+    ``resume`` requires an existing ``cache_dir`` (that is where the settled
+    cells of the interrupted sweep live); a plain invocation with a cache dir
+    still reuses whatever the store already holds — ``--resume`` makes the
+    intent explicit and fails loudly when the directory is missing.
+    """
+    from ..scenarios import ScenarioSpec, run_scenario
+
+    if scenario_path is None:
+        raise ExperimentError(
+            "the sweep experiment needs a scenario file: repro-experiments sweep <file.json|file.toml>"
+        )
+    if resume:
+        if cache_dir is None:
+            raise ExperimentError("--resume needs --cache-dir (that is where the sweep lives)")
+        if not Path(cache_dir).is_dir():
+            raise ExperimentError(
+                f"--resume expects an existing cache directory, {str(cache_dir)!r} is missing"
+            )
+    spec = ScenarioSpec.from_file(scenario_path)
+    options = ExperimentOptions(workers=workers, cache_dir=cache_dir)
+    result = run_scenario(
+        spec, store=options.store(), max_workers=workers, max_cells=max_cells
+    )
+    return result.report()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    # Flags that only one branch honours are rejected, not silently dropped —
+    # "figure8 scenario.toml --max-cells 2" is almost certainly a forgotten
+    # 'sweep', and "sweep file --fast" would otherwise run at full fidelity.
+    if arguments.experiment == "sweep":
+        if arguments.fast:
+            parser.error("--fast does not apply to 'sweep'; set fidelity in the scenario file")
+        if arguments.backend != "chain":
+            parser.error(
+                "--backend does not apply to 'sweep'; set 'backends' in the scenario file"
+            )
+    else:
+        if arguments.scenario is not None:
+            parser.error(
+                f"unexpected scenario file {arguments.scenario!r} for "
+                f"{arguments.experiment!r}; scenario files run via 'sweep'"
+            )
+        if arguments.resume:
+            parser.error("--resume only applies to 'sweep'")
+        if arguments.max_cells is not None:
+            parser.error("--max-cells only applies to 'sweep'")
+    if arguments.experiment == "sweep":
+        started = time.time()
+        report = run_sweep(
+            arguments.scenario,
+            workers=arguments.workers,
+            cache_dir=arguments.cache_dir,
+            resume=arguments.resume,
+            max_cells=arguments.max_cells,
+        )
+        print(f"==== sweep ({time.time() - started:.1f}s) ====")
+        print(report)
+        return 0
     names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for name in names:
         started = time.time()
         report = run_experiment(
-            name, fast=arguments.fast, workers=arguments.workers, backend=arguments.backend
+            name,
+            fast=arguments.fast,
+            workers=arguments.workers,
+            backend=arguments.backend,
+            cache_dir=arguments.cache_dir,
         )
         elapsed = time.time() - started
         print(f"==== {name} ({elapsed:.1f}s) ====")

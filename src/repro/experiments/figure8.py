@@ -15,16 +15,18 @@ selfish pool and of honest miners as the pool's hash power ``alpha`` grows from 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..analysis.absolute import Scenario
 from ..analysis.revenue import RevenueModel
 from ..analysis.sweep import AlphaSweep, alpha_grid, sweep_alpha
-from ..params import MiningParams
 from ..rewards.schedule import FlatUncleSchedule, RewardSchedule
-from ..simulation.config import SimulationConfig
-from ..simulation.runner import SimulatedAlphaSweep, simulate_alpha_sweep
+from ..scenarios import ScenarioSpec, run_scenario
+from ..simulation.runner import SimulatedAlphaSweep
 from ..utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..store import ResultStore
 
 #: The uncle reward used in Fig. 8 (``Ku = 4/8 * Ks``).
 FIGURE8_UNCLE_FRACTION = 0.5
@@ -85,6 +87,37 @@ class Figure8Result:
         return "\n".join(lines)
 
 
+def figure8_scenario(
+    *,
+    alphas: Sequence[float],
+    gamma: float = FIGURE8_GAMMA,
+    schedule: RewardSchedule | None = None,
+    simulation_blocks: int = 50_000,
+    simulation_runs: int = 2,
+    simulation_backend: str = "chain",
+    seed: int = 2019,
+) -> ScenarioSpec:
+    """The declarative sweep behind Fig. 8's simulation overlay.
+
+    One cell per pool size, the paper's selfish pool under the figure's flat
+    uncle reward; the driver runs it through the shared sweep engine, so a
+    configured result store (``--cache-dir``) makes warm re-runs free.
+    """
+    if schedule is None:
+        schedule = FlatUncleSchedule(FIGURE8_UNCLE_FRACTION)
+    return ScenarioSpec(
+        name="figure8",
+        alphas=tuple(alphas),
+        gammas=(gamma,),
+        strategies=("selfish",),
+        backends=(simulation_backend,),
+        schedules=(schedule,),
+        num_runs=simulation_runs,
+        num_blocks=simulation_blocks,
+        seed=seed,
+    )
+
+
 def run_figure8(
     *,
     alphas: Sequence[float] | None = None,
@@ -97,6 +130,7 @@ def run_figure8(
     seed: int = 2019,
     max_lead: int = 60,
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
     fast: bool = False,
 ) -> Figure8Result:
     """Reproduce Fig. 8.
@@ -127,6 +161,10 @@ def run_figure8(
     max_workers:
         Fan the simulation runs behind every grid point out over a process pool
         (bit-identical to serial).
+    store:
+        Optional :class:`~repro.store.ResultStore`: the overlay executes only
+        the runs missing from the cache (a warm re-run does zero simulation
+        work) and persists the new ones.
     fast:
         Shrink the grid and the simulation for quick smoke runs.
     """
@@ -144,19 +182,17 @@ def run_figure8(
 
     simulation: SimulatedAlphaSweep | None = None
     if include_simulation:
-        base_config = SimulationConfig(
-            params=MiningParams(alpha=max(alphas[0], 1e-3), gamma=gamma),
+        spec = figure8_scenario(
+            alphas=alphas,
+            gamma=gamma,
             schedule=schedule,
-            num_blocks=simulation_blocks,
+            simulation_blocks=simulation_blocks,
+            simulation_runs=simulation_runs,
+            simulation_backend=simulation_backend,
             seed=seed,
         )
-        simulation = simulate_alpha_sweep(
-            alphas,
-            base_config,
-            num_runs=simulation_runs,
-            backend=simulation_backend,
-            max_workers=max_workers,
-        )
+        sweep = run_scenario(spec, store=store, max_workers=max_workers)
+        simulation = SimulatedAlphaSweep.from_scenario(sweep, gamma)
 
     return Figure8Result(
         gamma=gamma, scenario=Scenario.REGULAR_ONLY, analysis=analysis, simulation=simulation

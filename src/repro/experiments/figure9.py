@@ -16,16 +16,18 @@ The headline observations are
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..analysis.absolute import Scenario
 from ..analysis.revenue import RevenueModel
 from ..analysis.sweep import AlphaSweep, alpha_grid, sweep_alpha
-from ..params import MiningParams
 from ..rewards.schedule import EthereumByzantiumSchedule, FlatUncleSchedule, RewardSchedule
-from ..simulation.config import SimulationConfig
-from ..simulation.runner import SimulatedAlphaSweep, simulate_alpha_sweep
+from ..scenarios import ScenarioSpec, run_scenario
+from ..simulation.runner import SimulatedAlphaSweep
 from ..utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..store import ResultStore
 
 #: The flat uncle-reward fractions swept by the figure, keyed by their legend label.
 FIGURE9_FLAT_FRACTIONS: dict[str, float] = {"Ku=2/8": 2 / 8, "Ku=4/8": 4 / 8, "Ku=7/8": 7 / 8}
@@ -116,6 +118,29 @@ class Figure9Result:
         return "\n".join(lines)
 
 
+def figure9_scenario(
+    *,
+    alphas: Sequence[float],
+    gamma: float = FIGURE9_GAMMA,
+    simulation_blocks: int = 15_000,
+    simulation_runs: int = 2,
+    simulation_backend: str = "chain",
+    seed: int = 2019,
+) -> ScenarioSpec:
+    """The declarative sweep behind Fig. 9's Ethereum ``Ku(.)`` overlay."""
+    return ScenarioSpec(
+        name="figure9",
+        alphas=tuple(alphas),
+        gammas=(gamma,),
+        strategies=("selfish",),
+        backends=(simulation_backend,),
+        schedules=(EthereumByzantiumSchedule(),),
+        num_runs=simulation_runs,
+        num_blocks=simulation_blocks,
+        seed=seed,
+    )
+
+
 def run_figure9(
     *,
     alphas: Sequence[float] | None = None,
@@ -127,6 +152,7 @@ def run_figure9(
     simulation_backend: str = "chain",
     seed: int = 2019,
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
     fast: bool = False,
 ) -> Figure9Result:
     """Reproduce Fig. 9 from the analytical model.
@@ -134,8 +160,9 @@ def run_figure9(
     The paper draws these curves from the analysis (the simulator is used in
     Fig. 8).  ``include_simulation`` adds a simulated overlay of the Ethereum
     ``Ku(.)`` curve — the one curve whose reward window the protocol actually
-    enforces — on the chosen ``simulation_backend``, fanned out over
-    ``max_workers`` processes (bit-identical to serial).
+    enforces — on the chosen ``simulation_backend``, emitted as a scenario
+    through the shared sweep engine (``max_workers`` parallel, bit-identical to
+    serial; ``store`` caches the runs).
     """
     if alphas is None:
         alphas = alpha_grid(0.0, 0.45, 0.05) if not fast else alpha_grid(0.15, 0.45, 0.15)
@@ -150,19 +177,16 @@ def run_figure9(
 
     simulation: SimulatedAlphaSweep | None = None
     if include_simulation:
-        base_config = SimulationConfig(
-            params=MiningParams(alpha=max(alphas[0], 1e-3), gamma=gamma),
-            schedule=EthereumByzantiumSchedule(),
-            num_blocks=simulation_blocks,
+        spec = figure9_scenario(
+            alphas=alphas,
+            gamma=gamma,
+            simulation_blocks=simulation_blocks,
+            simulation_runs=simulation_runs,
+            simulation_backend=simulation_backend,
             seed=seed,
         )
-        simulation = simulate_alpha_sweep(
-            alphas,
-            base_config,
-            num_runs=simulation_runs,
-            backend=simulation_backend,
-            max_workers=max_workers,
-        )
+        sweep = run_scenario(spec, store=store, max_workers=max_workers)
+        simulation = SimulatedAlphaSweep.from_scenario(sweep, gamma)
 
     return Figure9Result(
         gamma=gamma, scenario=Scenario.REGULAR_ONLY, sweeps=sweeps, simulation=simulation

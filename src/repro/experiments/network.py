@@ -20,17 +20,19 @@ the two headline views:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..analysis.revenue import RevenueModel
 from ..params import MiningParams
 from ..rewards.schedule import EthereumByzantiumSchedule, RewardSchedule
-from ..simulation.config import SimulationConfig
+from ..scenarios import ScenarioSpec, run_scenarios
 from ..simulation.metrics import AggregatedResult, MeanStd, mean_effective_gamma, mean_std
-from ..simulation.runner import run_many_grid
 from ..network.latency import ExponentialLatency
 from ..network.topology import multi_pool_topology, single_pool_topology
 from ..utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..store import ResultStore
 
 #: Mean message delays swept by default, as fractions of the block interval.
 DEFAULT_LATENCY_MEANS = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)
@@ -160,6 +162,75 @@ def _pool_revenue_stats(aggregate: AggregatedResult, name: str) -> MeanStd:
     )
 
 
+def network_scenarios(
+    *,
+    alpha: float = NETWORK_ALPHA,
+    gamma: float = NETWORK_GAMMA,
+    latency_means: Sequence[float] = DEFAULT_LATENCY_MEANS,
+    two_pool_grid: Sequence[tuple[float, float]] = DEFAULT_TWO_POOL_GRID,
+    schedule: RewardSchedule | None = None,
+    num_honest: int = NETWORK_HONEST_MINERS,
+    two_pool_latency: float = 0.1,
+    simulation_blocks: int = 10_000,
+    simulation_runs: int = 3,
+    seed: int = 2019,
+) -> list[ScenarioSpec]:
+    """The declarative sweeps behind both network experiments.
+
+    The latency sweep is one scenario whose topology axis carries the
+    single-pool network at every swept delay; each two-pool race is its own
+    one-cell scenario because the race pairs a *specific* alpha with a specific
+    topology (axes in a spec cross, they do not zip).  All specs run through
+    one engine invocation, so every independent run still shares one pool.
+    """
+    if schedule is None:
+        schedule = EthereumByzantiumSchedule()
+    specs: list[ScenarioSpec] = []
+    if latency_means:
+        specs.append(
+            ScenarioSpec(
+                name="network-latency",
+                alphas=(alpha,),
+                gammas=(gamma,),
+                backends=("network",),
+                schedules=(schedule,),
+                topologies=tuple(
+                    single_pool_topology(
+                        alpha,
+                        strategy="selfish",
+                        num_honest=num_honest,
+                        latency=ExponentialLatency(mean=mean_delay),
+                    )
+                    for mean_delay in latency_means
+                ),
+                num_runs=simulation_runs,
+                num_blocks=simulation_blocks,
+                seed=seed,
+            )
+        )
+    for index, (alpha_a, alpha_b) in enumerate(two_pool_grid):
+        specs.append(
+            ScenarioSpec(
+                name=f"network-two-pool-{index}",
+                alphas=(alpha_a,),
+                gammas=(gamma,),
+                backends=("network",),
+                schedules=(schedule,),
+                topologies=(
+                    multi_pool_topology(
+                        [(alpha_a, "selfish"), (alpha_b, "selfish")],
+                        num_honest=num_honest,
+                        latency=ExponentialLatency(mean=two_pool_latency),
+                    ),
+                ),
+                num_runs=simulation_runs,
+                num_blocks=simulation_blocks,
+                seed=seed,
+            )
+        )
+    return specs
+
+
 def run_network(
     *,
     alpha: float = NETWORK_ALPHA,
@@ -173,6 +244,7 @@ def run_network(
     seed: int = 2019,
     max_lead: int = 60,
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
     fast: bool = False,
 ) -> NetworkExperimentResult:
     """Run the latency sweep and the two-pool grid on the network backend.
@@ -195,6 +267,9 @@ def run_network(
         Truncation of the analytical model evaluated at the measured gamma.
     max_workers:
         Fan all independent runs (both phases share one pool) out over processes.
+    store:
+        Optional :class:`~repro.store.ResultStore`: only the runs missing from
+        the cache execute.
     fast:
         Shrink both grids and the runs for quick smoke runs.
     """
@@ -207,45 +282,26 @@ def run_network(
         simulation_runs = 1
         max_lead = min(max_lead, 40)
 
-    two_pool_latency = 0.1  # mild delays so the two attackers race realistically
-    configs: list[SimulationConfig] = []
-    for mean_delay in latency_means:
-        topology = single_pool_topology(
-            alpha,
-            strategy="selfish",
-            num_honest=num_honest,
-            latency=ExponentialLatency(mean=mean_delay),
-        )
-        configs.append(
-            SimulationConfig(
-                params=MiningParams(alpha=alpha, gamma=gamma),
-                schedule=schedule,
-                num_blocks=simulation_blocks,
-                seed=seed,
-                topology=topology,
-            )
-        )
-    for alpha_a, alpha_b in two_pool_grid:
-        topology = multi_pool_topology(
-            [(alpha_a, "selfish"), (alpha_b, "selfish")],
-            num_honest=num_honest,
-            latency=ExponentialLatency(mean=two_pool_latency),
-        )
-        configs.append(
-            SimulationConfig(
-                params=MiningParams(alpha=alpha_a, gamma=gamma),
-                schedule=schedule,
-                num_blocks=simulation_blocks,
-                seed=seed,
-                topology=topology,
-            )
-        )
-
-    aggregates = run_many_grid(
-        configs, simulation_runs, backend="network", max_workers=max_workers
+    specs = network_scenarios(
+        alpha=alpha,
+        gamma=gamma,
+        latency_means=latency_means,
+        two_pool_grid=two_pool_grid,
+        schedule=schedule,
+        num_honest=num_honest,
+        two_pool_latency=0.1,  # mild delays so the two attackers race realistically
+        simulation_blocks=simulation_blocks,
+        simulation_runs=simulation_runs,
+        seed=seed,
     )
-    latency_aggregates = aggregates[: len(latency_means)]
-    two_pool_aggregates = aggregates[len(latency_means) :]
+    sweeps = run_scenarios(specs, store=store, max_workers=max_workers)
+    if latency_means:
+        latency_aggregates = list(sweeps[0].aggregates())
+        two_pool_sweeps = sweeps[1:]
+    else:
+        latency_aggregates = []
+        two_pool_sweeps = sweeps
+    two_pool_aggregates = [sweep.aggregates()[0] for sweep in two_pool_sweeps]
 
     model = RevenueModel(schedule, max_lead=max_lead)
     latency_points: list[LatencyPoint] = []

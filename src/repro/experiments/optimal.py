@@ -26,7 +26,7 @@ All simulation runs of both sections are fanned out over one process pool
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..analysis.revenue import RevenueModel
 from ..analysis.sweep import alpha_grid
@@ -34,10 +34,13 @@ from ..errors import ParameterError
 from ..mdp.solver import DEFAULT_POLICY_MAX_LEAD, OptimalPolicyResult, solve_optimal_policy
 from ..params import MiningParams
 from ..rewards.schedule import EthereumByzantiumSchedule, RewardSchedule
-from ..simulation.config import SimulationConfig
+from ..backends import available_backends
+from ..scenarios import ScenarioSpec, run_scenario
 from ..simulation.metrics import AggregatedResult
-from ..simulation.runner import BACKENDS, run_many_grid
 from ..utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..store import ResultStore
 
 #: Tie-breaking values swept by the full frontier (the paper's bracketing pair
 #: plus the symmetric middle).
@@ -192,6 +195,31 @@ class OptimalFrontierResult:
         return "\n\n".join(sections)
 
 
+def optimal_scenario(
+    *,
+    strategies: Sequence[str],
+    alphas: Sequence[float],
+    gamma: float = VALIDATION_GAMMA,
+    schedule: RewardSchedule | None = None,
+    simulation_blocks: int = 50_000,
+    simulation_runs: int = 3,
+    simulation_backend: str = "chain",
+    seed: int = 2019,
+) -> ScenarioSpec:
+    """The declarative (strategy x alpha) sweep behind the simulation sections."""
+    return ScenarioSpec(
+        name="optimal",
+        alphas=tuple(alphas),
+        gammas=(gamma,),
+        strategies=tuple(strategies),
+        backends=(simulation_backend,),
+        schedules=(schedule if schedule is not None else EthereumByzantiumSchedule(),),
+        num_runs=simulation_runs,
+        num_blocks=simulation_blocks,
+        seed=seed,
+    )
+
+
 def run_optimal(
     *,
     alphas: Sequence[float] | None = None,
@@ -205,6 +233,7 @@ def run_optimal(
     simulation_backend: str = "chain",
     seed: int = 2019,
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
     fast: bool = False,
 ) -> OptimalFrontierResult:
     """Solve the optimal-strategy frontier and (optionally) back it with simulation.
@@ -231,12 +260,17 @@ def run_optimal(
         variants — the catalogue section then requires ``chain`` or ``network``).
     max_workers:
         Fan all simulation runs out over one process pool.
+    store:
+        Optional :class:`~repro.store.ResultStore`: only the simulation runs
+        missing from the cache execute, and the per-point MDP solves are
+        persisted alongside them.
     fast:
         Shrink the grid and the simulations to smoke fidelity.
     """
-    if simulation_backend not in BACKENDS:
+    if simulation_backend not in available_backends():
         raise ParameterError(
-            f"unknown simulation backend {simulation_backend!r}; expected one of {BACKENDS}"
+            f"unknown simulation backend {simulation_backend!r}; "
+            f"expected one of {available_backends()}"
         )
     if include_catalogue and simulation_backend == "markov":
         raise ParameterError(
@@ -266,7 +300,7 @@ def run_optimal(
     for gamma in gammas:
         for alpha in alphas:
             params = MiningParams(alpha=alpha, gamma=gamma)
-            policy = solve_optimal_policy(params, resolved_schedule, max_lead=max_lead)
+            policy = solve_optimal_policy(params, resolved_schedule, max_lead=max_lead, store=store)
             selfish = model.relative_pool_revenue(params) if alpha > 0.0 else 0.0
             cells[(alpha, gamma)] = OptimalFrontierCell(
                 params=params, policy=policy, selfish_revenue=selfish
@@ -279,21 +313,23 @@ def run_optimal(
         strategies = (("optimal",) if include_simulation else ()) + (
             CATALOGUE_STRATEGIES if include_catalogue else ()
         )
-        # One flat (strategy x alpha) grid shares a single process pool.
-        grid_configs = [
-            SimulationConfig(
-                params=MiningParams(alpha=alpha, gamma=validation_gamma),
-                num_blocks=simulation_blocks,
-                seed=seed,
-                strategy=strategy,
+        # One declarative (strategy x alpha) grid through the shared sweep engine
+        # shares a single process pool (and, with a store, one cache).
+        sweep = run_scenario(
+            optimal_scenario(
+                strategies=strategies,
+                alphas=alphas,
+                gamma=validation_gamma,
                 schedule=resolved_schedule,
-            )
-            for strategy in strategies
-            for alpha in alphas
-        ]
-        grid_aggregates = run_many_grid(
-            grid_configs, simulation_runs, backend=simulation_backend, max_workers=max_workers
+                simulation_blocks=simulation_blocks,
+                simulation_runs=simulation_runs,
+                simulation_backend=simulation_backend,
+                seed=seed,
+            ),
+            store=store,
+            max_workers=max_workers,
         )
+        grid_aggregates = sweep.aggregates()
         per_strategy = {
             strategy: tuple(grid_aggregates[row * len(alphas) : (row + 1) * len(alphas)])
             for row, strategy in enumerate(strategies)

@@ -18,18 +18,19 @@ runs behind every cell can be fanned out over a process pool (``max_workers``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..analysis.sweep import alpha_grid
 from ..errors import ParameterError
-from ..params import MiningParams
 from ..rewards.schedule import RewardSchedule
-from ..simulation.config import SimulationConfig
+from ..scenarios import ScenarioSpec, run_scenario
 from ..simulation.fast import MARKOV_STRATEGIES
 from ..simulation.metrics import AggregatedResult
-from ..simulation.runner import run_many_grid
 from ..strategies import available_strategies
 from ..utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..store import ResultStore
 
 #: Strategies compared by default: the protocol baseline, the paper's Algorithm 1,
 #: and the two single-deviation stubborn variants.
@@ -99,6 +100,35 @@ class StrategyComparisonResult:
         return "\n".join(lines)
 
 
+def strategies_scenario(
+    *,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    alphas: Sequence[float],
+    gamma: float = STRATEGIES_GAMMA,
+    schedule: RewardSchedule | None = None,
+    simulation_blocks: int = 25_000,
+    simulation_runs: int = 3,
+    simulation_backend: str = "chain",
+    seed: int = 2019,
+) -> ScenarioSpec:
+    """The declarative (strategy x alpha) sweep behind the comparison table.
+
+    Every cell shares the scenario's master seed, so at each grid point the
+    strategies face identical mining luck (paired-comparison protocol).
+    """
+    return ScenarioSpec(
+        name="strategies",
+        alphas=tuple(alphas),
+        gammas=(gamma,),
+        strategies=tuple(strategies),
+        backends=(simulation_backend,),
+        schedules=(schedule if schedule is not None else "ethereum",),
+        num_runs=simulation_runs,
+        num_blocks=simulation_blocks,
+        seed=seed,
+    )
+
+
 def run_strategy_comparison(
     *,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
@@ -110,6 +140,7 @@ def run_strategy_comparison(
     simulation_backend: str = "chain",
     seed: int = 2019,
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
     fast: bool = False,
 ) -> StrategyComparisonResult:
     """Sweep relative revenue across mining strategies (Fig-8-style overlay).
@@ -132,6 +163,9 @@ def run_strategy_comparison(
     max_workers:
         Fan the runs of each cell out over a process pool (bit-identical to
         serial; purely a wall-clock optimisation).
+    store:
+        Optional :class:`~repro.store.ResultStore`: only the cells missing from
+        the cache are simulated.
     fast:
         Shrink the grid and the simulation for quick smoke runs.
     """
@@ -153,21 +187,24 @@ def run_strategy_comparison(
         simulation_blocks = min(simulation_blocks, 4_000)
         simulation_runs = 1
 
-    # One flat (strategy x alpha) grid so every independent run shares one process
-    # pool — with small per-cell run counts this is what keeps all workers busy.
-    grid_configs = [
-        SimulationConfig(
-            params=MiningParams(alpha=alpha, gamma=gamma),
-            num_blocks=simulation_blocks,
+    # One declarative (strategy x alpha) grid through the shared sweep engine, so
+    # every independent run shares one process pool — with small per-cell run
+    # counts this is what keeps all workers busy.
+    sweep = run_scenario(
+        strategies_scenario(
+            strategies=strategies,
+            alphas=alphas,
+            gamma=gamma,
+            schedule=schedule,
+            simulation_blocks=simulation_blocks,
+            simulation_runs=simulation_runs,
+            simulation_backend=simulation_backend,
             seed=seed,
-            **({"schedule": schedule} if schedule is not None else {}),
-        ).with_strategy(strategy)
-        for strategy in strategies
-        for alpha in alphas
-    ]
-    grid_aggregates = run_many_grid(
-        grid_configs, simulation_runs, backend=simulation_backend, max_workers=max_workers
+        ),
+        store=store,
+        max_workers=max_workers,
     )
+    grid_aggregates = sweep.aggregates()
     aggregates: dict[str, tuple[AggregatedResult, ...]] = {
         strategy: tuple(
             grid_aggregates[row * len(alphas) : (row + 1) * len(alphas)]

@@ -13,16 +13,18 @@ a simulated histogram from the full chain simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..analysis.revenue import RevenueModel
 from ..analysis.uncle_distance import UncleDistanceDistribution, distribution_from_rates
 from ..constants import MAX_UNCLE_DISTANCE
 from ..params import MiningParams
 from ..rewards.schedule import EthereumByzantiumSchedule
-from ..simulation.config import SimulationConfig
-from ..simulation.runner import run_many
+from ..scenarios import ScenarioSpec, run_scenario
 from ..utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..store import ResultStore
 
 #: Pool sizes tabulated by the paper.
 TABLE2_ALPHAS = (0.3, 0.45)
@@ -77,6 +79,29 @@ class Table2Result:
         return table.render()
 
 
+def table2_scenario(
+    *,
+    alphas: Sequence[float] = TABLE2_ALPHAS,
+    gamma: float = TABLE2_GAMMA,
+    simulation_blocks: int = 75_000,
+    simulation_runs: int = 2,
+    simulation_backend: str = "chain",
+    seed: int = 2019,
+) -> ScenarioSpec:
+    """The declarative sweep behind Table II's simulated histogram overlay."""
+    return ScenarioSpec(
+        name="table2",
+        alphas=tuple(alphas),
+        gammas=(gamma,),
+        strategies=("selfish",),
+        backends=(simulation_backend,),
+        schedules=(EthereumByzantiumSchedule(),),
+        num_runs=simulation_runs,
+        num_blocks=simulation_blocks,
+        seed=seed,
+    )
+
+
 def run_table2(
     *,
     alphas: Sequence[float] = TABLE2_ALPHAS,
@@ -89,37 +114,47 @@ def run_table2(
     max_lead: int = 60,
     max_distance: int = MAX_UNCLE_DISTANCE,
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
     fast: bool = False,
 ) -> Table2Result:
     """Reproduce Table II.
 
     The analytical distribution is exact (up to state-space truncation); the optional
     simulation overlay estimates the same histogram from settled runs of the chosen
-    ``simulation_backend`` (any backend that materialises real uncle references).
+    ``simulation_backend`` (any backend that materialises real uncle references),
+    emitted as a scenario through the shared sweep engine (cached by ``store``).
     """
     if fast:
         simulation_blocks = min(simulation_blocks, 10_000)
         simulation_runs = 1
         max_lead = min(max_lead, 40)
+
+    aggregates = None
+    if include_simulation:
+        sweep = run_scenario(
+            table2_scenario(
+                alphas=alphas,
+                gamma=gamma,
+                simulation_blocks=simulation_blocks,
+                simulation_runs=simulation_runs,
+                simulation_backend=simulation_backend,
+                seed=seed,
+            ),
+            store=store,
+            max_workers=max_workers,
+        )
+        aggregates = sweep.aggregates()
+
     model = RevenueModel(EthereumByzantiumSchedule(), max_lead=max_lead)
     columns: list[Table2Column] = []
-    for alpha in alphas:
+    for index, alpha in enumerate(alphas):
         params = MiningParams(alpha=alpha, gamma=gamma)
         rates = model.revenue_rates(params)
         analysis = distribution_from_rates(rates, max_distance=max_distance)
         simulated: Mapping[int, float] | None = None
         simulated_expectation: float | None = None
-        if include_simulation:
-            config = SimulationConfig(
-                params=params,
-                schedule=EthereumByzantiumSchedule(),
-                num_blocks=simulation_blocks,
-                seed=seed,
-            )
-            aggregate = run_many(
-                config, simulation_runs, backend=simulation_backend, max_workers=max_workers
-            )
-            simulated = aggregate.honest_uncle_distance_distribution()
+        if aggregates is not None:
+            simulated = aggregates[index].honest_uncle_distance_distribution()
             simulated_expectation = sum(d * p for d, p in simulated.items())
         columns.append(
             Table2Column(

@@ -360,23 +360,114 @@ class MdpSolver:
 def _schedule_key(schedule: RewardSchedule) -> tuple:
     """A value-based fingerprint of a reward schedule, used as a cache key.
 
-    Probes the reward functions over the includable window (capped at 16
-    distances, like :meth:`RewardSchedule.has_uncle_rewards`), which separates
-    every schedule the package ships; exotic custom schedules that differ only
-    beyond distance 16 should bypass the cache by calling :class:`MdpSolver`
-    directly.
+    A thin alias of :func:`repro.rewards.schedule.schedule_fingerprint`, the
+    package-wide schedule identity (also the result store's key component);
+    exotic custom schedules that differ only beyond distance 16 should bypass
+    the cache by calling :class:`MdpSolver` directly.
     """
-    probe = min(int(schedule.max_uncle_distance), 16)
-    return (
-        type(schedule).__name__,
-        float(schedule.static_reward),
-        int(schedule.max_uncle_distance),
-        tuple(float(schedule.uncle_reward(d)) for d in range(1, probe + 1)),
-        tuple(float(schedule.nephew_reward(d)) for d in range(1, probe + 1)),
-    )
+    from ..rewards.schedule import schedule_fingerprint
+
+    return schedule_fingerprint(schedule)
 
 
 _POLICY_CACHE: dict[tuple, OptimalPolicyResult] = {}
+
+#: Optional on-disk second cache level (a :class:`repro.store.ResultStore`).
+#: When configured, solves missing from the in-memory dict are looked up on
+#: disk before computing, and fresh solves are persisted — so the optimal
+#: strategy's per-point solve survives process restarts and is shared by every
+#: process pointed at the same cache directory.
+_POLICY_STORE = None
+
+
+def set_policy_store(store) -> None:
+    """Install (or, with ``None``, remove) the on-disk policy cache level.
+
+    Process-pool workers forked after this call inherit the setting, so one
+    ``set_policy_store`` in the parent covers a whole parallel sweep.
+    """
+    global _POLICY_STORE
+    _POLICY_STORE = store
+
+
+def get_policy_store():
+    """The currently installed on-disk policy cache level (or ``None``)."""
+    return _POLICY_STORE
+
+
+def _policy_store_key(params: MiningParams, schedule: RewardSchedule, max_lead: int) -> str:
+    """Content address of one solve in the store's ``policy`` namespace."""
+    from ..store import hash_payload
+
+    return hash_payload(
+        {
+            "alpha": params.alpha,
+            "gamma": params.gamma,
+            "max_lead": int(max_lead),
+            "schedule": list(_schedule_key(schedule)),
+        }
+    )
+
+
+def _policy_payload(result: OptimalPolicyResult) -> dict:
+    """Serialise a solved policy to a JSON-able dict (floats round-trip exactly)."""
+    rates = result.revenue
+    return {
+        "alpha": result.params.alpha,
+        "gamma": result.params.gamma,
+        "max_lead": result.max_lead,
+        "decisions": [decision.value for decision in result.decisions],
+        "override_codes": list(result.override_codes),
+        "revenue": {
+            "pool": {"static": rates.pool.static, "uncle": rates.pool.uncle, "nephew": rates.pool.nephew},
+            "honest": {
+                "static": rates.honest.static,
+                "uncle": rates.honest.uncle,
+                "nephew": rates.honest.nephew,
+            },
+            "regular_rate": rates.regular_rate,
+            "uncle_rate": rates.uncle_rate,
+            "pool_uncle_rate": rates.pool_uncle_rate,
+            "honest_uncle_rate": rates.honest_uncle_rate,
+            "honest_uncle_distance_rates": {
+                str(distance): rate
+                for distance, rate in sorted(rates.honest_uncle_distance_rates.items())
+            },
+            "stale_rate": rates.stale_rate,
+        },
+        "shares": list(result.shares),
+        "rvi_iterations": result.rvi_iterations,
+    }
+
+
+def _policy_from_payload(payload: dict) -> OptimalPolicyResult:
+    """Rebuild a solved policy from its stored payload."""
+    revenue = payload["revenue"]
+    params = MiningParams(alpha=payload["alpha"], gamma=payload["gamma"])
+    rates = RevenueRates(
+        params=params,
+        split=RevenueSplit(
+            pool=PartyRewards(**revenue["pool"]), honest=PartyRewards(**revenue["honest"])
+        ),
+        regular_rate=revenue["regular_rate"],
+        uncle_rate=revenue["uncle_rate"],
+        pool_uncle_rate=revenue["pool_uncle_rate"],
+        honest_uncle_rate=revenue["honest_uncle_rate"],
+        honest_uncle_distance_rates={
+            int(distance): rate
+            for distance, rate in revenue["honest_uncle_distance_rates"].items()
+        },
+        stale_rate=revenue["stale_rate"],
+    )
+    return OptimalPolicyResult(
+        params=params,
+        max_lead=payload["max_lead"],
+        decisions=tuple(PoolDecision(value) for value in payload["decisions"]),
+        override_codes=tuple(int(code) for code in payload["override_codes"]),
+        revenue=rates,
+        shares=tuple(payload["shares"]),
+        rvi_iterations=payload["rvi_iterations"],
+    )
 
 
 def solve_optimal_policy(
@@ -384,24 +475,53 @@ def solve_optimal_policy(
     schedule: RewardSchedule | None = None,
     *,
     max_lead: int = DEFAULT_POLICY_MAX_LEAD,
+    store=None,
 ) -> OptimalPolicyResult:
     """Solve (or fetch from cache) the optimal policy at ``params``.
 
     Results are cached per ``(alpha, gamma, max_lead, schedule)`` — the schedule
     compared by value, not identity — so strategy construction inside repeated
     simulation runs costs one solve per distinct parameter point per process.
+
+    ``store`` (or the process-wide store installed via :func:`set_policy_store`)
+    adds an on-disk level under the result store's ``policy`` namespace: memory
+    miss -> disk lookup -> solve-and-persist.  A corrupted or schema-incompatible
+    disk entry reads as a miss and is recomputed.
     """
     if max_lead < 2:
         raise ParameterError(f"max_lead must be at least 2, got {max_lead}")
     resolved = schedule if schedule is not None else EthereumByzantiumSchedule()
     key = (params.alpha, params.gamma, int(max_lead), _schedule_key(resolved))
     cached = _POLICY_CACHE.get(key)
-    if cached is None:
-        cached = MdpSolver(params, resolved, max_lead=max_lead).solve()
-        _POLICY_CACHE[key] = cached
+    if cached is not None:
+        return cached
+    disk = store if store is not None else _POLICY_STORE
+    store_key = _policy_store_key(params, resolved, max_lead) if disk is not None else None
+    if disk is not None:
+        from ..store import POLICY_NAMESPACE
+
+        payload = disk.get(POLICY_NAMESPACE, store_key)
+        if payload is not None:
+            try:
+                cached = _policy_from_payload(payload)
+            except (KeyError, TypeError, ValueError):
+                cached = None  # incompatible schema: fall through to a fresh solve
+        if cached is not None:
+            _POLICY_CACHE[key] = cached
+            return cached
+    cached = MdpSolver(params, resolved, max_lead=max_lead).solve()
+    _POLICY_CACHE[key] = cached
+    if disk is not None:
+        from ..store import POLICY_NAMESPACE
+
+        disk.put(POLICY_NAMESPACE, store_key, _policy_payload(cached))
     return cached
 
 
 def clear_policy_cache() -> None:
-    """Drop every cached solve (exposed for tests and benchmarks)."""
+    """Drop every cached in-memory solve (exposed for tests and benchmarks).
+
+    The on-disk level (if configured) is untouched: clearing memory is how
+    tests exercise the disk path.
+    """
     _POLICY_CACHE.clear()

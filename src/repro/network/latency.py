@@ -26,6 +26,7 @@ from typing import Callable, Protocol, runtime_checkable
 
 from ..errors import ParameterError
 from ..simulation.rng import RandomSource
+from ..utils.registry import Registry
 
 
 @runtime_checkable
@@ -101,21 +102,20 @@ class ExponentialLatency:
         return self.mean
 
 
-#: Registry of latency-model factories keyed by model name.  Each factory takes the
-#: optional numeric argument of a ``"name:value"`` spec (``None`` when absent).
-_REGISTRY: dict[str, Callable[[float | None], LatencyModel]] = {}
+#: Registry of latency-model factories keyed by model name (shared
+#: :class:`~repro.utils.registry.Registry` infrastructure).  Each factory takes
+#: the optional numeric argument of a ``"name:value"`` spec (``None`` when absent).
+_REGISTRY: Registry[Callable[[float | None], LatencyModel]] = Registry("latency model")
 
 
 def register_latency_model(name: str, factory: Callable[[float | None], LatencyModel]) -> None:
     """Register a latency-model factory under ``name`` (rejects duplicates)."""
-    if name in _REGISTRY:
-        raise ParameterError(f"latency model {name!r} is already registered")
-    _REGISTRY[name] = factory
+    _REGISTRY.register(name, factory)
 
 
 def available_latency_models() -> tuple[str, ...]:
     """Names of all registered latency models, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return _REGISTRY.available()
 
 
 def make_latency(spec: str | LatencyModel) -> LatencyModel:
@@ -130,12 +130,7 @@ def make_latency(spec: str | LatencyModel) -> LatencyModel:
     if not isinstance(spec, str):
         raise ParameterError(f"latency spec must be a string or LatencyModel, got {spec!r}")
     name, _, argument = spec.partition(":")
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise ParameterError(
-            f"unknown latency model {name!r}; available: {', '.join(available_latency_models())}"
-        ) from None
+    factory = _REGISTRY.get(name)
     value: float | None = None
     if argument:
         try:

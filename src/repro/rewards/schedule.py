@@ -35,6 +35,7 @@ from ..constants import (
     UNCLE_REWARD_DENOMINATOR,
 )
 from ..errors import ParameterError
+from ..utils.registry import Registry
 
 
 class RewardSchedule(ABC):
@@ -94,6 +95,22 @@ class RewardSchedule(ABC):
             f"{type(self).__name__}(Ks={self.static_reward:.4f}, {uncle_values}, "
             f"Kn={self.nephew_reward(1):.4f})"
         )
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality via :func:`schedule_fingerprint`.
+
+        Two schedules are equal when they are of the same type and pay the same
+        rewards over the probed window — the identity every cache in the
+        package keys on.  Without this, re-building a configuration from a
+        declarative scenario would never compare equal to the original, even
+        though the runs are bit-identical.
+        """
+        if not isinstance(other, RewardSchedule):
+            return NotImplemented
+        return schedule_fingerprint(self) == schedule_fingerprint(other)
+
+    def __hash__(self) -> int:
+        return hash(schedule_fingerprint(self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return self.describe()
@@ -284,3 +301,91 @@ def ethereum_schedule() -> EthereumByzantiumSchedule:
 def flat_uncle_schedule(uncle_fraction: float) -> FlatUncleSchedule:
     """Return a flat uncle-reward schedule, e.g. ``flat_uncle_schedule(4 / 8)``."""
     return FlatUncleSchedule(uncle_fraction=uncle_fraction)
+
+
+# ---------------------------------------------------------------------- fingerprints
+def schedule_fingerprint(schedule: RewardSchedule) -> tuple:
+    """A value-based fingerprint of a reward schedule.
+
+    Probes the reward functions over the includable window (capped at 16
+    distances, like :attr:`RewardSchedule.has_uncle_rewards`), which separates
+    every schedule the package ships.  Two schedules with equal fingerprints
+    settle every block identically under Ethereum's 6-generation protocol
+    window; exotic custom schedules that differ only beyond distance 16 should
+    bypass fingerprint-keyed caches (the result store, the MDP policy cache).
+
+    This is the one schedule identity every cache in the package keys on: the
+    MDP solver's policy cache and the on-disk result store both use it.
+    """
+    probe = min(int(schedule.max_uncle_distance), 16)
+    return (
+        type(schedule).__name__,
+        float(schedule.static_reward),
+        int(schedule.max_uncle_distance),
+        tuple(float(schedule.uncle_reward(d)) for d in range(1, probe + 1)),
+        tuple(float(schedule.nephew_reward(d)) for d in range(1, probe + 1)),
+    )
+
+
+# ---------------------------------------------------------------------- spec strings
+#: Registry of schedule-spec factories keyed by spec name (shared
+#: :class:`~repro.utils.registry.Registry` infrastructure, like the strategy,
+#: latency-model and simulator-backend registries).  Each factory receives the
+#: ``:``-separated arguments of the spec string (possibly empty).
+_REGISTRY: Registry = Registry("reward schedule")
+
+
+def register_schedule_spec(name: str, factory) -> None:
+    """Register a schedule-spec factory under ``name`` (rejects duplicates)."""
+    _REGISTRY.register(name, factory)
+
+
+def available_schedule_specs() -> tuple[str, ...]:
+    """Names of all registered schedule specs, sorted."""
+    return _REGISTRY.available()
+
+
+def make_schedule(spec: "str | RewardSchedule") -> RewardSchedule:
+    """Build a reward schedule from a compact spec string.
+
+    An already-constructed schedule passes through unchanged, so configuration
+    fields (and :class:`~repro.scenarios.ScenarioSpec` grids) accept either
+    form.  Examples: ``"ethereum"``, ``"bitcoin"``, ``"flat:0.5"`` (flat uncle
+    reward inside the protocol window), ``"flat:0.875:1000000"`` (flat reward
+    with an explicit referencing window — the Fig. 9 unwindowed reading).
+    """
+    if isinstance(spec, RewardSchedule):
+        return spec
+    if not isinstance(spec, str):
+        raise ParameterError(f"schedule spec must be a string or RewardSchedule, got {spec!r}")
+    name, _, argument_text = spec.partition(":")
+    factory = _REGISTRY.get(name)
+    arguments = argument_text.split(":") if argument_text else []
+    return factory(spec, arguments)
+
+
+def _no_argument_factory(schedule_type):
+    def factory(spec: str, arguments: list[str]) -> RewardSchedule:
+        if arguments:
+            raise ParameterError(f"schedule spec {spec!r} takes no arguments")
+        return schedule_type()
+
+    return factory
+
+
+def _flat_factory(spec: str, arguments: list[str]) -> RewardSchedule:
+    if not 1 <= len(arguments) <= 2:
+        raise ParameterError(
+            f"schedule spec {spec!r} must look like 'flat:<uncle_fraction>[:<max_distance>]'"
+        )
+    try:
+        fraction = float(arguments[0])
+        max_distance = int(arguments[1]) if len(arguments) == 2 else MAX_UNCLE_DISTANCE
+    except ValueError:
+        raise ParameterError(f"schedule spec {spec!r} carries a non-numeric argument") from None
+    return FlatUncleSchedule(fraction, max_uncle_distance=max_distance)
+
+
+register_schedule_spec("ethereum", _no_argument_factory(EthereumByzantiumSchedule))
+register_schedule_spec("bitcoin", _no_argument_factory(BitcoinSchedule))
+register_schedule_spec("flat", _flat_factory)

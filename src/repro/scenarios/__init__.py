@@ -1,0 +1,31 @@
+"""Declarative scenarios and the shared sweep engine.
+
+The subsystem splits "what to sweep" from "how to run it":
+
+* :class:`ScenarioSpec` (:mod:`repro.scenarios.spec`) is the *what* — a frozen
+  cross product of parameter axes (alpha, gamma, strategy, backend, schedule,
+  latency, topology, runs per cell) that expands to a flat, deterministic,
+  pre-seeded run plan, and loads from JSON/TOML scenario files;
+* :func:`run_scenario` / :func:`run_scenarios` (:mod:`repro.scenarios.engine`)
+  are the *how* — one executor that consults the optional
+  :class:`~repro.store.ResultStore`, runs only the missing cells over one
+  process pool, and reports exactly how much work the cache absorbed.
+
+Every experiment driver (:mod:`repro.experiments`) emits specs through this
+engine instead of hand-rolling its own sweep loop, and the ``sweep`` CLI
+subcommand runs any scenario file end-to-end with ``--cache-dir``/``--resume``.
+"""
+
+from .engine import CellOutcome, ScenarioRunResult, run_scenario, run_scenarios
+from .spec import PlannedRun, ScenarioCell, ScenarioSpec, topology_from_dict
+
+__all__ = [
+    "CellOutcome",
+    "PlannedRun",
+    "ScenarioCell",
+    "ScenarioRunResult",
+    "ScenarioSpec",
+    "run_scenario",
+    "run_scenarios",
+    "topology_from_dict",
+]

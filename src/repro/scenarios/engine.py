@@ -1,0 +1,238 @@
+"""The shared sweep engine: one executor behind every experiment driver.
+
+:func:`run_scenarios` takes any number of :class:`~repro.scenarios.spec.ScenarioSpec`
+values and executes their combined run plans through one pipeline:
+
+1. expand every spec to cells and pre-seeded planned runs (deterministic,
+   scheduling-independent — see :mod:`repro.scenarios.spec`);
+2. consult the optional :class:`~repro.store.ResultStore` and execute **only
+   the missing runs**, all specs' work fanned out over one process pool
+   (:func:`repro.simulation.runner.execute_runs` — the same executor behind
+   ``run_many``, so a scenario cell's aggregate is bit-identical to a direct
+   ``run_many`` of its configuration);
+3. persist fresh results, group per cell, aggregate, and report how much work
+   the cache absorbed.
+
+``max_cells`` caps how many cells (across all specs, in plan order) are
+attempted in this invocation; the rest are recorded as *skipped*.  Together
+with a store this is what makes sweeps interruptible and resumable: a killed or
+capped sweep leaves its settled runs on disk, and the next invocation executes
+only what is still missing — the ``sweep`` CLI's ``--resume`` path.
+
+When a store is configured, the MDP policy cache is pointed at it too
+(:func:`repro.mdp.solver.set_policy_store`), so scenarios sweeping the
+``optimal`` strategy persist their per-point solves alongside the runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..simulation.metrics import AggregatedResult, aggregate_results
+from ..simulation.runner import execute_runs
+from ..utils.tables import Table
+from .spec import PlannedRun, ScenarioCell, ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..store import ResultStore
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed (or skipped) scenario cell with its aggregate and cache stats."""
+
+    cell: ScenarioCell
+    aggregate: AggregatedResult | None
+    executed_runs: int
+    cached_runs: int
+
+    @property
+    def skipped(self) -> bool:
+        """True when the cell was beyond this invocation's ``max_cells`` cap."""
+        return self.aggregate is None
+
+
+@dataclass(frozen=True)
+class ScenarioRunResult:
+    """Everything one scenario produced: per-cell aggregates plus work accounting."""
+
+    spec: ScenarioSpec
+    cells: tuple[CellOutcome, ...]
+
+    @property
+    def executed_runs(self) -> int:
+        """Simulations actually executed in this invocation."""
+        return sum(outcome.executed_runs for outcome in self.cells)
+
+    @property
+    def cached_runs(self) -> int:
+        """Simulations answered from the store."""
+        return sum(outcome.cached_runs for outcome in self.cells)
+
+    @property
+    def skipped_cells(self) -> int:
+        """Cells beyond the ``max_cells`` cap (pending for a later ``--resume``)."""
+        return sum(1 for outcome in self.cells if outcome.skipped)
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of the scenario has an aggregate."""
+        return self.skipped_cells == 0
+
+    def aggregates(self) -> tuple[AggregatedResult, ...]:
+        """The per-cell aggregates in cell order (requires a complete sweep)."""
+        missing = self.skipped_cells
+        if missing:
+            from ..errors import ExperimentError
+
+            raise ExperimentError(
+                f"scenario {self.spec.name!r} is incomplete: {missing} cells still pending "
+                "(re-run with --resume, or without max_cells)"
+            )
+        return tuple(outcome.aggregate for outcome in self.cells)  # type: ignore[misc]
+
+    def find(self, **coordinates: object) -> tuple[CellOutcome, ...]:
+        """The cells whose coordinates match every given ``axis=value`` filter.
+
+        Example: ``result.find(strategy="selfish", gamma=0.5)``.
+        """
+        matches = []
+        for outcome in self.cells:
+            cell_coordinates = outcome.cell.coordinates()
+            if all(cell_coordinates.get(axis) == value for axis, value in coordinates.items()):
+                matches.append(outcome)
+        return tuple(matches)
+
+    def report(self) -> str:
+        """A generic per-cell table (the sweep CLI's output)."""
+        table = Table(
+            headers=["backend", "schedule", "strategy", "gamma", "alpha", "runs", "revenue", "std"],
+            title=f"Scenario {self.spec.name} - relative pool revenue per cell",
+        )
+        for outcome in self.cells:
+            cell = outcome.cell
+            if outcome.skipped:
+                revenue, spread, runs = "-", "-", "pending"
+            else:
+                stats = outcome.aggregate.relative_pool_revenue
+                revenue, spread, runs = stats.mean, stats.std, stats.count
+            table.add_row(
+                cell.backend,
+                cell.schedule_label,
+                cell.strategy,
+                cell.gamma,
+                cell.alpha,
+                runs,
+                revenue,
+                spread,
+            )
+        lines = [self.spec.describe(), table.render()]
+        lines.append(
+            f"{self.executed_runs} runs executed, {self.cached_runs} from cache, "
+            f"{self.skipped_cells} cells pending."
+        )
+        return "\n".join(lines)
+
+
+def run_scenarios(
+    specs: Sequence[ScenarioSpec],
+    *,
+    store: "ResultStore | None" = None,
+    max_workers: int | None = None,
+    max_cells: int | None = None,
+) -> list[ScenarioRunResult]:
+    """Execute several scenarios through one shared pool and one store.
+
+    All specs' missing runs are dispatched together (one process pool keeps
+    every worker busy across scenario boundaries), and results come back
+    grouped per spec, per cell, in expansion order.  ``max_cells`` caps the
+    cells attempted across all specs combined, in plan order.
+    """
+    if max_cells is not None and max_cells < 0:
+        from ..errors import ExperimentError
+
+        raise ExperimentError(f"max_cells must be non-negative, got {max_cells}")
+    if store is not None:
+        # Share the store with the MDP policy cache for the duration of the
+        # sweep: pool workers forked during execution inherit the setting, so
+        # scenarios sweeping the "optimal" strategy persist their solves.  The
+        # previous store is restored on the way out.
+        from ..mdp.solver import get_policy_store, set_policy_store
+
+        previous_policy_store = get_policy_store()
+        set_policy_store(store)
+        try:
+            return _run_scenarios(
+                specs, store=store, max_workers=max_workers, max_cells=max_cells
+            )
+        finally:
+            set_policy_store(previous_policy_store)
+    return _run_scenarios(specs, store=store, max_workers=max_workers, max_cells=max_cells)
+
+
+def _run_scenarios(
+    specs: Sequence[ScenarioSpec],
+    *,
+    store: "ResultStore | None",
+    max_workers: int | None,
+    max_cells: int | None,
+) -> list[ScenarioRunResult]:
+    budget = max_cells
+    spec_cells: list[tuple[ScenarioSpec, tuple[ScenarioCell, ...], list[ScenarioCell]]] = []
+    for spec in specs:
+        cells = spec.cells()
+        if budget is None:
+            attempted = list(cells)
+        else:
+            attempted = list(cells[: max(budget, 0)])
+            budget -= len(attempted)
+        spec_cells.append((spec, cells, attempted))
+
+    # One flat task list across all specs; slices map back to (spec, cell).
+    plan: list[PlannedRun] = []
+    for spec, _, attempted in spec_cells:
+        plan.extend(spec.run_plan(attempted))
+    tasks = [(run.config, run.backend) for run in plan]
+    results, executed_indices = execute_runs(tasks, max_workers=max_workers, store=store)
+    executed = set(executed_indices)
+
+    outcomes: list[ScenarioRunResult] = []
+    offset = 0
+    for spec, cells, attempted in spec_cells:
+        cell_outcomes: list[CellOutcome] = []
+        attempted_indices = {cell.index for cell in attempted}
+        for cell in cells:
+            if cell.index not in attempted_indices:
+                cell_outcomes.append(
+                    CellOutcome(cell=cell, aggregate=None, executed_runs=0, cached_runs=0)
+                )
+                continue
+            cell_results = results[offset : offset + spec.num_runs]
+            executed_count = sum(
+                1 for position in range(offset, offset + spec.num_runs) if position in executed
+            )
+            cell_outcomes.append(
+                CellOutcome(
+                    cell=cell,
+                    aggregate=aggregate_results(cell_results),
+                    executed_runs=executed_count,
+                    cached_runs=spec.num_runs - executed_count,
+                )
+            )
+            offset += spec.num_runs
+        outcomes.append(ScenarioRunResult(spec=spec, cells=tuple(cell_outcomes)))
+    return outcomes
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    *,
+    store: "ResultStore | None" = None,
+    max_workers: int | None = None,
+    max_cells: int | None = None,
+) -> ScenarioRunResult:
+    """Execute one scenario (see :func:`run_scenarios`)."""
+    return run_scenarios(
+        [spec], store=store, max_workers=max_workers, max_cells=max_cells
+    )[0]

@@ -1,0 +1,390 @@
+"""Declarative scenario specifications: parameter grids as frozen values.
+
+Every figure and table of the paper is a parameter sweep, and every sweep is a
+cross product of a handful of axes: pool size, tie-breaking capability, mining
+strategy, simulator backend, reward schedule, network latency/topology, runs
+per cell.  :class:`ScenarioSpec` captures exactly that cross product as one
+frozen, hashable value — no loops, no driver-specific plumbing — and expands it
+into a flat, deterministic run plan:
+
+* :meth:`ScenarioSpec.cells` — one :class:`ScenarioCell` per grid point, in a
+  documented axis order (backends, schedules, strategies, gammas, latencies,
+  topologies, alphas — alpha varies fastest), each carrying the fully-built
+  :class:`~repro.simulation.config.SimulationConfig`;
+* :meth:`ScenarioSpec.run_plan` — one :class:`PlannedRun` per independent
+  simulation, with the per-run seed **pre-derived** from the scenario's master
+  seed through the package-wide helper
+  (:func:`repro.simulation.rng.derive_seeds`), so the plan is identical however
+  it is later scheduled (serially, process pool, resumed after interruption).
+
+Specs load from JSON or TOML files (:meth:`ScenarioSpec.from_file`), which is
+what the ``sweep`` CLI subcommand consumes; the experiment drivers build them
+programmatically.  Every cell of a scenario shares the scenario's master seed,
+so cells differing only along a behavioural axis (strategy, backend, schedule)
+face identical mining luck — the paired-comparison protocol the drivers have
+always used.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..backends import available_backends
+from ..constants import PAPER_BLOCKS_PER_RUN
+from ..errors import ParameterError
+from ..network.latency import LatencyModel
+from ..network.topology import Topology, multi_pool_topology, single_pool_topology
+from ..params import MiningParams
+from ..rewards.schedule import RewardSchedule, make_schedule
+from ..simulation.config import SimulationConfig
+from ..simulation.rng import derive_seeds
+from ..strategies import available_strategies
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One grid point of a scenario: its coordinates and its built configuration."""
+
+    index: int
+    backend: str
+    schedule_label: str
+    strategy: str
+    gamma: float
+    alpha: float
+    latency_label: str | None
+    topology: Topology | None
+    config: SimulationConfig
+
+    def coordinates(self) -> dict[str, object]:
+        """The cell's grid coordinates as a plain dict (reports, tests)."""
+        return {
+            "backend": self.backend,
+            "schedule": self.schedule_label,
+            "strategy": self.strategy,
+            "gamma": self.gamma,
+            "alpha": self.alpha,
+            "latency": self.latency_label,
+            "topology": self.topology.describe() if self.topology is not None else None,
+        }
+
+
+@dataclass(frozen=True)
+class PlannedRun:
+    """One independent simulation of the plan: a seeded config plus its cell."""
+
+    cell_index: int
+    run_index: int
+    backend: str
+    config: SimulationConfig
+
+
+def _as_tuple(value: object, axis: str) -> tuple:
+    """Coerce an axis value (scalar or sequence) to a non-empty tuple."""
+    if isinstance(value, tuple):
+        coerced = value
+    elif isinstance(value, (list, range)):
+        coerced = tuple(value)
+    else:
+        coerced = (value,)
+    if not coerced:
+        raise ParameterError(f"scenario axis {axis!r} must not be empty")
+    return coerced
+
+
+def _label(value: object) -> str:
+    """Human-readable label of a schedule/latency axis value."""
+    if isinstance(value, str):
+        return value
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    return type(value).__name__
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative parameter sweep (see the module docstring).
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports and the sweep CLI output.
+    alphas, gammas:
+        Pool sizes and tie-breaking capabilities to cross.
+    strategies:
+        Pool strategies (registered names; see :func:`repro.strategies.available_strategies`).
+    backends:
+        Simulator backends (registered names; see :func:`repro.backends.available_backends`).
+    schedules:
+        Reward schedules, as spec strings (``"ethereum"``, ``"flat:0.5"``) or
+        constructed :class:`~repro.rewards.schedule.RewardSchedule` objects.
+    latencies:
+        Link latency models for the ``network`` backend (spec strings, models,
+        or ``None`` for the backend default); ignored by ``chain``/``markov``.
+    topologies:
+        Explicit network topologies (``None`` derives the paper's single-pool
+        setting).  Topologies and the alpha axis cross like every other pair of
+        axes; scenarios pairing specific alphas with specific topologies should
+        use one spec per pairing (see :mod:`repro.experiments.network`).
+    num_runs:
+        Independent runs per cell, seeded from ``seed`` via the shared
+        derivation helper.
+    num_blocks, seed, warmup_blocks:
+        Per-run simulation parameters (identical across cells).
+    """
+
+    name: str
+    alphas: tuple[float, ...]
+    gammas: tuple[float, ...] = (0.5,)
+    strategies: tuple[str, ...] = ("selfish",)
+    backends: tuple[str, ...] = ("chain",)
+    schedules: tuple[RewardSchedule | str, ...] = ("ethereum",)
+    latencies: tuple[LatencyModel | str | None, ...] = (None,)
+    topologies: tuple[Topology | None, ...] = (None,)
+    num_runs: int = 1
+    num_blocks: int = PAPER_BLOCKS_PER_RUN
+    seed: int = 0
+    warmup_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("scenario name must be non-empty")
+        for axis in ("alphas", "gammas", "strategies", "backends", "schedules", "latencies", "topologies"):
+            object.__setattr__(self, axis, _as_tuple(getattr(self, axis), axis))
+        if self.num_runs < 1:
+            raise ParameterError(f"num_runs must be positive, got {self.num_runs}")
+        unknown_backends = [name for name in self.backends if name not in available_backends()]
+        if unknown_backends:
+            raise ParameterError(
+                f"unknown simulator backends {unknown_backends!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
+        unknown_strategies = [
+            name for name in self.strategies if name not in available_strategies()
+        ]
+        if unknown_strategies:
+            raise ParameterError(
+                f"unknown mining strategies {unknown_strategies!r}; "
+                f"available: {', '.join(available_strategies())}"
+            )
+        # Resolve schedule/latency specs eagerly so a typo fails at spec
+        # construction, not in the middle of a sweep.
+        for schedule in self.schedules:
+            make_schedule(schedule)
+        for topology in self.topologies:
+            if topology is not None and not isinstance(topology, Topology):
+                raise ParameterError(
+                    f"topologies must hold Topology objects or None, got {topology!r}"
+                )
+
+    @property
+    def num_cells(self) -> int:
+        """Number of grid points the spec expands to."""
+        return (
+            len(self.backends)
+            * len(self.schedules)
+            * len(self.strategies)
+            * len(self.gammas)
+            * len(self.latencies)
+            * len(self.topologies)
+            * len(self.alphas)
+        )
+
+    @property
+    def num_planned_runs(self) -> int:
+        """Number of independent simulations the full plan contains."""
+        return self.num_cells * self.num_runs
+
+    def cells(self) -> tuple[ScenarioCell, ...]:
+        """Expand the grid, alpha varying fastest (see the module docstring).
+
+        Each schedule axis value is resolved to one shared
+        :class:`~repro.rewards.schedule.RewardSchedule` instance, so every cell
+        of a column shares the object (which keeps per-process solver caches at
+        one entry per axis value).
+        """
+        resolved_schedules = [
+            (make_schedule(schedule), _label(schedule)) for schedule in self.schedules
+        ]
+        cells: list[ScenarioCell] = []
+        index = 0
+        for backend in self.backends:
+            for schedule, schedule_label in resolved_schedules:
+                for strategy in self.strategies:
+                    for gamma in self.gammas:
+                        for latency in self.latencies:
+                            for topology in self.topologies:
+                                for alpha in self.alphas:
+                                    config = SimulationConfig(
+                                        params=MiningParams(alpha=alpha, gamma=gamma),
+                                        schedule=schedule,
+                                        num_blocks=self.num_blocks,
+                                        seed=self.seed,
+                                        strategy=strategy,
+                                        latency=latency,
+                                        topology=topology,
+                                        warmup_blocks=self.warmup_blocks,
+                                    )
+                                    cells.append(
+                                        ScenarioCell(
+                                            index=index,
+                                            backend=backend,
+                                            schedule_label=schedule_label,
+                                            strategy=strategy,
+                                            gamma=gamma,
+                                            alpha=alpha,
+                                            latency_label=(
+                                                _label(latency) if latency is not None else None
+                                            ),
+                                            topology=topology,
+                                            config=config,
+                                        )
+                                    )
+                                    index += 1
+        return tuple(cells)
+
+    def run_plan(self, cells: Sequence[ScenarioCell] | None = None) -> tuple[PlannedRun, ...]:
+        """The flat, deterministic list of independent runs (seeds pre-derived).
+
+        Run ``i`` of every cell carries the ``i``-th child seed of the
+        scenario's master seed — exactly the protocol of
+        :func:`repro.simulation.runner.run_many`, so a scenario cell's aggregate
+        is bit-identical to a direct ``run_many`` of the cell's configuration.
+        """
+        plan: list[PlannedRun] = []
+        seeds = derive_seeds(self.seed, self.num_runs)
+        for cell in self.cells() if cells is None else cells:
+            for run_index, seed in enumerate(seeds):
+                plan.append(
+                    PlannedRun(
+                        cell_index=cell.index,
+                        run_index=run_index,
+                        backend=cell.backend,
+                        config=cell.config.with_seed(seed),
+                    )
+                )
+        return tuple(plan)
+
+    # ------------------------------------------------------------------ loading
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioSpec":
+        """Build a spec from a plain dictionary (the JSON/TOML file contents).
+
+        Scalar axis values are accepted (``"alphas": 0.3`` means a one-point
+        axis); topology entries are dictionaries resolved through
+        :func:`topology_from_dict`.  Unknown keys are rejected with the list of
+        allowed ones.
+        """
+        allowed = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ParameterError(
+                f"unknown scenario keys {unknown!r}; allowed: {', '.join(sorted(allowed))}"
+            )
+        if "name" not in data or "alphas" not in data:
+            raise ParameterError("a scenario needs at least 'name' and 'alphas'")
+        prepared = dict(data)
+        if "topologies" in prepared:
+            prepared["topologies"] = tuple(
+                topology_from_dict(entry) if isinstance(entry, Mapping) else entry
+                for entry in _as_tuple(prepared["topologies"], "topologies")
+            )
+        return cls(**prepared)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a spec from a ``.json`` or ``.toml`` scenario file."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise ParameterError(f"cannot read scenario file {str(path)!r}: {error}") from None
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            try:
+                import tomllib
+            except ModuleNotFoundError:  # pragma: no cover - Python < 3.11 only
+                raise ParameterError(
+                    "TOML scenario files need Python >= 3.11 (the stdlib tomllib parser); "
+                    "use the JSON form on older interpreters"
+                ) from None
+            try:
+                data = tomllib.loads(text)
+            except tomllib.TOMLDecodeError as error:
+                raise ParameterError(f"invalid TOML in {str(path)!r}: {error}") from None
+        elif suffix == ".json":
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ParameterError(f"invalid JSON in {str(path)!r}: {error}") from None
+        else:
+            raise ParameterError(
+                f"scenario file {str(path)!r} must end in .json or .toml, got {suffix!r}"
+            )
+        if not isinstance(data, Mapping):
+            raise ParameterError(f"scenario file {str(path)!r} must contain one object/table")
+        return cls.from_dict(data)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        axes = [
+            f"alphas={len(self.alphas)}",
+            f"gammas={len(self.gammas)}",
+            f"strategies={len(self.strategies)}",
+            f"backends={len(self.backends)}",
+            f"schedules={len(self.schedules)}",
+        ]
+        if self.latencies != (None,):
+            axes.append(f"latencies={len(self.latencies)}")
+        if self.topologies != (None,):
+            axes.append(f"topologies={len(self.topologies)}")
+        return (
+            f"ScenarioSpec({self.name!r}, {' x '.join(axes)} = {self.num_cells} cells "
+            f"x {self.num_runs} runs, {self.num_blocks} blocks, seed={self.seed})"
+        )
+
+
+def topology_from_dict(data: Mapping[str, object]) -> Topology:
+    """Build a topology from a scenario-file dictionary.
+
+    Two kinds are supported, mirroring the factory helpers of
+    :mod:`repro.network.topology`::
+
+        {"kind": "single_pool", "alpha": 0.3, "strategy": "selfish",
+         "num_honest": 8, "latency": "exponential:0.2"}
+        {"kind": "multi_pool", "pools": [[0.2, "selfish"], [0.2, "selfish"]],
+         "num_honest": 8, "latency": "constant:0.1"}
+    """
+    data = dict(data)
+    kind = data.pop("kind", None)
+    common_keys = {"num_honest", "latency", "block_interval"}
+    if kind == "single_pool":
+        allowed = {"alpha", "strategy"} | common_keys
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ParameterError(
+                f"unknown single_pool topology keys {unknown!r}; allowed: {', '.join(sorted(allowed))}"
+            )
+        if "alpha" not in data:
+            raise ParameterError("a single_pool topology needs 'alpha'")
+        return single_pool_topology(data.pop("alpha"), **data)  # type: ignore[arg-type]
+    if kind == "multi_pool":
+        allowed = {"pools"} | common_keys
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ParameterError(
+                f"unknown multi_pool topology keys {unknown!r}; allowed: {', '.join(sorted(allowed))}"
+            )
+        if "pools" not in data:
+            raise ParameterError("a multi_pool topology needs 'pools'")
+        pools = [
+            tuple(entry) if isinstance(entry, (list, tuple)) else entry
+            for entry in data.pop("pools")  # type: ignore[union-attr]
+        ]
+        return multi_pool_topology(pools, **data)  # type: ignore[arg-type]
+    raise ParameterError(
+        f"unknown topology kind {kind!r}; expected 'single_pool' or 'multi_pool'"
+    )

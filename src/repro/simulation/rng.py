@@ -54,6 +54,35 @@ _MASK64 = 0xFFFFFFFFFFFFFFFF
 _SHIFT11 = np.uint64(11)
 
 
+# ---------------------------------------------------------------------- seed derivation
+def derive_seed_sequence(master_seed: int, index: int) -> np.random.SeedSequence:
+    """The :class:`numpy.random.SeedSequence` of child ``index`` of ``master_seed``.
+
+    This is the package's *single* definition of child-stream derivation: run
+    ``index`` of every multi-run experiment — the runner's per-run configs, the
+    scenario layer's pre-derived run plans, and :meth:`RandomSource.spawn` —
+    derives its randomness from this sequence, so the mapping from
+    ``(master_seed, index)`` to a child stream is identical everywhere and
+    independent of execution order (what makes process-pool fan-out bit-identical
+    to a serial run).
+    """
+    if index < 0:
+        raise ParameterError(f"run_index must be non-negative, got {index}")
+    return np.random.SeedSequence(entropy=int(master_seed), spawn_key=(int(index),))
+
+
+def derive_seed(master_seed: int, index: int) -> int:
+    """The integer seed of child ``index`` of ``master_seed`` (uint64 word)."""
+    return int(derive_seed_sequence(master_seed, index).generate_state(1)[0])
+
+
+def derive_seeds(master_seed: int, count: int) -> list[int]:
+    """The first ``count`` child seeds of ``master_seed``, in index order."""
+    if count < 0:
+        raise ParameterError(f"count must be non-negative, got {count}")
+    return [derive_seed(master_seed, index) for index in range(count)]
+
+
 class RandomSource:
     """Seeded source of the simulator's random decisions."""
 
@@ -254,9 +283,7 @@ class RandomSource:
         remaining reproducible from the master seed.  The child inherits this
         source's ``buffer_size``.
         """
-        if run_index < 0:
-            raise ParameterError(f"run_index must be non-negative, got {run_index}")
-        sequence = np.random.SeedSequence(entropy=self._seed, spawn_key=(run_index,))
+        sequence = derive_seed_sequence(self._seed, run_index)
         child = RandomSource.__new__(RandomSource)
         child._seed = int(sequence.generate_state(1)[0])
         child._bit_generator = np.random.PCG64(sequence)

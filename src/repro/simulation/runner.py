@@ -11,57 +11,112 @@ Because the runs of an experiment are independent, :func:`run_many` can fan them
 over a process pool (``max_workers``).  The per-run seeds are derived from the master
 seed *before* dispatch — the seed stream does not depend on scheduling — so a
 parallel experiment is bit-for-bit identical to a serial one.
+
+Backends are resolved through the :mod:`repro.backends` registry; passing a
+``store`` (a :class:`repro.store.ResultStore`) makes every entry point execute
+only the runs missing from the cache and persist the new ones, so repeated and
+interrupted experiments never re-simulate a cell they already settled.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from functools import partial
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..backends import available_backends, make_simulator
 from ..errors import SimulationError
 from ..params import MiningParams
 from .config import SimulationConfig
-from .engine import ChainSimulator
-from .fast import MarkovMonteCarlo
 from .metrics import AggregatedResult, SimulationResult, aggregate_results
-from .rng import RandomSource
+from .rng import derive_seeds
 
-#: Names of the available simulator backends.  ``chain`` and ``markov`` implement
-#: the paper's instantaneous-broadcast model; ``network`` is the event-driven
-#: latency-aware simulator of :mod:`repro.network` (per-miner local views,
-#: emergent tie-breaking, multiple simultaneous pools).
-BACKENDS = ("chain", "markov", "network")
+if TYPE_CHECKING:  # pragma: no cover - type-only import (store imports metrics)
+    from ..store import ResultStore
 
-
-def _build_simulator(config: SimulationConfig, backend: str):
-    if backend == "chain":
-        return ChainSimulator(config)
-    if backend == "markov":
-        return MarkovMonteCarlo(config)
-    if backend == "network":
-        # Imported lazily: repro.network imports this package's config module.
-        from ..network.simulator import NetworkSimulator
-
-        return NetworkSimulator(config)
-    raise SimulationError(f"unknown simulator backend {backend!r}; expected one of {BACKENDS}")
+#: Names of the available simulator backends (the :mod:`repro.backends` registry
+#: view, kept as a tuple for backwards compatibility).  ``chain`` and ``markov``
+#: implement the paper's instantaneous-broadcast model; ``network`` is the
+#: event-driven latency-aware simulator of :mod:`repro.network` (per-miner local
+#: views, emergent tie-breaking, multiple simultaneous pools).
+BACKENDS = available_backends()
 
 
 def run_once(config: SimulationConfig, *, backend: str = "chain") -> SimulationResult:
     """Run a single simulation with the given configuration."""
-    return _build_simulator(config, backend).run()
+    return make_simulator(config, backend).run()
+
+
+def _run_task(task: tuple[SimulationConfig, str]) -> SimulationResult:
+    """Execute one ``(config, backend)`` pair (top-level so it pickles)."""
+    config, backend = task
+    return run_once(config, backend=backend)
 
 
 def _derive_run_configs(config: SimulationConfig, num_runs: int) -> list[SimulationConfig]:
     """The per-run configurations of a ``num_runs`` experiment (seed stream included).
 
     This is the single definition of the experiment protocol: run ``i`` uses the
-    stream spawned from the master seed at index ``i``, independent of execution
+    stream derived from the master seed at index ``i`` (via the shared
+    :func:`repro.simulation.rng.derive_seed` helper), independent of execution
     order — which is what makes parallel dispatch bit-identical to serial.
     """
-    master = RandomSource(config.seed)
-    return [config.with_seed(master.spawn(run_index).seed) for run_index in range(num_runs)]
+    return [config.with_seed(seed) for seed in derive_seeds(config.seed, num_runs)]
+
+
+def execute_runs(
+    tasks: Sequence[tuple[SimulationConfig, str]],
+    *,
+    max_workers: int | None = None,
+    store: "ResultStore | None" = None,
+) -> tuple[list[SimulationResult], list[int]]:
+    """Execute independent ``(config, backend)`` runs, consulting ``store`` first.
+
+    This is the one executor behind :func:`run_many`, :func:`run_many_grid` and
+    the scenario sweep engine.  Results come back in input order.  With a store,
+    cached runs are loaded instead of executed, and freshly executed runs are
+    persisted **as they complete** (in the parent process — workers never touch
+    the store), so a sweep killed mid-flight leaves every settled run on disk
+    for ``--resume``; the second element of the returned tuple lists the input
+    indices that actually executed (everything else came from the cache).
+    Because cached results round-trip bit-exactly, the output is identical
+    whether a run came from the cache or from the engine.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise SimulationError(f"max_workers must be positive, got {max_workers}")
+    results: list[SimulationResult | None] = [None] * len(tasks)
+    missing: list[int] = []
+    if store is not None:
+        for index, (config, backend) in enumerate(tasks):
+            cached = store.load_result(config, backend)
+            if cached is None:
+                missing.append(index)
+            else:
+                results[index] = cached
+    else:
+        missing = list(range(len(tasks)))
+
+    def settle(index: int, result: SimulationResult) -> None:
+        results[index] = result
+        if store is not None:
+            store.save_result(result, tasks[index][1])
+
+    pending = [tasks[index] for index in missing]
+    workers = min(max_workers or 1, len(pending))
+    if workers > 1:
+        # Ship several runs per IPC round-trip: with the vectorised Markov backend
+        # an individual run takes milliseconds, so per-run task dispatch would be
+        # dominated by pickling overhead on big grids.  Four waves per worker keeps
+        # the pool balanced when run times are uneven; results come back in input
+        # order either way, so chunking cannot change the aggregates.
+        chunksize = max(1, len(pending) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for index, result in zip(missing, pool.map(_run_task, pending, chunksize=chunksize)):
+                settle(index, result)
+    else:
+        for index in missing:
+            settle(index, _run_task(tasks[index]))
+    return [result for result in results if result is not None], missing
 
 
 def run_many_grid(
@@ -70,6 +125,7 @@ def run_many_grid(
     *,
     backend: str = "chain",
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
 ) -> list[AggregatedResult]:
     """Run ``num_runs`` of every configuration, one aggregate per configuration.
 
@@ -78,26 +134,18 @@ def run_many_grid(
     worker busy even when ``num_runs`` per cell is small.  Results are grouped and
     aggregated per input configuration, in input order, and are identical to
     calling :func:`run_many` on each configuration serially.
+
+    With a ``store`` only the runs missing from the cache execute; everything
+    else is loaded, bit-exact, from disk.
     """
     if num_runs < 1:
         raise SimulationError(f"num_runs must be positive, got {num_runs}")
-    if max_workers is not None and max_workers < 1:
-        raise SimulationError(f"max_workers must be positive, got {max_workers}")
     expanded = [
-        run_config for config in configs for run_config in _derive_run_configs(config, num_runs)
+        (run_config, backend)
+        for config in configs
+        for run_config in _derive_run_configs(config, num_runs)
     ]
-    workers = min(max_workers or 1, len(expanded))
-    if workers > 1:
-        # Ship several runs per IPC round-trip: with the vectorised Markov backend
-        # an individual run takes milliseconds, so per-run task dispatch would be
-        # dominated by pickling overhead on big grids.  Four waves per worker keeps
-        # the pool balanced when run times are uneven; results come back in input
-        # order either way, so chunking cannot change the aggregates.
-        chunksize = max(1, len(expanded) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(partial(run_once, backend=backend), expanded, chunksize=chunksize))
-    else:
-        results = [run_once(run_config, backend=backend) for run_config in expanded]
+    results, _ = execute_runs(expanded, max_workers=max_workers, store=store)
     return [
         aggregate_results(results[index * num_runs : (index + 1) * num_runs])
         for index in range(len(configs))
@@ -110,6 +158,7 @@ def run_many(
     *,
     backend: str = "chain",
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
 ) -> AggregatedResult:
     """Run ``num_runs`` independent simulations and aggregate their results.
 
@@ -122,8 +171,11 @@ def run_many(
     aggregated result is identical whichever execution mode (or worker count) is
     chosen — parallelism is purely a wall-clock optimisation.  Grid experiments
     should prefer :func:`run_many_grid`, which keeps the pool busy across cells.
+    With a ``store`` only the runs missing from the cache execute.
     """
-    return run_many_grid([config], num_runs, backend=backend, max_workers=max_workers)[0]
+    return run_many_grid(
+        [config], num_runs, backend=backend, max_workers=max_workers, store=store
+    )[0]
 
 
 @dataclass(frozen=True)
@@ -154,6 +206,25 @@ class SimulatedAlphaSweep:
         """Mean honest absolute revenue (scenario 1) per swept point."""
         return [point.aggregate.honest_absolute_scenario1.mean for point in self.points]
 
+    @classmethod
+    def from_scenario(cls, sweep, gamma: float) -> "SimulatedAlphaSweep":
+        """Adapt one alpha-axis :class:`~repro.scenarios.ScenarioRunResult`.
+
+        Used by the figure drivers, whose simulation overlays are scenarios over
+        a single alpha grid: each cell becomes one swept point, in cell order
+        (alpha varies fastest in scenario expansion, so that is grid order).
+        """
+        return cls(
+            gamma=gamma,
+            points=tuple(
+                SimulatedSweepPoint(
+                    params=MiningParams(alpha=outcome.cell.alpha, gamma=gamma),
+                    aggregate=outcome.aggregate,
+                )
+                for outcome in sweep.cells
+            ),
+        )
+
 
 def simulate_alpha_sweep(
     alphas: Iterable[float],
@@ -162,6 +233,7 @@ def simulate_alpha_sweep(
     num_runs: int = 3,
     backend: str = "chain",
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
 ) -> SimulatedAlphaSweep:
     """Run the simulator over a grid of pool sizes at the base configuration's ``gamma``.
 
@@ -176,6 +248,7 @@ def simulate_alpha_sweep(
         num_runs,
         backend=backend,
         max_workers=max_workers,
+        store=store,
     )
     points = [
         SimulatedSweepPoint(params=params, aggregate=aggregate)
@@ -191,6 +264,7 @@ def simulate_strategy_sweep(
     num_runs: int = 3,
     backend: str = "chain",
     max_workers: int | None = None,
+    store: "ResultStore | None" = None,
 ) -> dict[str, AggregatedResult]:
     """Run the same configuration under several mining strategies.
 
@@ -203,6 +277,7 @@ def simulate_strategy_sweep(
         num_runs,
         backend=backend,
         max_workers=max_workers,
+        store=store,
     )
     return dict(zip(strategies, aggregates))
 
@@ -223,6 +298,10 @@ def honest_baseline_config(config: SimulationConfig) -> SimulationConfig:
 
 
 def sequential_seeds(master_seed: int, count: int) -> Sequence[int]:
-    """Derive ``count`` independent seeds from a master seed (exposed for examples)."""
-    master = RandomSource(master_seed)
-    return [master.spawn(index).seed for index in range(count)]
+    """Derive ``count`` independent seeds from a master seed (exposed for examples).
+
+    A thin alias of :func:`repro.simulation.rng.derive_seeds`, the package-wide
+    seed-derivation helper (also behind :func:`_derive_run_configs`, the scenario
+    layer's pre-derived run plans and :meth:`RandomSource.spawn`).
+    """
+    return derive_seeds(master_seed, count)

@@ -1,0 +1,135 @@
+"""Stable configuration fingerprints: the result store's content addresses.
+
+A cache that survives process restarts needs a key that is a pure function of
+*what the run computes* — nothing incidental like object identity, dictionary
+insertion order or the process's hash seed may leak in.  The fingerprint of a
+``(config, backend)`` pair is therefore the SHA-256 digest of a canonical JSON
+document listing every result-relevant parameter:
+
+* the backend name and a store schema version (:data:`STORE_VERSION`, bumped
+  whenever an engine change invalidates previously-recorded results);
+* the mining parameters, run length, seed, honest-miner count, warm-up prefix
+  and uncle-protocol limits;
+* the pool's strategy name (the ``optimal`` strategy is itself a deterministic
+  function of the fingerprinted ``(alpha, gamma, schedule)`` point);
+* the reward schedule, fingerprinted *by value* via
+  :func:`repro.rewards.schedule.schedule_fingerprint`;
+* the network topology — resolved through
+  :func:`repro.network.topology.build_topology` for the ``network`` backend, so
+  a configuration that *derives* the single-pool topology and one that spells
+  it out explicitly share a cache entry exactly when they simulate the same
+  network.
+
+Deliberately excluded: ``validate_chain`` (validation cannot change a settled
+result) and, for the instantaneous-broadcast backends, nothing — the ``chain``
+and ``markov`` backends fingerprint the raw ``topology``/``latency`` fields
+(normally ``None``) rather than resolving them, since they ignore the network
+entirely.
+
+Canonical form: ``json.dumps(..., sort_keys=True)`` with tuple/list
+normalisation, so the digest is independent of key order and stable across
+interpreter sessions (pinned by the property suite).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import TYPE_CHECKING
+
+from ..rewards.schedule import schedule_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports (cycle guard)
+    from ..network.latency import LatencyModel
+    from ..network.topology import Topology
+    from ..simulation.config import SimulationConfig
+
+#: Schema version mixed into every fingerprint.  Bump when an engine change
+#: makes previously-stored results non-reproducible, which atomically retires
+#: every stale cache entry (old files simply stop being addressed).
+STORE_VERSION = 1
+
+
+def canonical_json(payload: object) -> str:
+    """Serialise ``payload`` deterministically (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def hash_payload(payload: object) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def latency_fingerprint(model: "LatencyModel | str | None") -> object:
+    """JSON-able identity of a latency model (``None`` passes through)."""
+    if model is None:
+        return None
+    if isinstance(model, str):
+        # Config normalises spec strings to models in __post_init__, but be
+        # permissive: fingerprint the resolved model so "zero" == ZeroLatency().
+        from ..network.latency import make_latency
+
+        model = make_latency(model)
+    fields = {key: value for key, value in asdict(model).items() if key != "name"}
+    return {"name": model.name, "fields": fields}
+
+
+def topology_fingerprint(topology: "Topology | None") -> object:
+    """JSON-able identity of a network topology (``None`` passes through)."""
+    if topology is None:
+        return None
+    return {
+        "miners": [
+            {
+                "name": miner.name,
+                "hash_power": miner.hash_power,
+                "strategy": miner.strategy,
+                "pool": miner.counts_as_pool,
+            }
+            for miner in topology.miners
+        ],
+        "latency": latency_fingerprint(topology.latency),
+        "links": sorted(
+            ([src, dst], latency_fingerprint(model))
+            for (src, dst), model in topology.link_latencies.items()
+        ),
+        "block_interval": topology.block_interval,
+    }
+
+
+def fingerprint_payload(config: "SimulationConfig", backend: str) -> dict:
+    """The canonical description dictionary a fingerprint digests.
+
+    Exposed separately from :func:`config_fingerprint` so tests (and curious
+    humans debugging a cache miss) can inspect exactly what the key covers.
+    """
+    if backend == "network":
+        from ..network.topology import build_topology
+
+        topology = topology_fingerprint(build_topology(config))
+        latency = None  # folded into the resolved topology
+    else:
+        topology = topology_fingerprint(config.topology)
+        latency = latency_fingerprint(config.latency)
+    return {
+        "version": STORE_VERSION,
+        "backend": backend,
+        "alpha": config.params.alpha,
+        "gamma": config.params.gamma,
+        "schedule": list(schedule_fingerprint(config.schedule)),
+        "num_blocks": config.num_blocks,
+        "seed": config.seed,
+        "num_honest_miners": config.num_honest_miners,
+        "strategy": config.strategy_name,
+        "topology": topology,
+        "latency": latency,
+        "max_uncles_per_block": config.max_uncles_per_block,
+        "max_uncle_distance": config.max_uncle_distance,
+        "warmup_blocks": config.warmup_blocks,
+    }
+
+
+def config_fingerprint(config: "SimulationConfig", backend: str) -> str:
+    """The content address of one simulation run: SHA-256 over the payload."""
+    return hash_payload(fingerprint_payload(config, backend))

@@ -1,0 +1,123 @@
+"""Bit-exact JSON serialisation of simulation results.
+
+The store's contract is that a cached run is indistinguishable from a fresh
+one, so serialisation must round-trip every float *exactly*.  Python's ``json``
+module already guarantees that: it emits ``repr(float)`` (the shortest string
+that parses back to the same IEEE-754 double) and parses with ``float()``, so
+``loads(dumps(x)) == x`` bit-for-bit for every finite double.  The only
+massaging needed is structural — integer dictionary keys become JSON strings
+and must be converted back, and :class:`~repro.simulation.metrics.NetworkSimulationResult`
+carries extra per-miner fields selected by a ``kind`` tag.
+
+The run's :class:`~repro.simulation.config.SimulationConfig` is *not*
+serialised.  The store addresses entries by the config's fingerprint, so every
+load site already holds the exact configuration; re-attaching it avoids ever
+reconstructing schedules, strategies or topologies from JSON (and makes a
+stored payload useless without the config that addresses it — a feature, since
+a payload silently attached to the wrong config would be a cache-poisoning
+bug).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import SimulationError
+from ..rewards.breakdown import PartyRewards
+from ..simulation.config import SimulationConfig
+from ..simulation.metrics import MinerOutcome, NetworkSimulationResult, SimulationResult
+
+
+def _rewards_payload(rewards: PartyRewards) -> dict:
+    return {"static": rewards.static, "uncle": rewards.uncle, "nephew": rewards.nephew}
+
+
+def _rewards_from_payload(payload: Mapping) -> PartyRewards:
+    return PartyRewards(
+        static=payload["static"], uncle=payload["uncle"], nephew=payload["nephew"]
+    )
+
+
+def _counts_payload(counts: Mapping[int, float]) -> dict:
+    return {str(distance): count for distance, count in sorted(counts.items())}
+
+
+def _counts_from_payload(payload: Mapping) -> dict[int, float]:
+    return {int(distance): count for distance, count in payload.items()}
+
+
+def result_payload(result: SimulationResult) -> dict:
+    """Serialise ``result`` (minus its configuration) to a JSON-able dict."""
+    payload = {
+        "kind": "network" if isinstance(result, NetworkSimulationResult) else "simulation",
+        "pool_rewards": _rewards_payload(result.pool_rewards),
+        "honest_rewards": _rewards_payload(result.honest_rewards),
+        "regular_blocks": result.regular_blocks,
+        "pool_regular_blocks": result.pool_regular_blocks,
+        "honest_regular_blocks": result.honest_regular_blocks,
+        "uncle_blocks": result.uncle_blocks,
+        "pool_uncle_blocks": result.pool_uncle_blocks,
+        "honest_uncle_blocks": result.honest_uncle_blocks,
+        "stale_blocks": result.stale_blocks,
+        "total_blocks": result.total_blocks,
+        "num_events": result.num_events,
+        "honest_uncle_distance_counts": _counts_payload(result.honest_uncle_distance_counts),
+        "pool_uncle_distance_counts": _counts_payload(result.pool_uncle_distance_counts),
+    }
+    if isinstance(result, NetworkSimulationResult):
+        payload["miners"] = [
+            {
+                "name": miner.name,
+                "strategy": miner.strategy,
+                "hash_power": miner.hash_power,
+                "rewards": _rewards_payload(miner.rewards),
+                "blocks_mined": miner.blocks_mined,
+            }
+            for miner in result.miners
+        ]
+        payload["tie_wins"] = result.tie_wins
+        payload["tie_losses"] = result.tie_losses
+    return payload
+
+
+def result_from_payload(payload: Mapping, config: SimulationConfig) -> SimulationResult:
+    """Rebuild a result from its stored payload, re-attaching ``config``."""
+    kind = payload.get("kind")
+    if kind not in ("simulation", "network"):
+        raise SimulationError(f"unknown stored result kind {kind!r}")
+    common = dict(
+        config=config,
+        pool_rewards=_rewards_from_payload(payload["pool_rewards"]),
+        honest_rewards=_rewards_from_payload(payload["honest_rewards"]),
+        regular_blocks=payload["regular_blocks"],
+        pool_regular_blocks=payload["pool_regular_blocks"],
+        honest_regular_blocks=payload["honest_regular_blocks"],
+        uncle_blocks=payload["uncle_blocks"],
+        pool_uncle_blocks=payload["pool_uncle_blocks"],
+        honest_uncle_blocks=payload["honest_uncle_blocks"],
+        stale_blocks=payload["stale_blocks"],
+        total_blocks=payload["total_blocks"],
+        num_events=payload["num_events"],
+        honest_uncle_distance_counts=_counts_from_payload(
+            payload["honest_uncle_distance_counts"]
+        ),
+        pool_uncle_distance_counts=_counts_from_payload(payload["pool_uncle_distance_counts"]),
+    )
+    if kind == "simulation":
+        return SimulationResult(**common)
+    miners = tuple(
+        MinerOutcome(
+            name=miner["name"],
+            strategy=miner["strategy"],
+            hash_power=miner["hash_power"],
+            rewards=_rewards_from_payload(miner["rewards"]),
+            blocks_mined=miner["blocks_mined"],
+        )
+        for miner in payload["miners"]
+    )
+    return NetworkSimulationResult(
+        **common,
+        miners=miners,
+        tie_wins=payload["tie_wins"],
+        tie_losses=payload["tie_losses"],
+    )

@@ -1,0 +1,155 @@
+"""The on-disk result store: content-addressed, resumable, corruption-safe.
+
+:class:`ResultStore` is a flat content-addressed cache under one root
+directory.  Entries live in per-namespace subdirectories (``simulation/`` for
+settled runs, ``policy/`` for solved MDP policies), sharded by the first two
+hex digits of their key so that very large sweeps do not melt a single
+directory::
+
+    <root>/simulation/ab/abcdef....json
+    <root>/policy/12/123456....json
+
+Each file wraps its payload in an envelope carrying the key and a SHA-256
+checksum of the payload's canonical JSON.  :meth:`ResultStore.get` treats
+*anything* unexpected — unreadable file, invalid JSON, missing envelope
+fields, key or checksum mismatch — as a cache miss, so a corrupted or
+truncated entry silently falls back to recomputation (the property suite pins
+this).  Writes go through a same-directory temporary file followed by
+:func:`os.replace`, so a crash mid-write can never leave a half-written file
+under a valid key.
+
+The store is deliberately *not* consulted inside process-pool workers: the
+runner checks it up front in the parent, dispatches only the missing runs, and
+persists the fresh results as they come back.  That keeps the store free of
+cross-process locking entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from .fingerprint import config_fingerprint, hash_payload
+from .serialize import result_from_payload, result_payload
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..simulation.config import SimulationConfig
+    from ..simulation.metrics import SimulationResult
+
+#: Namespace of settled simulation runs.
+SIMULATION_NAMESPACE = "simulation"
+
+#: Namespace of solved MDP policies.
+POLICY_NAMESPACE = "policy"
+
+
+class ResultStore:
+    """A content-addressed JSON store rooted at one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ raw entries
+    def _entry_path(self, namespace: str, key: str) -> Path:
+        return self.root / namespace / key[:2] / f"{key}.json"
+
+    def put(self, namespace: str, key: str, payload: dict) -> Path:
+        """Persist ``payload`` under ``key``, atomically, and return its path."""
+        path = self._entry_path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"key": key, "checksum": hash_payload(payload), "payload": payload}
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(json.dumps(envelope, sort_keys=True))
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get(self, namespace: str, key: str) -> dict | None:
+        """Load the payload stored under ``key``; ``None`` on miss *or* corruption.
+
+        A corrupted entry (unreadable, malformed JSON, wrong envelope shape,
+        key/checksum mismatch) is removed so the slot is clean for the rewrite
+        that follows the recomputation.
+        """
+        path = self._entry_path(namespace, key)
+        try:
+            envelope = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("key") != key
+            or "payload" not in envelope
+            or envelope.get("checksum") != hash_payload(envelope["payload"])
+        ):
+            self._discard(path)
+            return None
+        return envelope["payload"]
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing unlink is best-effort
+            pass
+
+    def contains(self, namespace: str, key: str) -> bool:
+        """True when a *valid* entry exists under ``key``."""
+        return self.get(namespace, key) is not None
+
+    def keys(self, namespace: str) -> Iterator[str]:
+        """Iterate the keys present under ``namespace`` (validity not checked)."""
+        base = self.root / namespace
+        if not base.is_dir():
+            return
+        for path in sorted(base.glob("*/*.json")):
+            yield path.stem
+
+    def count(self, namespace: str) -> int:
+        """Number of entries (valid or not) under ``namespace``."""
+        return sum(1 for _ in self.keys(namespace))
+
+    # ------------------------------------------------------------------ simulation runs
+    def result_key(self, config: "SimulationConfig", backend: str) -> str:
+        """The content address of one ``(config, backend)`` run."""
+        return config_fingerprint(config, backend)
+
+    def has_result(self, config: "SimulationConfig", backend: str) -> bool:
+        """True when the run's settled result is cached (and valid)."""
+        return self.contains(SIMULATION_NAMESPACE, self.result_key(config, backend))
+
+    def load_result(self, config: "SimulationConfig", backend: str) -> "SimulationResult | None":
+        """The cached result of the run, bit-exact, or ``None``."""
+        payload = self.get(SIMULATION_NAMESPACE, self.result_key(config, backend))
+        if payload is None:
+            return None
+        try:
+            return result_from_payload(payload, config)
+        except (KeyError, TypeError, ValueError):
+            # A payload from an incompatible schema: recompute rather than fail.
+            self._discard(self._entry_path(SIMULATION_NAMESPACE, self.result_key(config, backend)))
+            return None
+
+    def save_result(self, result: "SimulationResult", backend: str) -> Path:
+        """Persist one settled run under its configuration's fingerprint."""
+        key = self.result_key(result.config, backend)
+        return self.put(SIMULATION_NAMESPACE, key, result_payload(result))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ResultStore(root={str(self.root)!r})"

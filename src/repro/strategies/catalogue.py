@@ -23,7 +23,7 @@ import inspect
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from ..errors import ParameterError
+from ..utils.registry import Registry
 from .base import Action, MiningStrategy, RaceView
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
@@ -125,11 +125,13 @@ class LeadEqualForkStubbornStrategy(LeadStubbornStrategy):
         return Action.WITHHOLD
 
 
-#: Registry of strategy factories keyed by strategy name.  A factory either takes
-#: no required argument (the stateless catalogue strategies) or exactly one — the
-#: run's :class:`~repro.simulation.config.SimulationConfig` — for strategies whose
-#: construction depends on the run parameters (the solved ``"optimal"`` policy).
-_REGISTRY: dict[str, Callable[..., MiningStrategy]] = {}
+#: Registry of strategy factories keyed by strategy name (shared
+#: :class:`~repro.utils.registry.Registry` infrastructure).  A factory either
+#: takes no required argument (the stateless catalogue strategies) or exactly one
+#: — the run's :class:`~repro.simulation.config.SimulationConfig` — for
+#: strategies whose construction depends on the run parameters (the solved
+#: ``"optimal"`` policy).
+_REGISTRY: Registry[Callable[..., MiningStrategy]] = Registry("mining strategy")
 
 
 def register_strategy(name: str, factory: Callable[..., MiningStrategy]) -> None:
@@ -139,14 +141,12 @@ def register_strategy(name: str, factory: Callable[..., MiningStrategy]) -> None
     *configuration-aware*: :func:`make_strategy` calls it with the run
     configuration (or ``None`` when constructed outside a run).
     """
-    if name in _REGISTRY:
-        raise ParameterError(f"strategy {name!r} is already registered")
-    _REGISTRY[name] = factory
+    _REGISTRY.register(name, factory)
 
 
 def available_strategies() -> tuple[str, ...]:
     """Names of all registered strategies, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return _REGISTRY.available()
 
 
 def _requires_config(factory: Callable[..., MiningStrategy]) -> bool:
@@ -175,12 +175,7 @@ def make_strategy(name: str, *, config: "SimulationConfig | None" = None) -> Min
     ignore it.  :meth:`SimulationConfig.make_strategy` and the simulator backends
     always pass the run configuration through this parameter.
     """
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise ParameterError(
-            f"unknown mining strategy {name!r}; available: {', '.join(available_strategies())}"
-        ) from None
+    factory = _REGISTRY.get(name)
     if _requires_config(factory):
         return factory(config)
     return factory()

@@ -1,0 +1,84 @@
+"""Shared name -> factory registry used by every pluggable subsystem.
+
+The package grew three registries independently — mining strategies, latency
+models, and (with this module) simulator backends — each re-implementing the
+same three operations: register a factory under a unique name, list what is
+available, and resolve a name with an error that tells the caller what *would*
+have worked.  :class:`Registry` is the one implementation all of them share.
+
+Error messages are part of the public behaviour (the test-suite pins them), so
+the registry keeps the established phrasing:
+
+* duplicate registration — ``"<kind> 'name' is already registered"``;
+* unknown lookup — ``"unknown <kind> 'name'; available: a, b, c"``.
+
+The error *type* is configurable per registry because the subsystems raise
+different members of the package hierarchy (:class:`~repro.errors.ParameterError`
+for model-configuration registries, :class:`~repro.errors.SimulationError` for
+the simulator backends).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+from ..errors import ParameterError, ReproError
+
+Entry = TypeVar("Entry")
+
+
+class Registry(Generic[Entry]):
+    """A named collection of factories with uniform registration and lookup.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun used in error messages (``"mining strategy"``,
+        ``"latency model"``, ``"simulator backend"``...).
+    error_type:
+        Exception class raised on duplicate registration and unknown lookup.
+    """
+
+    def __init__(self, kind: str, *, error_type: type[ReproError] = ParameterError) -> None:
+        self._kind = kind
+        self._error_type = error_type
+        self._entries: dict[str, Entry] = {}
+
+    @property
+    def kind(self) -> str:
+        """The registry's human-readable entry noun."""
+        return self._kind
+
+    def register(self, name: str, entry: Entry) -> None:
+        """Register ``entry`` under ``name``, rejecting duplicates."""
+        if not name or not isinstance(name, str):
+            raise self._error_type(f"{self._kind} name must be a non-empty string, got {name!r}")
+        if name in self._entries:
+            raise self._error_type(f"{self._kind} {name!r} is already registered")
+        self._entries[name] = entry
+
+    def available(self) -> tuple[str, ...]:
+        """Names of all registered entries, sorted."""
+        return tuple(sorted(self._entries))
+
+    def get(self, name: str) -> Entry:
+        """Resolve ``name``, raising an error that lists the alternatives."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise self._error_type(
+                f"unknown {self._kind} {name!r}; available: {', '.join(self.available())}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Convenience alias for the common "name -> zero-or-more-argument factory" shape.
+FactoryRegistry = Registry[Callable[..., object]]

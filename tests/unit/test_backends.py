@@ -1,0 +1,74 @@
+"""Unit tests for the simulator-backend registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    ChainBackend,
+    MarkovBackend,
+    NetworkBackend,
+    Simulator,
+    SimulatorBackend,
+    available_backends,
+    get_backend,
+    make_simulator,
+    register_backend,
+)
+from repro.errors import SimulationError
+from repro.params import MiningParams
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import ChainSimulator
+from repro.simulation.fast import MarkovMonteCarlo
+
+CONFIG = SimulationConfig(params=MiningParams(alpha=0.3, gamma=0.5), num_blocks=500, seed=1)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert available_backends() == ("chain", "markov", "network")
+
+    def test_get_backend_returns_named_instances(self):
+        for name, backend_type in (
+            ("chain", ChainBackend),
+            ("markov", MarkovBackend),
+            ("network", NetworkBackend),
+        ):
+            backend = get_backend(name)
+            assert isinstance(backend, backend_type)
+            assert backend.name == name
+            assert isinstance(backend, SimulatorBackend)
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(SimulationError) as excinfo:
+            get_backend("quantum")
+        message = str(excinfo.value)
+        assert "unknown simulator backend 'quantum'" in message
+        for name in available_backends():
+            assert name in message
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SimulationError):
+            register_backend(ChainBackend())
+
+
+class TestMakeSimulator:
+    def test_builds_the_matching_engine(self):
+        assert isinstance(make_simulator(CONFIG, "chain"), ChainSimulator)
+        assert isinstance(make_simulator(CONFIG, "markov"), MarkovMonteCarlo)
+        from repro.network.simulator import NetworkSimulator
+
+        assert isinstance(make_simulator(CONFIG, "network"), NetworkSimulator)
+
+    def test_built_simulators_satisfy_the_protocol(self):
+        for name in available_backends():
+            assert isinstance(make_simulator(CONFIG, name), Simulator)
+
+    def test_simulators_run(self):
+        result = make_simulator(CONFIG, "markov").run()
+        assert result.total_blocks == CONFIG.num_blocks
+
+    def test_runner_backends_tuple_mirrors_the_registry(self):
+        from repro.simulation.runner import BACKENDS
+
+        assert BACKENDS == available_backends()

@@ -1,0 +1,146 @@
+"""Unit tests for the ``sweep`` CLI subcommand and cache-dir plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cli import ExperimentOptions, build_parser, main, run_sweep
+from repro.store import ResultStore
+
+
+def scenario_file(tmp_path, **overrides):
+    data = {
+        "name": "cli-sweep",
+        "alphas": [0.2, 0.35],
+        "strategies": ["honest", "selfish"],
+        "backends": ["markov"],
+        "num_runs": 1,
+        "num_blocks": 1000,
+        "seed": 7,
+    }
+    data.update(overrides)
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestParser:
+    def test_sweep_subcommand_with_scenario_and_flags(self, tmp_path):
+        arguments = build_parser().parse_args(
+            ["sweep", "scenario.json", "--cache-dir", "cache", "--resume", "--max-cells", "2"]
+        )
+        assert arguments.experiment == "sweep"
+        assert arguments.scenario == "scenario.json"
+        assert str(arguments.cache_dir) == "cache"
+        assert arguments.resume is True
+        assert arguments.max_cells == 2
+
+    def test_cache_dir_accepted_on_every_subcommand(self):
+        arguments = build_parser().parse_args(["figure8", "--cache-dir", "cache"])
+        assert str(arguments.cache_dir) == "cache"
+        assert build_parser().parse_args(["figure8"]).cache_dir is None
+
+    def test_options_store_resolution(self, tmp_path):
+        assert ExperimentOptions().store() is None
+        store = ExperimentOptions(cache_dir=tmp_path / "cache").store()
+        assert isinstance(store, ResultStore)
+
+
+class TestRunSweep:
+    def test_end_to_end_report(self, tmp_path):
+        report = run_sweep(scenario_file(tmp_path), cache_dir=tmp_path / "cache")
+        assert "cli-sweep" in report
+        assert "4 runs executed, 0 from cache" in report
+        warm = run_sweep(scenario_file(tmp_path), cache_dir=tmp_path / "cache")
+        assert "0 runs executed, 4 from cache" in warm
+
+    def test_max_cells_leaves_cells_pending(self, tmp_path):
+        report = run_sweep(
+            scenario_file(tmp_path), cache_dir=tmp_path / "cache", max_cells=1
+        )
+        assert "3 cells pending" in report
+        assert "pending" in report
+
+    def test_missing_scenario_argument_rejected(self):
+        with pytest.raises(ExperimentError, match="needs a scenario file"):
+            run_sweep(None)
+
+    def test_resume_requires_cache_dir(self, tmp_path):
+        with pytest.raises(ExperimentError, match="--resume needs --cache-dir"):
+            run_sweep(scenario_file(tmp_path), resume=True)
+
+    def test_resume_requires_existing_directory(self, tmp_path):
+        with pytest.raises(ExperimentError, match="existing cache directory"):
+            run_sweep(
+                scenario_file(tmp_path), cache_dir=tmp_path / "absent", resume=True
+            )
+
+    def test_resume_with_existing_directory(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_sweep(scenario_file(tmp_path), cache_dir=cache, max_cells=2)
+        report = run_sweep(scenario_file(tmp_path), cache_dir=cache, resume=True)
+        assert "0 cells pending" in report
+
+
+class TestRejectedFlagCombinations:
+    """Flags only one branch honours are rejected, never silently dropped."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["figure8", "scenario.toml"],
+            ["figure8", "--resume"],
+            ["table1", "--max-cells", "2"],
+            ["sweep", "scenario.json", "--fast"],
+            ["sweep", "scenario.json", "--backend", "markov"],
+        ],
+    )
+    def test_mismatched_flags_exit_with_usage_error(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+
+class TestMain:
+    def test_main_runs_sweep(self, tmp_path, capsys):
+        path = scenario_file(tmp_path)
+        exit_code = main(
+            ["sweep", str(path), "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "==== sweep" in output
+        assert "cli-sweep" in output
+
+
+class TestEngineHelpers:
+    def test_find_filters_by_coordinates(self, tmp_path):
+        from repro.scenarios import ScenarioSpec, run_scenario
+
+        spec = ScenarioSpec(
+            name="find",
+            alphas=(0.2, 0.35),
+            strategies=("honest", "selfish"),
+            backends=("markov",),
+            num_blocks=1000,
+            seed=7,
+        )
+        result = run_scenario(spec)
+        honest = result.find(strategy="honest")
+        assert len(honest) == 2
+        assert all(o.cell.strategy == "honest" for o in honest)
+        single = result.find(strategy="selfish", alpha=0.35)
+        assert len(single) == 1
+        assert result.find(strategy="selfish", alpha=0.99) == ()
+
+    def test_complete_flag(self, tmp_path):
+        from repro.scenarios import ScenarioSpec, run_scenario
+        from repro.store import ResultStore
+
+        spec = ScenarioSpec(name="c", alphas=(0.2, 0.3), backends=("markov",), num_blocks=1000)
+        partial = run_scenario(spec, store=ResultStore(tmp_path / "s"), max_cells=1)
+        assert not partial.complete
+        assert run_scenario(spec).complete

@@ -1,0 +1,88 @@
+"""Unit tests for the shared registry infrastructure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.utils.registry import Registry
+
+
+class TestRegistry:
+    def test_register_and_get_round_trip(self):
+        registry: Registry[object] = Registry("widget")
+        sentinel = object()
+        registry.register("a", sentinel)
+        assert registry.get("a") is sentinel
+
+    def test_available_is_sorted(self):
+        registry: Registry[int] = Registry("widget")
+        registry.register("zulu", 1)
+        registry.register("alpha", 2)
+        registry.register("mike", 3)
+        assert registry.available() == ("alpha", "mike", "zulu")
+        assert list(registry) == ["alpha", "mike", "zulu"]
+        assert len(registry) == 3
+
+    def test_duplicate_registration_rejected_with_established_phrasing(self):
+        registry: Registry[int] = Registry("widget")
+        registry.register("a", 1)
+        with pytest.raises(ParameterError, match="widget 'a' is already registered"):
+            registry.register("a", 2)
+
+    def test_unknown_lookup_lists_alternatives(self):
+        registry: Registry[int] = Registry("widget")
+        registry.register("a", 1)
+        registry.register("b", 2)
+        with pytest.raises(ParameterError) as excinfo:
+            registry.get("c")
+        assert "unknown widget 'c'; available: a, b" in str(excinfo.value)
+
+    def test_custom_error_type(self):
+        registry: Registry[int] = Registry("engine", error_type=SimulationError)
+        with pytest.raises(SimulationError):
+            registry.get("missing")
+        registry.register("a", 1)
+        with pytest.raises(SimulationError):
+            registry.register("a", 1)
+
+    def test_contains(self):
+        registry: Registry[int] = Registry("widget")
+        registry.register("a", 1)
+        assert "a" in registry
+        assert "b" not in registry
+
+    def test_empty_or_non_string_name_rejected(self):
+        registry: Registry[int] = Registry("widget")
+        with pytest.raises(ParameterError):
+            registry.register("", 1)
+        with pytest.raises(ParameterError):
+            registry.register(3, 1)  # type: ignore[arg-type]
+
+
+class TestSharedInfrastructureAdoption:
+    """The pre-existing registries all run on the shared implementation."""
+
+    def test_strategy_registry(self):
+        from repro.strategies import catalogue
+
+        assert isinstance(catalogue._REGISTRY, Registry)
+        assert catalogue._REGISTRY.kind == "mining strategy"
+
+    def test_latency_registry(self):
+        from repro.network import latency
+
+        assert isinstance(latency._REGISTRY, Registry)
+        assert latency._REGISTRY.kind == "latency model"
+
+    def test_backend_registry(self):
+        from repro import backends
+
+        assert isinstance(backends._REGISTRY, Registry)
+        assert backends._REGISTRY.kind == "simulator backend"
+
+    def test_schedule_spec_registry(self):
+        from repro.rewards import schedule
+
+        assert isinstance(schedule._REGISTRY, Registry)
+        assert schedule._REGISTRY.kind == "reward schedule"

@@ -1,0 +1,244 @@
+"""Unit tests for declarative scenario specs and their expansion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.network.topology import Topology
+from repro.rewards.schedule import EthereumByzantiumSchedule, FlatUncleSchedule, make_schedule
+from repro.scenarios import ScenarioSpec, topology_from_dict
+from repro.simulation.rng import derive_seeds
+
+
+def spec_for(**overrides) -> ScenarioSpec:
+    base = dict(name="test", alphas=(0.2, 0.4), num_blocks=1000, seed=3)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestSpecValidation:
+    def test_scalar_axes_are_coerced_to_tuples(self):
+        spec = spec_for(alphas=0.3, strategies="honest", backends="markov")
+        assert spec.alphas == (0.3,)
+        assert spec.strategies == ("honest",)
+        assert spec.backends == ("markov",)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ParameterError, match="must not be empty"):
+            spec_for(alphas=())
+
+    def test_unknown_backend_rejected_with_alternatives(self):
+        with pytest.raises(ParameterError) as excinfo:
+            spec_for(backends=("quantum",))
+        assert "chain" in str(excinfo.value)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParameterError, match="unknown mining strategies"):
+            spec_for(strategies=("nonsense",))
+
+    def test_bad_schedule_spec_fails_at_construction(self):
+        with pytest.raises(ParameterError, match="unknown reward schedule"):
+            spec_for(schedules=("exotic",))
+
+    def test_invalid_num_runs_rejected(self):
+        with pytest.raises(ParameterError, match="num_runs"):
+            spec_for(num_runs=0)
+
+    def test_non_topology_entries_rejected(self):
+        with pytest.raises(ParameterError, match="Topology"):
+            spec_for(topologies=("not-a-topology",))
+
+    def test_describe_mentions_cells_and_runs(self):
+        text = spec_for(num_runs=3).describe()
+        assert "2 cells" in text
+        assert "x 3 runs" in text
+
+
+class TestExpansion:
+    def test_cell_count_is_the_axis_product(self):
+        spec = spec_for(
+            alphas=(0.1, 0.2, 0.3),
+            gammas=(0.0, 0.5),
+            strategies=("honest", "selfish"),
+            backends=("chain", "markov"),
+        )
+        assert spec.num_cells == 3 * 2 * 2 * 2
+        assert len(spec.cells()) == spec.num_cells
+
+    def test_alpha_varies_fastest_and_backend_slowest(self):
+        spec = spec_for(
+            alphas=(0.1, 0.2), strategies=("honest", "selfish"), backends=("chain", "markov")
+        )
+        coordinates = [
+            (cell.backend, cell.strategy, cell.alpha) for cell in spec.cells()
+        ]
+        assert coordinates == [
+            ("chain", "honest", 0.1),
+            ("chain", "honest", 0.2),
+            ("chain", "selfish", 0.1),
+            ("chain", "selfish", 0.2),
+            ("markov", "honest", 0.1),
+            ("markov", "honest", 0.2),
+            ("markov", "selfish", 0.1),
+            ("markov", "selfish", 0.2),
+        ]
+
+    def test_cells_carry_fully_built_configs(self):
+        spec = spec_for(schedules=(FlatUncleSchedule(0.5),), warmup_blocks=10)
+        cell = spec.cells()[0]
+        assert cell.config.params.alpha == 0.2
+        assert cell.config.strategy == "selfish"
+        assert cell.config.schedule == FlatUncleSchedule(0.5)
+        assert cell.config.warmup_blocks == 10
+        assert cell.config.seed == 3
+
+    def test_expansion_is_deterministic(self):
+        first = spec_for().cells()
+        second = spec_for().cells()
+        assert [cell.config for cell in first] == [cell.config for cell in second]
+
+    def test_run_plan_prederives_the_shared_seed_stream(self):
+        spec = spec_for(num_runs=3)
+        plan = spec.run_plan()
+        assert len(plan) == spec.num_planned_runs
+        expected_seeds = derive_seeds(spec.seed, 3)
+        for cell_index in range(spec.num_cells):
+            runs = [run for run in plan if run.cell_index == cell_index]
+            assert [run.config.seed for run in runs] == expected_seeds
+
+    def test_schedule_instances_are_shared_across_cells(self):
+        spec = spec_for(alphas=(0.1, 0.2, 0.3))
+        schedules = {id(cell.config.schedule) for cell in spec.cells()}
+        assert len(schedules) == 1
+
+
+class TestLoading:
+    def test_from_dict_round_trip(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "from-dict",
+                "alphas": [0.1, 0.2],
+                "strategies": ["honest"],
+                "backends": ["markov"],
+                "num_runs": 2,
+                "num_blocks": 1234,
+                "seed": 9,
+            }
+        )
+        assert spec.name == "from-dict"
+        assert spec.alphas == (0.1, 0.2)
+        assert spec.num_blocks == 1234
+
+    def test_unknown_keys_rejected_with_allowed_list(self):
+        with pytest.raises(ParameterError) as excinfo:
+            ScenarioSpec.from_dict({"name": "x", "alphas": [0.1], "turbo": True})
+        message = str(excinfo.value)
+        assert "'turbo'" in message
+        assert "alphas" in message
+
+    def test_name_and_alphas_required(self):
+        with pytest.raises(ParameterError, match="'name' and 'alphas'"):
+            ScenarioSpec.from_dict({"alphas": [0.1]})
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({"name": "json-spec", "alphas": [0.3]}))
+        spec = ScenarioSpec.from_file(path)
+        assert spec.name == "json-spec"
+
+    def test_from_toml_file(self, tmp_path):
+        pytest.importorskip("tomllib")  # stdlib from Python 3.11
+        path = tmp_path / "scenario.toml"
+        path.write_text(
+            'name = "toml-spec"\nalphas = [0.2, 0.3]\nbackends = ["markov"]\nnum_runs = 2\n'
+        )
+        spec = ScenarioSpec.from_file(path)
+        assert spec.name == "toml-spec"
+        assert spec.backends == ("markov",)
+
+    def test_invalid_json_reports_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ParameterError, match="invalid JSON"):
+            ScenarioSpec.from_file(path)
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "scenario.yaml"
+        path.write_text("name: x")
+        with pytest.raises(ParameterError, match=".json or .toml"):
+            ScenarioSpec.from_file(path)
+
+    def test_missing_file_reports_path(self, tmp_path):
+        with pytest.raises(ParameterError, match="cannot read scenario file"):
+            ScenarioSpec.from_file(tmp_path / "absent.json")
+
+    def test_topologies_from_dicts(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "topo",
+                "alphas": [0.3],
+                "backends": ["network"],
+                "topologies": [
+                    {"kind": "single_pool", "alpha": 0.3, "num_honest": 4},
+                    {
+                        "kind": "multi_pool",
+                        "pools": [[0.2, "selfish"], [0.2, "selfish"]],
+                        "latency": "constant:0.1",
+                    },
+                ],
+            }
+        )
+        assert all(isinstance(topology, Topology) for topology in spec.topologies)
+        assert spec.num_cells == 2
+
+
+class TestTopologyFromDict:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError, match="unknown topology kind"):
+            topology_from_dict({"kind": "ring"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ParameterError, match="unknown single_pool topology keys"):
+            topology_from_dict({"kind": "single_pool", "alpha": 0.3, "speed": 1})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ParameterError, match="needs 'alpha'"):
+            topology_from_dict({"kind": "single_pool"})
+        with pytest.raises(ParameterError, match="needs 'pools'"):
+            topology_from_dict({"kind": "multi_pool"})
+
+
+class TestMakeSchedule:
+    def test_named_specs(self):
+        assert make_schedule("ethereum") == EthereumByzantiumSchedule()
+        assert make_schedule("flat:0.5") == FlatUncleSchedule(0.5)
+        assert make_schedule("flat:0.875:1000000") == FlatUncleSchedule(
+            0.875, max_uncle_distance=1_000_000
+        )
+
+    def test_schedule_objects_pass_through(self):
+        schedule = FlatUncleSchedule(0.25)
+        assert make_schedule(schedule) is schedule
+
+    def test_unknown_spec_lists_available(self):
+        with pytest.raises(ParameterError) as excinfo:
+            make_schedule("exotic")
+        assert "unknown reward schedule 'exotic'" in str(excinfo.value)
+        assert "ethereum" in str(excinfo.value)
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ParameterError, match="takes no arguments"):
+            make_schedule("ethereum:1")
+        with pytest.raises(ParameterError, match="non-numeric"):
+            make_schedule("flat:lots")
+        with pytest.raises(ParameterError, match="flat:<uncle_fraction>"):
+            make_schedule("flat:0.5:6:9")
+
+    def test_schedule_value_equality_and_hash(self):
+        assert EthereumByzantiumSchedule() == EthereumByzantiumSchedule()
+        assert hash(FlatUncleSchedule(0.5)) == hash(FlatUncleSchedule(0.5))
+        assert FlatUncleSchedule(0.5) != FlatUncleSchedule(0.25)
+        assert EthereumByzantiumSchedule() != FlatUncleSchedule(0.5)
