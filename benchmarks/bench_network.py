@@ -6,12 +6,24 @@ miners; these benchmarks track that cost for the two configurations the network
 experiments lean on, so regressions in the event loop or the race bookkeeping
 show up next to the engine benchmarks.
 
+The PR-6 batched event core added two axes worth pinning separately:
+
+* **miner-count scaling** (3 / 9 / 27 miners on the same exponential-latency
+  workload) — the broadcast fan-out and per-miner view costs are where the
+  backend's O(miners) terms live, so the scaling curve shows whether a change
+  moved a per-block or a per-delivery cost;
+* **the zero-latency fast path** — the paper-model special case runs without a
+  heap; benchmarked both ways (fast path vs ``force_event_loop=True``) so the
+  shortcut's advantage is a recorded, asserted number rather than folklore.
+
 Sizes honour ``REPRO_BENCH_SCALE`` exactly like ``bench_engines.py``.
 """
 
 from __future__ import annotations
 
 import os
+
+import pytest
 
 from repro.network import multi_pool_topology, single_pool_topology
 from repro.network.simulator import NetworkSimulator
@@ -61,4 +73,67 @@ def test_network_two_pool_benchmark(benchmark):
         ),
     )
     result = benchmark.pedantic(lambda: NetworkSimulator(config).run(), rounds=1, iterations=1)
+    assert result.total_blocks == blocks
+
+
+@pytest.mark.parametrize("num_miners", [3, 9, 27])
+def test_network_miner_scaling_benchmark(benchmark, num_miners):
+    """One pool plus ``num_miners - 1`` honest miners on the exponential workload.
+
+    Tracks how the per-block cost grows with the miner population: deliveries
+    are O(miners) per publication, so the 3 -> 9 -> 27 curve separates
+    per-block costs (flat across the curve) from per-delivery ones.
+    """
+    blocks = scaled(10_000)
+    benchmark.extra_info["blocks"] = blocks
+    config = SimulationConfig(
+        params=PARAMS,
+        schedule=EthereumByzantiumSchedule(),
+        num_blocks=blocks,
+        seed=1,
+        topology=single_pool_topology(
+            PARAMS.alpha,
+            strategy="selfish",
+            num_honest=num_miners - 1,
+            latency="exponential:0.2",
+        ),
+    )
+    result = benchmark.pedantic(lambda: NetworkSimulator(config).run(), rounds=1, iterations=1)
+    assert result.total_blocks == blocks
+
+
+def _zero_latency_config(blocks: int) -> SimulationConfig:
+    """The 9-miner single-pool paper-model workload (instantaneous broadcast)."""
+    return SimulationConfig(
+        params=PARAMS,
+        schedule=EthereumByzantiumSchedule(),
+        num_blocks=blocks,
+        seed=1,
+        topology=single_pool_topology(
+            PARAMS.alpha, strategy="selfish", num_honest=8, latency="zero"
+        ),
+    )
+
+
+def test_network_zero_latency_fast_path_benchmark(benchmark):
+    """The 9-miner zero-latency workload on the heap-free synchronous fast path."""
+    blocks = scaled(10_000)
+    benchmark.extra_info["blocks"] = blocks
+    config = _zero_latency_config(blocks)
+    result = benchmark.pedantic(lambda: NetworkSimulator(config).run(), rounds=1, iterations=1)
+    assert result.total_blocks == blocks
+
+
+def test_network_zero_latency_event_loop_benchmark(benchmark):
+    """The same zero-latency workload forced through the general event loop.
+
+    Exists purely as the fast path's control: ``run_benchmarks.py --check``
+    asserts the fast path beats this number.
+    """
+    blocks = scaled(10_000)
+    benchmark.extra_info["blocks"] = blocks
+    config = _zero_latency_config(blocks)
+    result = benchmark.pedantic(
+        lambda: NetworkSimulator(config, force_event_loop=True).run(), rounds=1, iterations=1
+    )
     assert result.total_blocks == blocks

@@ -4,8 +4,9 @@
 The driver invokes the pytest-benchmark suite (engines, network, MDP solver and
 sweep-engine files by default), extracts per-benchmark timings, derives
 blocks-per-second figures for the simulator benchmarks, and writes everything to
-``BENCH_PR5.json`` at the repository root so the performance trajectory is
-tracked in-repo (``BENCH_PR2.json`` holds the PR 2 era record).
+``BENCH_PR6.json`` at the repository root so the performance trajectory is
+tracked in-repo (``BENCH_PR2.json`` and ``BENCH_PR5.json`` hold the earlier-era
+records).
 
 Every record is stamped with its provenance — the git commit it measured, the
 interpreter and machine it ran on, and the contents of the four component
@@ -21,8 +22,9 @@ Usage::
 
 ``--smoke`` shrinks the simulated block counts (via ``REPRO_BENCH_SCALE``) and runs
 single rounds so the whole suite finishes in seconds.  ``--check`` asserts that the
-compiled-table Markov backend beats the scalar accumulate path, which guards the
-PR 2 vectorisation against regressions.
+compiled-table Markov backend beats the scalar accumulate path (the PR 2
+vectorisation) and that the network simulator's zero-latency fast path beats the
+general event loop on the same workload (the PR 6 batched event core).
 """
 
 from __future__ import annotations
@@ -39,7 +41,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR5.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR6.json"
 #: Default pytest selection: the engine suite plus the network-backend, MDP
 #: solver and sweep-engine suites (whitespace-separated; each token is passed to
 #: pytest as its own argument).
@@ -56,6 +58,23 @@ PRE_PR2_BASELINES_S = {
     "test_chain_simulator_benchmark": 0.534,
     "test_stationary_solve_benchmark[60]": 0.101,
     "test_stationary_solve_benchmark[200]": 45.9,
+}
+
+#: Full-scale timings from the committed ``BENCH_PR5.json`` (the record made
+#: immediately before the PR 6 batched event core landed), so the network
+#: benchmarks carry their speedup over the previous event core next to the
+#: absolute numbers.  The zero-latency and miner-scaling benchmarks are new in
+#: PR 6; the 9-miner workloads compare against the single-pool baseline, which
+#: was the closest pre-existing measurement of the same topology.  Only
+#: meaningful at scale 1.0.
+PR5_BASELINES_S = {
+    "test_network_single_pool_benchmark": 0.764,
+    "test_network_two_pool_benchmark": 0.7725,
+    "test_network_miner_scaling_benchmark[9]": 0.764,
+    "test_network_zero_latency_fast_path_benchmark": 0.764,
+    "test_network_zero_latency_event_loop_benchmark": 0.764,
+    "test_chain_simulator_benchmark": 0.4357,
+    "test_markov_monte_carlo_benchmark": 0.0192,
 }
 
 SMOKE_SCALE = 0.05
@@ -166,6 +185,10 @@ def summarise(payload: dict, scale: float) -> list[dict]:
             if baseline is not None:
                 record["pre_pr2_baseline_s"] = baseline
                 record["speedup_vs_pre_pr2"] = baseline / stats["mean"]
+            pr5_baseline = PR5_BASELINES_S.get(bench["name"])
+            if pr5_baseline is not None:
+                record["pr5_baseline_s"] = pr5_baseline
+                record["speedup_vs_pr5"] = pr5_baseline / stats["mean"]
         records.append(record)
     return records
 
@@ -188,6 +211,25 @@ def check_vectorised_beats_scalar(records: list[dict]) -> None:
     )
 
 
+def check_fast_path_beats_event_loop(records: list[dict]) -> None:
+    """Assert the zero-latency fast path beats the general loop on its workload."""
+    by_name = {record["name"]: record for record in records}
+    fast = by_name.get("test_network_zero_latency_fast_path_benchmark")
+    general = by_name.get("test_network_zero_latency_event_loop_benchmark")
+    if fast is None or general is None:
+        raise SystemExit("--check needs both zero-latency network benchmarks in the selection")
+    if fast["mean_s"] >= general["mean_s"]:
+        raise SystemExit(
+            "zero-latency fast path did not beat the general event loop: "
+            f"fast {fast['mean_s']:.4f}s vs general {general['mean_s']:.4f}s"
+        )
+    print(
+        f"check OK: zero-latency fast path {fast['mean_s']:.4f}s beats the "
+        f"general loop {general['mean_s']:.4f}s "
+        f"({general['mean_s'] / fast['mean_s']:.1f}x)"
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
@@ -200,7 +242,10 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="assert the compiled-table Markov backend beats the scalar path",
+        help=(
+            "assert the compiled-table Markov backend beats the scalar path and "
+            "the zero-latency fast path beats the general event loop"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -228,6 +273,7 @@ def main(argv: list[str] | None = None) -> None:
         print(f"  {record['name']}: {record['mean_s'] * 1e3:.2f} ms{rate}")
     if args.check:
         check_vectorised_beats_scalar(records)
+        check_fast_path_beats_event_loop(records)
 
 
 if __name__ == "__main__":

@@ -68,6 +68,45 @@ class BlockTree:
         """All blocks in insertion (creation) order."""
         return [self._blocks[block_id] for block_id in sorted(self._blocks)]
 
+    @property
+    def by_id(self) -> dict[int, Block]:
+        """The block mapping itself, keyed by id — the simulators' hot-path lookup.
+
+        Treat as read-only: callers index it directly (a plain dict ``[]`` is
+        several times cheaper than the checked :meth:`block` accessor, which the
+        network event loop pays per delivery) but must never mutate it.
+        """
+        return self._blocks
+
+    @property
+    def published_ids(self) -> set[int]:
+        """The set of published block ids — the hot-path membership view.
+
+        Treat as read-only outside the tree: at zero latency every miner's
+        known-set coincides with it, which is what lets the network simulator's
+        fast path share one membership structure across all honest miners.
+        """
+        return self._published
+
+    @property
+    def next_block_id(self) -> int:
+        """Identifier the next added block will receive (ids are sequential)."""
+        return self._next_id
+
+    def count_at_height(self, height: int) -> int:
+        """Number of blocks at ``height`` (cheap no-fork check for hot paths)."""
+        return len(self._by_height.get(height, ()))
+
+    @property
+    def fork_children_index(self) -> dict[int, list[int]]:
+        """Height-indexed uncle-candidate ids (see :meth:`uncle_candidates`).
+
+        Read-only hot-path access for the simulators, which fuse the window scan
+        with their local-view membership filter instead of materialising the
+        intermediate candidate list :meth:`uncle_candidates` returns.
+        """
+        return self._fork_children_by_height
+
     def children(self, block_id: int) -> list[Block]:
         """Children of ``block_id`` in insertion order."""
         self.block(block_id)
@@ -91,54 +130,70 @@ class BlockTree:
         uncle.  Protocol-level eligibility (distance window, "not already referenced",
         per-block cap) is enforced by the caller via :mod:`repro.chain.uncles`.
         """
-        parent = self.block(parent_id)
+        blocks = self._blocks
+        parent = blocks.get(parent_id)
+        if parent is None:
+            raise UnknownBlockError(f"block {parent_id} is not in the tree")
         uncle_tuple = tuple(uncle_ids)
-        seen: set[int] = set()
-        for uncle_id in uncle_tuple:
-            if uncle_id not in self._blocks:
-                raise UnknownBlockError(f"uncle {uncle_id} is not in the tree")
-            if uncle_id in seen:
-                raise ChainStructureError(f"uncle {uncle_id} referenced twice by the same block")
-            if uncle_id == parent_id:
-                raise ChainStructureError("a block cannot reference its own parent as an uncle")
-            seen.add(uncle_id)
+        if uncle_tuple:
+            seen: set[int] = set()
+            for uncle_id in uncle_tuple:
+                if uncle_id not in blocks:
+                    raise UnknownBlockError(f"uncle {uncle_id} is not in the tree")
+                if uncle_id in seen:
+                    raise ChainStructureError(
+                        f"uncle {uncle_id} referenced twice by the same block"
+                    )
+                if uncle_id == parent_id:
+                    raise ChainStructureError(
+                        "a block cannot reference its own parent as an uncle"
+                    )
+                seen.add(uncle_id)
 
+        block_id = self._next_id
+        height = parent.height + 1
         block = Block(
-            block_id=self._next_id,
-            parent_id=parent.block_id,
-            height=parent.height + 1,
+            block_id=block_id,
+            parent_id=parent_id,
+            height=height,
             miner=miner,
             miner_index=miner_index,
             created_at=created_at,
             uncle_ids=uncle_tuple,
         )
-        self._blocks[block.block_id] = block
-        self._children[block.block_id] = []
-        siblings = self._children[parent.block_id]
-        siblings.append(block.block_id)
-        if len(siblings) == 2:
-            # The parent just forked: its first child becomes a candidate too.
-            first_child = self._blocks[siblings[0]]
-            self._fork_children_by_height.setdefault(first_child.height, []).append(
-                first_child.block_id
-            )
+        blocks[block_id] = block
+        children = self._children
+        children[block_id] = []
+        siblings = children[parent_id]
+        siblings.append(block_id)
         if len(siblings) >= 2:
-            self._fork_children_by_height.setdefault(block.height, []).append(block.block_id)
-        self._by_height.setdefault(block.height, []).append(block.block_id)
+            fork_children = self._fork_children_by_height
+            if len(siblings) == 2:
+                # The parent just forked: its first child becomes a candidate too.
+                first_child = blocks[siblings[0]]
+                fork_children.setdefault(first_child.height, []).append(first_child.block_id)
+            fork_children.setdefault(height, []).append(block_id)
+        by_height = self._by_height.get(height)
+        if by_height is None:
+            self._by_height[height] = [block_id]
+        else:
+            by_height.append(block_id)
         if published:
-            self._published.add(block.block_id)
-        self._next_id += 1
+            self._published.add(block_id)
+        self._next_id = block_id + 1
         return block
 
     # ------------------------------------------------------------------ publication
     def publish(self, block_id: int) -> None:
         """Mark ``block_id`` as published (visible to honest miners)."""
-        self.block(block_id)
+        if block_id not in self._blocks:
+            raise UnknownBlockError(f"block {block_id} is not in the tree")
         self._published.add(block_id)
 
     def is_published(self, block_id: int) -> bool:
         """True if ``block_id`` has been published."""
-        self.block(block_id)
+        if block_id not in self._blocks:
+            raise UnknownBlockError(f"block {block_id} is not in the tree")
         return block_id in self._published
 
     def published_blocks(self) -> list[Block]:

@@ -70,6 +70,7 @@ def eligible_uncles(
     candidates: Iterable[Block],
     *,
     max_distance: int = MAX_UNCLE_DISTANCE,
+    window_checked: bool = False,
 ) -> list[Block]:
     """All candidates that a block mined on ``parent_id`` may reference, oldest first.
 
@@ -84,15 +85,22 @@ def eligible_uncles(
         blocks; the pool knows everything).
     max_distance:
         Protocol inclusion window.
+    window_checked:
+        Set by callers whose candidates already satisfy the height-window and
+        non-genesis pre-filter (the simulators fetch candidates through the
+        tree's height-sliced candidate index, so re-filtering here would be
+        per-block dead work).
     """
+    by_id = tree.by_id
     parent = tree.block(parent_id)
     new_height = parent.height + 1
     low = new_height - max_distance  # smallest height an in-window uncle can have
-    candidates = [
-        candidate
-        for candidate in candidates
-        if not candidate.is_genesis and low <= candidate.height <= parent.height
-    ]
+    if not window_checked:
+        candidates = [
+            candidate
+            for candidate in candidates
+            if not candidate.is_genesis and low <= candidate.height <= parent.height
+        ]
     if not candidates:
         return []
 
@@ -102,14 +110,18 @@ def eligible_uncles(
     # reference lists — kept in walk order with their heights — replay rule 4's
     # scan-until-below-the-uncle check.  This replaces the three ancestry walks
     # :func:`is_eligible_uncle` performs per candidate (that function remains the
-    # single-candidate reference implementation).
+    # single-candidate reference implementation).  The walk follows parent links
+    # through the raw id map: this runs once per composed block, the simulators'
+    # hottest uncle path.
     chain_ids: set[int] = set()
     referencing: list[tuple[int, tuple[int, ...]]] = []
-    for ancestor in tree.ancestors(parent_id, include_self=True):
+    ancestor = parent
+    while True:
         chain_ids.add(ancestor.block_id)
         referencing.append((ancestor.height, ancestor.uncle_ids))
-        if ancestor.height < low - 1:
+        if ancestor.height < low or ancestor.parent_id is None:
             break
+        ancestor = by_id[ancestor.parent_id]
 
     selected: list[Block] = []
     for candidate in candidates:
@@ -131,8 +143,14 @@ def eligible_uncles(
         if not referenced:
             selected.append(candidate)
 
-    selected.sort(key=lambda block: (block.height, block.created_at, block.block_id))
+    if len(selected) > 1:
+        selected.sort(key=_uncle_order)
     return selected
+
+
+def _uncle_order(block: Block) -> tuple[int, int, int]:
+    """Sort key of :func:`eligible_uncles`: oldest first, then creation order."""
+    return (block.height, block.created_at, block.block_id)
 
 
 def referencing_distance(tree: BlockTree, nephew_id: int, uncle_id: int) -> int:

@@ -36,11 +36,13 @@ from .topology import (
     multi_pool_topology,
     single_pool_topology,
 )
+from .views import LocalView
 
 __all__ = [
     "ConstantLatency",
     "ExponentialLatency",
     "LatencyModel",
+    "LocalView",
     "MinerSpec",
     "NetworkSimulationResult",
     "NetworkSimulator",

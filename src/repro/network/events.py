@@ -1,51 +1,54 @@
 """The discrete-event scheduler backing the network simulator.
 
-A tiny priority queue of timestamped events.  Two event kinds exist:
+A tiny priority queue of timestamped events, packed as plain tuples
 
-* :class:`MineEvent` — the network-wide Poisson clock fires and some miner finds a
+    ``(time, seq, kind, block_id, dst)``
+
+with two event kinds:
+
+* :data:`MINE` — the network-wide Poisson clock fires and some miner finds a
   block (who exactly is decided at pop time, from the hash-power distribution);
-* :class:`DeliverEvent` — a broadcast block reaches one destination miner.
+  ``block_id`` and ``dst`` are unused and zero;
+* :data:`DELIVER` — a broadcast block ``block_id`` reaches miner ``dst``.
 
-Events at equal timestamps are processed in scheduling order (a monotonically
-increasing sequence number breaks ties), which makes runs deterministic and gives
-the zero-latency special case the same causal order as the paper's model: a block's
-deliveries always precede the deliveries of any block published in reaction to it.
+The queue is the simulator's hottest data structure — one push and one pop per
+scheduled delivery — so events are int-coded tuples rather than objects: tuple
+comparison runs entirely in C, where the previous dataclass entries paid for a
+Python-level ``__lt__`` call per heap swap and a fresh allocation per event.
+
+``seq`` is a monotonically increasing sequence number: events at equal
+timestamps pop in scheduling order, which makes runs deterministic and gives
+the zero-latency special case the same causal order as the paper's model (a
+block's deliveries always precede the deliveries of any block published in
+reaction to it).  Because ``time`` and ``seq`` never collide across entries,
+the ``kind``/``block_id``/``dst`` payload slots are never compared.
+
+The counter is also the ordering authority for deliveries the simulator keeps
+*outside* the heap (the lazily drained honest inboxes): :meth:`~EventQueue.reserve_seq`
+hands out the position such a delivery would have occupied on the heap, so heap
+events and deferred deliveries share one total ``(time, seq)`` order.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
+#: ``kind`` code of a mining event (the global Poisson clock fires).
+MINE = 0
+#: ``kind`` code of a delivery event (a broadcast block reaches one miner).
+DELIVER = 1
 
-@dataclass(frozen=True)
-class MineEvent:
-    """The global mining clock fires: the next block is found."""
-
-
-@dataclass(frozen=True)
-class DeliverEvent:
-    """Block ``block_id`` reaches miner ``dst``."""
-
-    block_id: int
-    dst: int
-
-
-Event = MineEvent | DeliverEvent
-
-
-@dataclass(order=True)
-class _Entry:
-    time: float
-    seq: int
-    event: Event = field(compare=False)
+#: A packed event: ``(time, seq, kind, block_id, dst)``.
+Event = tuple[float, int, int, int, int]
 
 
 class EventQueue:
-    """Time-ordered event queue with deterministic same-time ordering."""
+    """Time-ordered queue of packed events with deterministic same-time ordering."""
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
-        self._heap: list[_Entry] = []
+        self._heap: list[Event] = []
         self._seq = 0
 
     def __len__(self) -> int:
@@ -54,12 +57,25 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
-    def push(self, time: float, event: Event) -> None:
-        """Schedule ``event`` at ``time`` (after every already-scheduled same-time event)."""
-        heapq.heappush(self._heap, _Entry(time=time, seq=self._seq, event=event))
-        self._seq += 1
+    def push(self, time: float, kind: int, block_id: int = 0, dst: int = 0) -> int:
+        """Schedule an event at ``time`` (after every already-scheduled same-time
+        event and every sequence number reserved so far) and return its ``seq``."""
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, kind, block_id, dst))
+        return seq
 
-    def pop(self) -> tuple[float, Event]:
-        """Remove and return the earliest event as ``(time, event)``."""
-        entry = heapq.heappop(self._heap)
-        return entry.time, entry.event
+    def reserve_seq(self) -> int:
+        """Allocate the next sequence number without scheduling a heap event.
+
+        Used for deliveries tracked outside the heap (per-miner inboxes) so that
+        their ``(time, seq)`` rank is exactly what a heap push at the same moment
+        would have produced.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event as ``(time, seq, kind, block_id, dst)``."""
+        return heappop(self._heap)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from ..errors import ParameterError
 from ..simulation.rng import RandomSource
@@ -40,6 +40,18 @@ class LatencyModel(Protocol):
         """One delay draw (same time unit as the topology's ``block_interval``)."""
         ...
 
+    def sample_batch(self, src: int, dsts: Sequence[int], rng: RandomSource) -> list[float]:
+        """Delays for one broadcast of ``src`` to every miner in ``dsts``.
+
+        Returns one delay per destination, in ``dsts`` order, consuming the
+        randomness of ``len(dsts)`` sequential :meth:`sample` calls — the batch
+        must be bit-identical to the scalar sequence from the same ``rng``
+        state, so batching is purely a wall-clock optimisation (the uniforms
+        are served in one slice of the source's pre-sampled PCG64 block instead
+        of one buffered draw per link).
+        """
+        ...
+
     def mean_delay(self) -> float:
         """Expected delay of one delivery (used by reports)."""
         ...
@@ -53,6 +65,9 @@ class ZeroLatency:
 
     def sample(self, src: int, dst: int, rng: RandomSource) -> float:
         return 0.0
+
+    def sample_batch(self, src: int, dsts: Sequence[int], rng: RandomSource) -> list[float]:
+        return [0.0] * len(dsts)
 
     def mean_delay(self) -> float:
         return 0.0
@@ -71,6 +86,9 @@ class ConstantLatency:
 
     def sample(self, src: int, dst: int, rng: RandomSource) -> float:
         return self.delay
+
+    def sample_batch(self, src: int, dsts: Sequence[int], rng: RandomSource) -> list[float]:
+        return [self.delay] * len(dsts)
 
     def mean_delay(self) -> float:
         return self.delay
@@ -97,6 +115,16 @@ class ExponentialLatency:
             return 0.0
         # Inverse-CDF transform of one uniform draw; 1 - u avoids log(0).
         return -self.mean * math.log(1.0 - rng.uniform())
+
+    def sample_batch(self, src: int, dsts: Sequence[int], rng: RandomSource) -> list[float]:
+        count = len(dsts)
+        if self.mean == 0.0:
+            return [0.0] * count
+        # math.log (not numpy's vectorised log, which differs in the last ulp)
+        # keeps the batch bit-identical to ``count`` scalar sample() calls; the
+        # uniforms themselves come as one slice of the pre-sampled raw block.
+        scale = -self.mean
+        return [scale * math.log(1.0 - u) for u in rng.uniform_block(count)]
 
     def mean_delay(self) -> float:
         return self.mean

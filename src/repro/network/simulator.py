@@ -32,6 +32,39 @@ tip in its local view, and the strategy is consulted through the same
 :class:`~repro.strategies.base.RaceView` protocol the chain engine uses — every
 registered strategy runs on this backend unchanged.
 
+The batched event core
+----------------------
+
+The per-event cost is kept flat by four coordinated measures (the markov engine's
+batching playbook applied to the discrete-event loop):
+
+* **batched randomness** — exponential interarrival times and hash-power miner
+  picks are pre-sampled in vectorised numpy chunks through
+  :class:`~repro.simulation.rng.RandomSource`, and every broadcast draws its
+  per-link delays in one :meth:`~repro.network.latency.LatencyModel.sample_batch`
+  call per link group instead of one buffered draw per destination;
+* **packed events** — the heap holds int-coded ``(time, seq, kind, block_id,
+  dst)`` tuples (see :mod:`repro.network.events`), so ordering is C-level tuple
+  comparison with no per-event allocation;
+* **flat local views** — each miner's known-block set is a
+  :class:`~repro.network.views.LocalView` (synced watermark plus sparse
+  exceptions) instead of an O(total blocks) set, and deliveries to honest miners
+  bypass the heap entirely: they are appended to a per-miner inbox and drained
+  in ``(time, seq)`` order the next time that miner mines.  Honest state only
+  matters at its own mining events, so lazy draining is observationally
+  equivalent to eager heap dispatch — pools, whose reactions publish blocks
+  into the network, stay on the eager heap path;
+* **zero-latency fast path** — when every link is instantaneous the heap is
+  skipped altogether: mining times accumulate scalar-wise and each broadcast is
+  delivered synchronously through a FIFO cascade, which reproduces the heap's
+  same-time FIFO order exactly.  This is the regime the figure-8 equivalence
+  sweeps run in.
+
+Batching reorders the underlying uniform draw stream relative to the pre-batching
+scalar loop (chunked pre-sampling interleaves refills differently), so the pinned
+network fixtures were re-pinned in an explicit fixture-bump commit when this core
+landed; see ``ARCHITECTURE.md`` for the policy.
+
 **Special case.**  With zero latency and a single attacking pool the causal order
 of events collapses to the paper's model: every honest block reaches everyone
 instantly, matches arrive in the same instant as the block they answer, and the
@@ -42,10 +75,13 @@ statistical error) is pinned by the integration tests.
 
 from __future__ import annotations
 
-import math
-from bisect import bisect_right
-from dataclasses import dataclass
+from bisect import bisect_left
+from collections import deque
 from itertools import accumulate
+from math import inf
+from typing import NamedTuple
+
+import numpy as np
 
 from ..chain.block import Block, MinerKind
 from ..chain.blocktree import BlockTree
@@ -59,21 +95,42 @@ from ..simulation.config import SimulationConfig
 from ..simulation.metrics import MinerOutcome, NetworkSimulationResult
 from ..simulation.rng import RandomSource
 from ..strategies import Action, MiningStrategy, make_strategy
-from .events import DeliverEvent, EventQueue, MineEvent
+from .events import DELIVER, MINE, EventQueue
+from .latency import ConstantLatency, ExponentialLatency, ZeroLatency
 from .topology import MinerSpec, Topology, build_topology
+from .views import LocalView
+
+#: Mining-time / miner-pick draws pre-sampled per vectorised refill.
+MINE_DRAW_CHUNK = 1024
+
+
+def _is_always_zero(model: object) -> bool:
+    """True for the built-in models that never delay a delivery."""
+    if isinstance(model, ZeroLatency):
+        return True
+    if isinstance(model, ConstantLatency):
+        return model.delay == 0.0
+    if isinstance(model, ExponentialLatency):
+        return model.mean == 0.0
+    return False
 
 
 class _MinerState:
     """Local view shared by honest and strategic miners."""
 
-    __slots__ = ("index", "spec", "known", "waiting", "blocks_mined")
+    __slots__ = ("index", "spec", "known", "waiting", "inbox", "blocks_mined")
 
-    def __init__(self, index: int, spec: MinerSpec) -> None:
+    #: Overridden by :class:`_PoolState`; class attribute so instances stay slotted.
+    strategic = False
+
+    def __init__(self, index: int, spec: MinerSpec, genesis_id: int) -> None:
         self.index = index
         self.spec = spec
-        self.known: set[int] = set()
+        self.known = LocalView(genesis_id)
         # Blocks delivered before their parent, buffered per missing parent id.
         self.waiting: dict[int, list[int]] = {}
+        # Deferred deliveries as (arrival_time, seq, block_id), drained lazily.
+        self.inbox: list[tuple[float, int, int]] = []
         self.blocks_mined = 0
 
 
@@ -83,8 +140,7 @@ class _HonestState(_MinerState):
     __slots__ = ("preferred_id", "preferred_height", "preferred_since")
 
     def __init__(self, index: int, spec: MinerSpec, genesis_id: int) -> None:
-        super().__init__(index, spec)
-        self.known.add(genesis_id)
+        super().__init__(index, spec, genesis_id)
         self.preferred_id = genesis_id
         self.preferred_height = 0
         self.preferred_since = 0.0
@@ -101,11 +157,12 @@ class _PoolState(_MinerState):
 
     __slots__ = ("strategy", "anchor_id", "branch", "published_count", "public_tip_id")
 
+    strategic = True
+
     def __init__(
         self, index: int, spec: MinerSpec, strategy: MiningStrategy, genesis_id: int
     ) -> None:
-        super().__init__(index, spec)
-        self.known.add(genesis_id)
+        super().__init__(index, spec, genesis_id)
         self.strategy = strategy
         self.anchor_id = genesis_id
         self.branch: list[int] = []
@@ -117,8 +174,7 @@ class _PoolState(_MinerState):
         return self.branch[-1] if self.branch else self.anchor_id
 
 
-@dataclass(frozen=True)
-class _RaceNumbers:
+class _RaceNumbers(NamedTuple):
     """The three integers a :class:`~repro.strategies.base.RaceView` exposes."""
 
     private_length: int
@@ -129,12 +185,23 @@ class _RaceNumbers:
 class NetworkSimulator:
     """Simulate one run of N miners racing over an explicit network."""
 
-    def __init__(self, config: SimulationConfig, *, topology: Topology | None = None) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        topology: Topology | None = None,
+        force_event_loop: bool = False,
+    ) -> None:
         self.config = config
         self.topology = topology if topology is not None else build_topology(config)
         self.tree = BlockTree()
         self.rng = RandomSource(config.seed)
         self.queue = EventQueue()
+        self._blocks_by_id = self.tree.by_id
+        self._fork_children = self.tree.fork_children_index
+        self._max_uncles = config.max_uncles_per_block
+        self._uncle_distance = config.max_uncle_distance
+        self._uncles_enabled = self._max_uncles > 0 and self._uncle_distance > 0
         genesis_id = self.tree.genesis.block_id
         self.miners: list[_MinerState] = []
         for index, spec in enumerate(self.topology.miners):
@@ -145,8 +212,48 @@ class NetworkSimulator:
             else:
                 state = _HonestState(index, spec, genesis_id)
             self.miners.append(state)
-        self._cumulative_power = list(accumulate(spec.hash_power for spec in self.topology.miners))
-        self._miner_of_block: dict[int, int] = {}
+        self._cumulative_power = np.array(
+            list(accumulate(spec.hash_power for spec in self.topology.miners))
+        )
+        self._last_miner = len(self.miners) - 1
+        # Broadcast plan: per source, the destinations grouped by link latency
+        # model (group order = first occurrence in destination index order; the
+        # common shared-model topology collapses to a single group, so delay
+        # draws stay in destination order).  Each group caches the model's
+        # sample_batch (falling back to scalar sampling for third-party models
+        # without one) plus the destination indices and states.
+        self._broadcast_groups: list[list[tuple]] = []
+        zero_everywhere = True
+        for src in range(len(self.miners)):
+            grouped: dict[int, tuple] = {}
+            for dst in range(len(self.miners)):
+                if dst == src:
+                    continue
+                model = self.topology.link_model(src, dst)
+                if not _is_always_zero(model):
+                    zero_everywhere = False
+                entry = grouped.get(id(model))
+                if entry is None:
+                    batch = getattr(model, "sample_batch", None)
+                    grouped[id(model)] = (model, batch, [dst], [self.miners[dst]])
+                else:
+                    entry[2].append(dst)
+                    entry[3].append(self.miners[dst])
+            self._broadcast_groups.append(list(grouped.values()))
+        self._zero_latency = zero_everywhere
+        self._use_fast_path = zero_everywhere and not force_event_loop
+        # FIFO cascade of (block_id, src_index) broadcasts; non-None only while
+        # the zero-latency fast path is delivering synchronously.
+        self._pending: deque | None = None
+        # Pre-sampled mining draws (vectorised chunks, refilled on demand).  The
+        # interarrival and pick streams are chunked independently: a pick is
+        # consumed when a mine event fires, its interarrival one event earlier.
+        self._mine_times: list[float] = []
+        self._mine_times_pos = 0
+        self._mine_times_budget = config.num_blocks
+        self._mine_picks: list[int] = []
+        self._mine_picks_pos = 0
+        self._mine_picks_budget = config.num_blocks
         self._events_run = 0
         self.tie_wins = 0
         self.tie_losses = 0
@@ -154,16 +261,11 @@ class NetworkSimulator:
     # ------------------------------------------------------------------ public API
     def run(self) -> NetworkSimulationResult:
         """Mine ``config.num_blocks`` blocks, settle rewards, and return the result."""
-        self.queue.push(self._interarrival(), MineEvent())
-        while self.queue:
-            time, event = self.queue.pop()
-            if isinstance(event, MineEvent):
-                self._mine(time)
-                self._events_run += 1
-                if self._events_run < self.config.num_blocks:
-                    self.queue.push(time + self._interarrival(), MineEvent())
+        if self.config.num_blocks > 0:
+            if self._use_fast_path:
+                self._run_synchronous()
             else:
-                self._deliver(time, event.block_id, event.dst)
+                self._run_event_loop()
         self.finalise()
         settlement = self.settle()
         return self._build_result(settlement)
@@ -171,7 +273,7 @@ class NetworkSimulator:
     def finalise(self) -> None:
         """Publish whatever every pool still withholds (end-of-run cleanup)."""
         for miner in self.miners:
-            if isinstance(miner, _PoolState):
+            if miner.strategic:
                 for block_id in miner.branch[miner.published_count :]:
                     self.tree.publish(block_id)
                 miner.published_count = len(miner.branch)
@@ -192,35 +294,265 @@ class NetworkSimulator:
             skip_heights_below=self.config.warmup_blocks,
         )
 
-    # ------------------------------------------------------------------ randomness
-    def _interarrival(self) -> float:
-        """One draw of the network-wide time to the next block (exponential)."""
-        return -self.topology.block_interval * math.log(1.0 - self.rng.uniform())
+    # ------------------------------------------------------------------ event loops
+    def _run_synchronous(self) -> None:
+        """Zero-latency fast path: no heap, one shared honest view, FIFO cascades.
 
-    def _pick_miner(self) -> _MinerState:
-        """The finder of the next block, drawn from the hash-power distribution."""
-        draw = self.rng.uniform()
+        Every delivery lands in the same instant as its broadcast, so the heap
+        degenerates to "all of this instant's deliveries, in scheduling order,
+        before the next mine event" — a FIFO deque of broadcasts reproduces that
+        order exactly.  And because every honest miner receives every published
+        block instantly, all honest local views are *identical*: one shared
+        preferred tip (plus the live published set as the shared known-set)
+        replaces N per-miner views, making the honest fan-out O(1) per block
+        instead of O(N).  The only honest state that can diverge is the
+        preferred block after a same-instant equal-height match, where each
+        miner flips its own gamma coin — those few miners are carried in an
+        ``overrides`` dict until the next strictly-higher block re-converges
+        everyone.  Pools (whose reactions publish blocks) keep their exact
+        per-miner delivery processing.
+        """
+        tree = self.tree
+        by_id = self._blocks_by_id
+        published = tree.published_ids
+        miners = self.miners
+        pools = [miner for miner in miners if miner.strategic]
+        honest_indices = [miner.index for miner in miners if not miner.strategic]
+        for miner in miners:
+            if not miner.strategic:
+                # Shared live known-set: at zero latency "delivered to this
+                # honest miner" and "published" are the same predicate, so tie
+                # counting, uncle selection and block creation run against the
+                # tree's own published set.  Per-miner LocalViews are
+                # synthesised from it in the epilogue.
+                miner.known = published
+        genesis_id = tree.genesis.block_id
+        sync_pref_id = genesis_id
+        sync_height = 0
+        sync_since = 0.0
+        overrides: dict[int, int] = {}
+        gamma = self.config.params.gamma
+        uniform = self.rng.uniform
+        cascade: deque = deque()
+        cascade_pop = cascade.popleft
+        self._pending = cascade
+        count_tie = self._count_tie
+        create_block = self._create_block
+        pool_mines = self._pool_mines
+        pool_observes = self._pool_observes
+        overrides_get = overrides.get
+        pool_kind = MinerKind.POOL
+        times_buf: list[float] = []
+        times_pos = 0
+        picks_buf: list[int] = []
+        picks_pos = 0
+        time = 0.0
+        try:
+            for _ in range(self.config.num_blocks):
+                # Inline consumption of the pre-sampled chunks (the methods'
+                # call overhead is measurable at this call rate).
+                if times_pos >= len(times_buf):
+                    times_buf = self._refill_mine_times()
+                    times_pos = 0
+                time += times_buf[times_pos]
+                times_pos += 1
+                if picks_pos >= len(picks_buf):
+                    picks_buf = self._refill_mine_picks()
+                    picks_pos = 0
+                index = picks_buf[picks_pos]
+                picks_pos += 1
+                miner = miners[index]
+                if miner.strategic:
+                    pool_mines(miner, time)
+                else:
+                    parent_id = overrides_get(index, sync_pref_id) if overrides else sync_pref_id
+                    count_tie(miner, parent_id)
+                    block = create_block(miner, parent_id, published=True)
+                    # The miner adopts its own block; everyone else adopts it in
+                    # the same instant through the cascade below, so the shared
+                    # preference moves straight to the new tip.
+                    sync_pref_id = block.block_id
+                    sync_height = block.height
+                    sync_since = time
+                    if overrides:
+                        overrides.clear()
+                    cascade.append((sync_pref_id, index))
+                self._events_run += 1
+                while cascade:
+                    block_id, src = cascade_pop()
+                    block = by_id[block_id]
+                    height = block.height
+                    if height > sync_height:
+                        sync_pref_id = block_id
+                        sync_height = height
+                        sync_since = time
+                        if overrides:
+                            overrides.clear()
+                    elif height == sync_height and time == sync_since:
+                        # Same-instant equal-height match: each honest miner
+                        # flips its own gamma coin, exactly as per-miner
+                        # delivery processing would (in destination order).
+                        challenger_is_pool = block.miner is pool_kind
+                        for i in honest_indices:
+                            if i == src:
+                                continue
+                            pref = overrides_get(i, sync_pref_id)
+                            if pref == block_id:
+                                continue
+                            if (by_id[pref].miner is pool_kind) == challenger_is_pool:
+                                continue
+                            switch_probability = (
+                                gamma if challenger_is_pool else 1.0 - gamma
+                            )
+                            if uniform() < switch_probability:
+                                overrides[i] = block_id
+                    for pool in pools:
+                        # Inlined zero-latency delivery: in this regime a
+                        # published block's parent is always already known
+                        # (publication order is parent-first), so the general
+                        # out-of-order buffering in _deliver cannot trigger.
+                        if pool.index != src and block_id not in pool.known:
+                            pool.known.add(block_id)
+                            pool_observes(pool, block, time)
+        finally:
+            self._pending = None
+        # Epilogue: materialise the per-miner views the shared state stands for
+        # (diagnostics and the property suite read them).  An honest miner knows
+        # every id below the allocator except the still-unpublished pool
+        # privates; its preference is the shared tip modulo its override.
+        next_id = tree.next_block_id
+        unpublished = [block_id for block_id in by_id if block_id not in published]
+        for miner in miners:
+            if miner.strategic:
+                continue
+            miner.known = LocalView.from_state(next_id, unpublished)
+            miner.preferred_id = overrides.get(miner.index, sync_pref_id)
+            miner.preferred_height = sync_height
+            miner.preferred_since = sync_since
+
+    def _run_event_loop(self) -> None:
+        """General path: packed heap for mine events and deliveries to pools.
+
+        Deliveries to honest miners never touch the heap — they are appended to
+        the destination's inbox (with a reserved sequence number, so heap events
+        and inbox entries share one ``(time, seq)`` order) and drained just
+        before that miner mines.  Pools react to deliveries by publishing
+        blocks, so they stay on the eager heap path.
+        """
+        queue = self.queue
+        miners = self.miners
+        num_blocks = self.config.num_blocks
+        queue.push(self._next_mine_time(), MINE)
+        while queue:
+            time, seq, kind, block_id, dst = queue.pop()
+            if kind == MINE:
+                miner = miners[self._next_miner_pick()]
+                if miner.strategic:
+                    self._pool_mines(miner, time)
+                else:
+                    if miner.inbox:
+                        self._drain_inbox(miner, time, seq)
+                    self._honest_mines(miner, time)
+                self._events_run += 1
+                if self._events_run < num_blocks:
+                    queue.push(time + self._next_mine_time(), MINE)
+            else:
+                self._deliver(time, block_id, miners[dst])
+        # Close every local view over the deliveries still in flight, so final
+        # views match the fully-drained eager semantics (diagnostics and the
+        # property suite rely on prefix-consistent final views).  Nothing mines
+        # after this point, so the order across miners is immaterial; per miner
+        # the drain replays arrivals in (time, seq) order as always.
+        for miner in miners:
+            if miner.inbox:
+                self._drain_inbox(miner, inf, 0)
+
+    # ------------------------------------------------------------------ randomness
+    def _refill_mine_times(self) -> list[float]:
+        """Pre-sample the next chunk of interarrival times (exponential)."""
+        count = min(MINE_DRAW_CHUNK, self._mine_times_budget)
+        self._mine_times_budget -= count
+        uniforms = self.rng.uniform_array(count)
+        self._mine_times = (
+            -self.topology.block_interval * np.log(1.0 - uniforms)
+        ).tolist()
+        self._mine_times_pos = 0
+        return self._mine_times
+
+    def _refill_mine_picks(self) -> list[int]:
+        """Pre-sample the next chunk of finder indices (hash-power distribution)."""
+        count = min(MINE_DRAW_CHUNK, self._mine_picks_budget)
+        self._mine_picks_budget -= count
+        picks = np.searchsorted(
+            self._cumulative_power, self.rng.uniform_array(count), side="right"
+        )
         # Clamp for the (float-rounding) case of a draw at or above the last edge.
-        return self.miners[min(bisect_right(self._cumulative_power, draw), len(self.miners) - 1)]
+        np.minimum(picks, self._last_miner, out=picks)
+        self._mine_picks = picks.tolist()
+        self._mine_picks_pos = 0
+        return self._mine_picks
+
+    def _next_mine_time(self) -> float:
+        """One pre-sampled draw of the time to the next block."""
+        position = self._mine_times_pos
+        if position >= len(self._mine_times):
+            self._refill_mine_times()
+            position = 0
+        self._mine_times_pos = position + 1
+        return self._mine_times[position]
+
+    def _next_miner_pick(self) -> int:
+        """Pre-sampled index of the next block's finder."""
+        position = self._mine_picks_pos
+        if position >= len(self._mine_picks):
+            self._refill_mine_picks()
+            position = 0
+        self._mine_picks_pos = position + 1
+        return self._mine_picks[position]
 
     # ------------------------------------------------------------------ propagation
     def _broadcast(self, src: _MinerState, block_id: int, time: float) -> None:
         """Publish ``block_id`` and schedule one delivery per other miner."""
         self.tree.publish(block_id)
-        for dst in self.miners:
-            if dst.index == src.index:
-                continue
-            delay = self.topology.link_model(src.index, dst.index).sample(
-                src.index, dst.index, self.rng
-            )
-            self.queue.push(time + delay, DeliverEvent(block_id=block_id, dst=dst.index))
-
-    def _deliver(self, time: float, block_id: int, dst_index: int) -> None:
-        miner = self.miners[dst_index]
-        if block_id in miner.known:
+        pending = self._pending
+        if pending is not None:
+            # Zero-latency fast path: enqueue on the synchronous FIFO cascade.
+            pending.append((block_id, src.index))
             return
-        block = self.tree.block(block_id)
-        if block.parent_id not in miner.known:
+        queue = self.queue
+        for model, batch, dst_indices, dst_states in self._broadcast_groups[src.index]:
+            if batch is not None:
+                delays = batch(src.index, dst_indices, self.rng)
+            else:
+                delays = [model.sample(src.index, dst, self.rng) for dst in dst_indices]
+            for dst, dst_state, delay in zip(dst_indices, dst_states, delays):
+                if dst_state.strategic:
+                    queue.push(time + delay, DELIVER, block_id, dst)
+                else:
+                    dst_state.inbox.append((time + delay, queue.reserve_seq(), block_id))
+
+    def _drain_inbox(self, miner: _MinerState, cutoff_time: float, cutoff_seq: int) -> None:
+        """Process every inbox arrival strictly before ``(cutoff_time, cutoff_seq)``."""
+        inbox = miner.inbox
+        inbox.sort()
+        # 3-tuples compare against the 2-tuple cutoff per-element, so this splits
+        # at the first entry at or after the cutoff rank (seqs are unique, so no
+        # inbox entry ever equals the cutoff's (time, seq) prefix).
+        split = bisect_left(inbox, (cutoff_time, cutoff_seq))
+        if split == 0:
+            return
+        due = inbox[:split]
+        del inbox[:split]
+        deliver = self._deliver
+        for arrival, _seq, block_id in due:
+            deliver(arrival, block_id, miner)
+
+    def _deliver(self, time: float, block_id: int, miner: _MinerState) -> None:
+        known = miner.known
+        if block_id in known:
+            return
+        block = self._blocks_by_id[block_id]
+        if block.parent_id not in known:
             # Out-of-order arrival: hold the block until its parent is known.
             miner.waiting.setdefault(block.parent_id, []).append(block_id)
             return
@@ -230,14 +562,14 @@ class NetworkSimulator:
         while released:
             next_ids = []
             for held_id in released:
-                held = self.tree.block(held_id)
+                held = self._blocks_by_id[held_id]
                 self._receive(miner, held, time)
                 next_ids.extend(miner.waiting.pop(held_id, ()))
             released = next_ids
 
     def _receive(self, miner: _MinerState, block: Block, time: float) -> None:
         miner.known.add(block.block_id)
-        if isinstance(miner, _PoolState):
+        if miner.strategic:
             self._pool_observes(miner, block, time)
         else:
             self._honest_observes(miner, block, time)
@@ -257,7 +589,7 @@ class NetworkSimulator:
         # miner's hash power joins.
         if time != miner.preferred_since:
             return
-        incumbent_is_pool = self.tree.block(miner.preferred_id).miner.is_pool
+        incumbent_is_pool = self._blocks_by_id[miner.preferred_id].miner.is_pool
         challenger_is_pool = block.miner.is_pool
         if challenger_is_pool == incumbent_is_pool:
             return
@@ -278,8 +610,8 @@ class NetworkSimulator:
 
     def _count_tie(self, miner: _HonestState, parent_id: int) -> None:
         """Track whether this honest block settles an equal-height fork, and for whom."""
-        parent = self.tree.block(parent_id)
-        if parent.is_genesis:
+        parent = self._blocks_by_id[parent_id]
+        if parent.is_genesis or self.tree.count_at_height(parent.height) < 2:
             return
         competitors = [
             other
@@ -301,10 +633,15 @@ class NetworkSimulator:
         absorbed a prefix of it (the fork point moved up), mirroring the chain
         engine's bookkeeping.
         """
+        if pool.anchor_id == pool.public_tip_id:
+            # No competing public chain above the anchor (the state right after
+            # an adopt/override, until the next foreign block arrives): the fork
+            # point is the anchor itself and no trimming can be due.
+            return _RaceNumbers(len(pool.branch), 0, pool.published_count)
         tree = self.tree
         tip_id = pool.tip_id()
         fork = tree.fork_point(tip_id, pool.public_tip_id)
-        anchor_height = tree.block(pool.anchor_id).height
+        anchor_height = self._blocks_by_id[pool.anchor_id].height
         if fork.height > anchor_height:
             # The fork point moved up into the private branch: the agreed prefix
             # leaves the race and the anchor advances to the fork point.
@@ -321,12 +658,12 @@ class NetworkSimulator:
         foreign_prefix = anchor_height - fork.height  # published blocks below the anchor
         return _RaceNumbers(
             private_length=len(pool.branch) + foreign_prefix,
-            public_length=tree.block(pool.public_tip_id).height - fork.height,
+            public_length=self._blocks_by_id[pool.public_tip_id].height - fork.height,
             published_count=pool.published_count + foreign_prefix,
         )
 
     def _pool_observes(self, pool: _PoolState, block: Block, time: float) -> None:
-        if block.height <= self.tree.block(pool.public_tip_id).height:
+        if block.height <= self._blocks_by_id[pool.public_tip_id].height:
             return  # not a new best public chain: first-seen tip stands
         pool.public_tip_id = block.block_id
         race = self._race_numbers(pool)
@@ -369,43 +706,51 @@ class NetworkSimulator:
         pool.published_count = max(pool.published_count, upto)
 
     # ------------------------------------------------------------------ block creation
-    def _mine(self, time: float) -> None:
-        miner = self._pick_miner()
-        if isinstance(miner, _PoolState):
-            self._pool_mines(miner, time)
-        else:
-            self._honest_mines(miner, time)
+    def _select_uncles(self, miner: _MinerState, parent: Block) -> list[int]:
+        """Uncle references for a block mined on ``parent``, from the local view.
 
-    def _select_uncles(self, miner: _MinerState, parent_id: int) -> list[int]:
-        """Uncle references for a block mined on ``parent_id``, from the local view."""
-        if self.config.max_uncles_per_block == 0 or self.config.max_uncle_distance == 0:
+        The height-window scan over the tree's fork-children index is fused with
+        the local-view membership filter, so candidates outside the miner's view
+        are dropped without materialising an intermediate list; the survivors
+        already satisfy the window pre-filter, hence ``window_checked=True``.
+        """
+        if not self._uncles_enabled:
             return []
-        new_height = self.tree.block(parent_id).height + 1
-        candidates = [
-            candidate
-            for candidate in self.tree.uncle_candidates(
-                new_height - self.config.max_uncle_distance, new_height - 1
-            )
-            if candidate.block_id in miner.known
-        ]
+        new_height = parent.height + 1
+        fork_children = self._fork_children
+        by_id = self._blocks_by_id
+        known = miner.known
+        candidates: list[Block] = []
+        for height in range(max(new_height - self._uncle_distance, 1), new_height):
+            ids = fork_children.get(height)
+            if ids:
+                for block_id in ids:
+                    if block_id in known:
+                        candidates.append(by_id[block_id])
+        if not candidates:
+            return []
         chosen = eligible_uncles(
-            self.tree, parent_id, candidates, max_distance=self.config.max_uncle_distance
+            self.tree,
+            parent.block_id,
+            candidates,
+            max_distance=self._uncle_distance,
+            window_checked=True,
         )
-        return [block.block_id for block in chosen[: self.config.max_uncles_per_block]]
+        return [block.block_id for block in chosen[: self._max_uncles]]
 
     def _create_block(self, miner: _MinerState, parent_id: int, *, published: bool) -> Block:
+        parent = self._blocks_by_id[parent_id]
         kind = MinerKind.POOL if miner.spec.counts_as_pool else MinerKind.HONEST
         block = self.tree.add_block(
             parent_id,
             kind,
             miner_index=miner.index,
             created_at=self._events_run,
-            uncle_ids=self._select_uncles(miner, parent_id),
+            uncle_ids=self._select_uncles(miner, parent),
             published=published,
         )
         miner.known.add(block.block_id)
         miner.blocks_mined += 1
-        self._miner_of_block[block.block_id] = miner.index
         return block
 
     # ------------------------------------------------------------------ results

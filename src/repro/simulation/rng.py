@@ -271,7 +271,18 @@ class RandomSource:
         return np.concatenate(parts)
 
     def uniform_block(self, count: int) -> list[float]:
-        """``count`` uniform draws as plain Python floats (see :meth:`uniform_array`)."""
+        """``count`` uniform draws as plain Python floats (see :meth:`uniform_array`).
+
+        Small requests that fit inside the current buffered block are served as a
+        plain list slice — no numpy round-trip — which is what the network
+        simulator's per-broadcast latency batches hit almost every time.
+        """
+        if self._buffer_size > 1 and count > 0:
+            position = self._pos
+            end = position + count
+            if end <= len(self._doubles):
+                self._pos = end
+                return self._doubles[position:end]
         return self.uniform_array(count).tolist()
 
     # ------------------------------------------------------------------ derivation

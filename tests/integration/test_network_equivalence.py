@@ -78,3 +78,52 @@ class TestZeroLatencyEquivalence:
         measured = mean_effective_gamma(aggregate.results)
         assert measured.count == RUNS
         assert measured.mean == pytest.approx(0.5, abs=0.1)
+
+
+class TestFastPathEquivalence:
+    """The zero-latency fast path samples the same process as the general loop.
+
+    The synchronous fast path interleaves its batched mining draws differently
+    from the heap-driven loop, so individual runs are *not* bit-identical — but
+    both resolve every mine, publication, and tie identically given the same
+    draw values, so the revenue distribution must agree within statistical
+    error.  ``force_event_loop`` pins the general loop onto a zero-latency
+    topology for the comparison.
+    """
+
+    SEEDS = range(100, 108)
+    FAST_BLOCKS = 2_000
+
+    def _runs(self, *, force_event_loop: bool) -> list[float]:
+        from repro.network import NetworkSimulator
+
+        revenues = []
+        for seed in self.SEEDS:
+            config = SimulationConfig(
+                params=MiningParams(alpha=0.33, gamma=0.5),
+                num_blocks=self.FAST_BLOCKS,
+                seed=seed,
+                num_honest_miners=8,
+            )
+            simulator = NetworkSimulator(config, force_event_loop=force_event_loop)
+            revenues.append(simulator.run().relative_pool_revenue)
+        return revenues
+
+    def test_fast_path_matches_forced_event_loop_within_3_sigma(self):
+        fast = self._runs(force_event_loop=False)
+        general = self._runs(force_event_loop=True)
+        runs = len(fast)
+        mean_fast = sum(fast) / runs
+        mean_general = sum(general) / runs
+        var_fast = sum((r - mean_fast) ** 2 for r in fast) / (runs - 1)
+        var_general = sum((r - mean_general) ** 2 for r in general) / (runs - 1)
+        sigma = math.sqrt((var_fast + var_general) / runs)
+        assert abs(mean_fast - mean_general) <= 3.0 * sigma + 3e-3, (
+            f"fast path {mean_fast:.4f} vs general loop {mean_general:.4f} "
+            f"(sigma {sigma:.4f})"
+        )
+
+    def test_forced_event_loop_at_zero_latency_is_deterministic(self):
+        first = self._runs(force_event_loop=True)
+        second = self._runs(force_event_loop=True)
+        assert first == second

@@ -1,0 +1,165 @@
+"""Property-based invariants of the batched event core's data structures.
+
+The PR-6 event core swapped two hot representations without touching any
+simulator semantics, and these suites pin the "without touching" half:
+
+* the packed :class:`~repro.network.events.EventQueue` (int-coded
+  ``(time, seq, kind, block_id, dst)`` tuples on a heap) must pop random
+  schedules — including bursts of events at identical timestamps — in exactly
+  the order the previous object queue produced: by time, then by scheduling
+  order, with reserved sequence numbers slotting into the same total order;
+* the watermark-plus-exceptions :class:`~repro.network.views.LocalView` must
+  answer ``in``, ``len`` and iteration exactly like the ``set[int]`` it
+  replaced, under arbitrary interleavings of adds and membership probes and
+  across its internal compaction threshold.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.events import DELIVER, MINE, EventQueue
+from repro.network.views import LocalView
+
+# ---------------------------------------------------------------------------
+# EventQueue vs a reference object queue
+# ---------------------------------------------------------------------------
+
+#: Coarse timestamps so random schedules collide often (same-time bursts are
+#: exactly where packed tuple comparison could diverge from the object queue's
+#: explicit tie-break field).
+event_times = st.integers(min_value=0, max_value=5).map(lambda t: t / 2.0)
+
+scheduled_events = st.lists(
+    st.tuples(
+        event_times,
+        st.sampled_from([MINE, DELIVER]),
+        st.integers(min_value=0, max_value=50),  # block_id
+        st.integers(min_value=0, max_value=8),  # dst
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+class _ReferenceEvent:
+    """The pre-packing representation: one object per event, ordered explicitly."""
+
+    __slots__ = ("time", "order", "kind", "block_id", "dst")
+
+    def __init__(self, time, order, kind, block_id, dst):
+        self.time = time
+        self.order = order
+        self.kind = kind
+        self.block_id = block_id
+        self.dst = dst
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.order < other.order
+
+
+class TestPackedQueueMatchesObjectQueue:
+    @given(events=scheduled_events)
+    @settings(max_examples=200)
+    def test_pop_order_identical_on_random_schedules(self, events):
+        queue = EventQueue()
+        reference: list[_ReferenceEvent] = []
+        order = count()
+        for time, kind, block_id, dst in events:
+            queue.push(time, kind, block_id=block_id, dst=dst)
+            heapq.heappush(
+                reference, _ReferenceEvent(time, next(order), kind, block_id, dst)
+            )
+        while reference:
+            expected = heapq.heappop(reference)
+            time, _seq, kind, block_id, dst = queue.pop()
+            assert (time, kind, block_id, dst) == (
+                expected.time,
+                expected.kind,
+                expected.block_id,
+                expected.dst,
+            )
+        assert not queue
+
+    @given(events=scheduled_events, reservations=st.sets(st.integers(0, 59)))
+    @settings(max_examples=100)
+    def test_reservations_share_the_queue_total_order(self, events, reservations):
+        """Reserved seqs rank exactly where a push at that moment would have."""
+        queue = EventQueue()
+        ranks = []
+        for position, (time, kind, block_id, dst) in enumerate(events):
+            if position in reservations:
+                ranks.append((time, queue.reserve_seq()))
+            ranks.append((time, queue.push(time, kind, block_id=block_id, dst=dst)))
+        seqs = [seq for _, seq in ranks]
+        assert seqs == sorted(seqs)  # allocation order is the tie-break order
+        popped = [queue.pop() for _ in range(len(queue))]
+        heap_ranks = [(time, seq) for time, seq, *_ in popped]
+        assert heap_ranks == sorted(heap_ranks)
+
+
+# ---------------------------------------------------------------------------
+# LocalView vs a shadow set
+# ---------------------------------------------------------------------------
+
+#: Operation streams biased toward the sequential-id pattern the tree produces
+#: (ids mostly arrive in order, with occasional far-ahead arrivals and gaps that
+#: exercise the exception set and its compaction).
+view_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(min_value=0, max_value=400)),
+        st.tuples(st.just("probe"), st.integers(min_value=0, max_value=450)),
+    ),
+    min_size=0,
+    max_size=300,
+)
+
+
+class TestLocalViewMatchesSet:
+    @given(operations=view_operations, genesis_id=st.integers(0, 3))
+    @settings(max_examples=200)
+    def test_membership_identical_under_random_interleavings(
+        self, operations, genesis_id
+    ):
+        view = LocalView(genesis_id)
+        # A fresh view knows everything up to the genesis id (lower ids do not
+        # exist in a real run, where the genesis id is 0 and ids are sequential).
+        shadow = set(range(genesis_id + 1))
+        for op, block_id in operations:
+            if op == "add":
+                view.add(block_id)
+                shadow.add(block_id)
+            else:
+                assert (block_id in view) == (block_id in shadow)
+        probe_space = range(max(shadow) + 2)
+        assert {b for b in probe_space if b in view} == shadow
+        assert sorted(view) == sorted(shadow)
+        assert len(view) == len(shadow)
+
+    @given(extras=st.sets(st.integers(100, 1000), min_size=0, max_size=200))
+    @settings(max_examples=50)
+    def test_compaction_preserves_membership(self, extras):
+        """Far-ahead arrivals force compaction; answers must never change."""
+        view = LocalView(0)
+        shadow = {0}
+        for block_id in sorted(extras):
+            view.add(block_id)
+            shadow.add(block_id)
+            assert block_id in view
+        for block_id in range(1001):
+            assert (block_id in view) == (block_id in shadow)
+
+    @given(missing=st.sets(st.integers(0, 80)), watermark=st.integers(1, 100))
+    @settings(max_examples=100)
+    def test_from_state_equals_the_set_it_describes(self, missing, watermark):
+        missing = {block_id for block_id in missing if block_id < watermark}
+        view = LocalView.from_state(watermark, missing)
+        expected = set(range(watermark)) - missing
+        assert {b for b in range(watermark + 50) if b in view} == expected
+        assert sorted(view) == sorted(expected)

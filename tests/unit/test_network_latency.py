@@ -54,6 +54,48 @@ class TestModels:
         assert first == second
 
 
+class TestSampleBatch:
+    """``sample_batch`` must consume the raw stream exactly like scalar sampling.
+
+    The simulator's broadcast path draws one batch per publication; the
+    bit-reproducibility contract of the event core requires the batch to be
+    indistinguishable — value for value and raw-stream position for raw-stream
+    position — from the per-destination scalar loop it replaced.
+    """
+
+    DESTINATIONS = list(range(1, 9))
+
+    @pytest.mark.parametrize(
+        "model",
+        [ZeroLatency(), ConstantLatency(delay=0.25), ExponentialLatency(mean=0.4)],
+        ids=["zero", "constant", "exponential"],
+    )
+    def test_batch_is_bit_identical_to_sequential_scalar_draws(self, model):
+        scalar_rng = RandomSource(99)
+        batch_rng = RandomSource(99)
+        for _ in range(50):
+            scalar = [model.sample(0, dst, scalar_rng) for dst in self.DESTINATIONS]
+            batch = model.sample_batch(0, self.DESTINATIONS, batch_rng)
+            assert batch == scalar
+
+    def test_batch_leaves_the_stream_where_scalar_draws_would(self):
+        model = ExponentialLatency(mean=0.4)
+        scalar_rng = RandomSource(7)
+        batch_rng = RandomSource(7)
+        [model.sample(0, dst, scalar_rng) for dst in self.DESTINATIONS]
+        model.sample_batch(0, self.DESTINATIONS, batch_rng)
+        assert batch_rng.uniform() == scalar_rng.uniform()
+
+    def test_degenerate_exponential_batch_is_all_zero_and_draws_nothing(self):
+        rng = RandomSource(3)
+        before = rng.uniform()
+        rng = RandomSource(3)
+        assert ExponentialLatency(mean=0.0).sample_batch(0, self.DESTINATIONS, rng) == [
+            0.0
+        ] * len(self.DESTINATIONS)
+        assert rng.uniform() == before
+
+
 class TestRegistry:
     def test_available_models(self):
         assert set(available_latency_models()) >= {"zero", "constant", "exponential"}

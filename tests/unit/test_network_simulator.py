@@ -10,7 +10,7 @@ import pytest
 from repro.chain.block import MinerKind
 from repro.chain.validation import validate_tree
 from repro.network import NetworkSimulator, multi_pool_topology, single_pool_topology
-from repro.network.events import DeliverEvent, EventQueue, MineEvent
+from repro.network.events import DELIVER, MINE, EventQueue
 from repro.params import MiningParams
 from repro.simulation.config import SimulationConfig
 from repro.simulation.metrics import NetworkSimulationResult
@@ -45,20 +45,29 @@ def config(
 class TestEventQueue:
     def test_orders_by_time(self):
         queue = EventQueue()
-        queue.push(2.0, MineEvent())
-        queue.push(1.0, DeliverEvent(block_id=1, dst=0))
-        time, event = queue.pop()
-        assert time == 1.0 and isinstance(event, DeliverEvent)
+        queue.push(2.0, MINE)
+        queue.push(1.0, DELIVER, block_id=1, dst=0)
+        time, _seq, kind, block_id, dst = queue.pop()
+        assert time == 1.0 and kind == DELIVER and block_id == 1 and dst == 0
 
     def test_equal_times_pop_in_scheduling_order(self):
         queue = EventQueue()
-        first = DeliverEvent(block_id=1, dst=0)
-        second = DeliverEvent(block_id=2, dst=0)
-        queue.push(1.0, first)
-        queue.push(1.0, second)
-        assert queue.pop()[1] is first
-        assert queue.pop()[1] is second
+        first = queue.push(1.0, DELIVER, block_id=1, dst=0)
+        second = queue.push(1.0, DELIVER, block_id=2, dst=0)
+        assert first < second
+        assert queue.pop()[3] == 1
+        assert queue.pop()[3] == 2
         assert not queue
+
+    def test_reserved_seqs_interleave_with_pushed_events(self):
+        queue = EventQueue()
+        before = queue.push(1.0, MINE)
+        reserved = queue.reserve_seq()
+        after = queue.push(1.0, DELIVER, block_id=5, dst=2)
+        assert before < reserved < after
+        assert len(queue) == 2  # reservations never enter the heap
+        assert queue.pop()[1] == before
+        assert queue.pop()[1] == after
 
 
 class TestRunBasics:
