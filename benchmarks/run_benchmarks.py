@@ -1,12 +1,17 @@
 #!/usr/bin/env python
 """Run the engine benchmark suite and write a machine-readable timing record.
 
-The driver invokes the pytest-benchmark suite (engines, network, MDP solver and
-sweep-engine files by default), extracts per-benchmark timings, derives
-blocks-per-second figures for the simulator benchmarks, and writes everything to
-``BENCH_PR6.json`` at the repository root so the performance trajectory is
-tracked in-repo (``BENCH_PR2.json`` and ``BENCH_PR5.json`` hold the earlier-era
-records).
+The driver invokes the pytest-benchmark suite (engines, network, MDP solver,
+sweep-engine and resilient-dispatcher files by default), extracts per-benchmark
+timings, derives blocks-per-second figures for the simulator benchmarks, and
+writes everything to ``BENCH_PR7.json`` at the repository root so the
+performance trajectory is tracked in-repo (``BENCH_PR2.json``,
+``BENCH_PR5.json`` and ``BENCH_PR6.json`` hold the earlier-era records).
+
+The PR 7 record additionally pairs the resilient-dispatcher benchmarks with
+their pre-PR 7 replicas (a bare ``ProcessPoolExecutor.map`` and a plain serial
+loop) into ``overhead_vs_pool_map`` / ``overhead_vs_serial_loop`` ratios — the
+wall-clock tax of the fault-tolerance machinery on a healthy workload.
 
 Every record is stamped with its provenance — the git commit it measured, the
 interpreter and machine it ran on, and the contents of the four component
@@ -41,13 +46,13 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR6.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
 #: Default pytest selection: the engine suite plus the network-backend, MDP
-#: solver and sweep-engine suites (whitespace-separated; each token is passed to
-#: pytest as its own argument).
+#: solver, sweep-engine and resilient-dispatcher suites (whitespace-separated;
+#: each token is passed to pytest as its own argument).
 DEFAULT_SELECT = (
     "benchmarks/bench_engines.py benchmarks/bench_network.py benchmarks/bench_mdp.py "
-    "benchmarks/bench_sweep.py"
+    "benchmarks/bench_sweep.py benchmarks/bench_resilient.py"
 )
 
 #: Full-scale timings measured immediately before the PR 2 optimisations landed
@@ -76,6 +81,36 @@ PR5_BASELINES_S = {
     "test_chain_simulator_benchmark": 0.4357,
     "test_markov_monte_carlo_benchmark": 0.0192,
 }
+
+#: Full-scale timings from the committed ``BENCH_PR6.json`` (the record made
+#: immediately before the PR 7 resilient dispatcher landed), so the sweep and
+#: simulator benchmarks carry their position relative to the previous era next
+#: to the absolute numbers.  The sweep benchmarks are the ones the dispatcher
+#: rewrite actually touches; the two engine benchmarks are carried as control
+#: measurements (the engines themselves did not change in PR 7).  Only
+#: meaningful at scale 1.0.
+PR6_BASELINES_S = {
+    "test_sweep_cold_cache_benchmark": 0.1353,
+    "test_sweep_warm_cache_benchmark": 0.0039,
+    "test_markov_monte_carlo_benchmark": 0.0220,
+    "test_chain_simulator_benchmark": 0.3547,
+}
+
+#: Pairs of (measured benchmark, its no-machinery replica) whose mean ratio is
+#: recorded as a named overhead field on the *measured* record.  This is the
+#: PR 7 "dispatcher overhead vs old pool.map" number.
+OVERHEAD_PAIRS = (
+    (
+        "test_resilient_pool_dispatch_benchmark",
+        "test_legacy_pool_map_benchmark",
+        "overhead_vs_pool_map",
+    ),
+    (
+        "test_resilient_serial_dispatch_benchmark",
+        "test_serial_loop_baseline_benchmark",
+        "overhead_vs_serial_loop",
+    ),
+)
 
 SMOKE_SCALE = 0.05
 
@@ -189,8 +224,25 @@ def summarise(payload: dict, scale: float) -> list[dict]:
             if pr5_baseline is not None:
                 record["pr5_baseline_s"] = pr5_baseline
                 record["speedup_vs_pr5"] = pr5_baseline / stats["mean"]
+            pr6_baseline = PR6_BASELINES_S.get(bench["name"])
+            if pr6_baseline is not None:
+                record["pr6_baseline_s"] = pr6_baseline
+                record["speedup_vs_pr6"] = pr6_baseline / stats["mean"]
         records.append(record)
+    attach_overhead_ratios(records)
     return records
+
+
+def attach_overhead_ratios(records: list[dict]) -> None:
+    """Pair dispatcher benchmarks with their replicas into overhead ratios."""
+    by_name = {record["name"]: record for record in records}
+    for measured_name, replica_name, field in OVERHEAD_PAIRS:
+        measured = by_name.get(measured_name)
+        replica = by_name.get(replica_name)
+        if measured is None or replica is None:
+            continue
+        measured["replica_s"] = replica["mean_s"]
+        measured[field] = measured["mean_s"] / replica["mean_s"]
 
 
 def check_vectorised_beats_scalar(records: list[dict]) -> None:
@@ -230,6 +282,31 @@ def check_fast_path_beats_event_loop(records: list[dict]) -> None:
     )
 
 
+def check_dispatcher_overhead(records: list[dict]) -> None:
+    """Assert the resilient dispatcher's pool path stays near the bare pool.
+
+    The bound is deliberately loose (3x): the point is to catch an accidental
+    serialisation of the pool path or a per-task sleep creeping in, not to
+    pin scheduler jitter on shared CI runners.
+    """
+    by_name = {record["name"]: record for record in records}
+    measured = by_name.get("test_resilient_pool_dispatch_benchmark")
+    if measured is None or "overhead_vs_pool_map" not in measured:
+        raise SystemExit(
+            "--check needs the resilient-dispatcher and legacy pool.map benchmarks"
+        )
+    ratio = measured["overhead_vs_pool_map"]
+    if ratio >= 3.0:
+        raise SystemExit(
+            "resilient dispatcher costs too much over a bare pool.map: "
+            f"{measured['mean_s']:.4f}s vs {measured['replica_s']:.4f}s ({ratio:.2f}x)"
+        )
+    print(
+        f"check OK: resilient pool dispatch {measured['mean_s']:.4f}s vs bare "
+        f"pool.map {measured['replica_s']:.4f}s ({ratio:.2f}x overhead)"
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
@@ -243,8 +320,9 @@ def main(argv: list[str] | None = None) -> None:
         "--check",
         action="store_true",
         help=(
-            "assert the compiled-table Markov backend beats the scalar path and "
-            "the zero-latency fast path beats the general event loop"
+            "assert the compiled-table Markov backend beats the scalar path, "
+            "the zero-latency fast path beats the general event loop, and the "
+            "resilient dispatcher stays near a bare pool.map"
         ),
     )
     args = parser.parse_args(argv)
@@ -274,6 +352,7 @@ def main(argv: list[str] | None = None) -> None:
     if args.check:
         check_vectorised_beats_scalar(records)
         check_fast_path_beats_event_loop(records)
+        check_dispatcher_overhead(records)
 
 
 if __name__ == "__main__":

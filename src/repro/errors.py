@@ -47,3 +47,31 @@ class SimulationError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment driver could not produce its artifact."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A fanned-out execution task could not be completed.
+
+    Base class of everything the resilient dispatcher
+    (:mod:`repro.utils.resilient`) and the result store's cross-process lease
+    protocol can raise.  Task *attempt* failures carry one of the specific
+    subclasses below; when the retry budget runs out the dispatcher raises (or
+    records) a :class:`RetryExhaustedError` whose cause is the last attempt's
+    typed error.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A pool worker process died (segfault, OOM kill, ...) while running a task."""
+
+
+class RunTimeoutError(ExecutionError):
+    """A task exceeded its per-run wall-clock timeout and its worker was killed."""
+
+
+class RetryExhaustedError(ExecutionError):
+    """A task kept failing after its full retry budget was spent."""
+
+
+class StoreLeaseError(ExecutionError):
+    """The result store's cross-process lease protocol hit an unusable state."""

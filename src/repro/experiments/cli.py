@@ -22,7 +22,14 @@ sub-commands share one set of flags (:class:`ExperimentOptions`):
   its own backend);
 * ``--cache-dir`` points the persistent result store at a directory: the
   simulation-backed drivers then execute only the runs missing from the cache
-  (a warm re-run of a figure does zero simulation work).
+  (a warm re-run of a figure does zero simulation work);
+* ``--timeout`` / ``--retries`` / ``--fail-fast`` tune the resilient executor
+  behind every fan-out: a crashed, hung or failing run is retried with
+  deterministic backoff, bit-identically, up to the retry budget.  Without
+  ``--fail-fast`` the ``sweep`` sub-command degrades gracefully — runs that
+  exhaust their budget mark their cell *failed*, everything else completes and
+  persists, and ``--resume`` retries exactly the failures.  The drivers (which
+  need every cell for their reports) always fail loudly on an exhausted budget.
 
 The ``sweep`` sub-command runs an arbitrary scenario file (JSON or TOML; see
 :mod:`repro.scenarios`) end-to-end through the shared sweep engine.  Its extra
@@ -58,6 +65,7 @@ from .table2 import run_table2
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..store import ResultStore
+    from ..utils.resilient import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -68,6 +76,9 @@ class ExperimentOptions:
     workers: int | None = None
     backend: str = "chain"
     cache_dir: Path | None = None
+    timeout: float | None = None
+    retries: int | None = None
+    fail_fast: bool = False
 
     def store(self) -> "ResultStore | None":
         """The result store behind ``--cache-dir`` (``None`` when not given)."""
@@ -76,6 +87,22 @@ class ExperimentOptions:
         from ..store import ResultStore
 
         return ResultStore(self.cache_dir)
+
+    def resilience(self) -> "RetryPolicy | None":
+        """The retry policy behind ``--timeout``/``--retries``/``--fail-fast``.
+
+        ``None`` when every knob is at its default, so the executors use the
+        package-wide :data:`~repro.utils.resilient.DEFAULT_POLICY`.
+        """
+        if self.timeout is None and self.retries is None and not self.fail_fast:
+            return None
+        from ..utils.resilient import DEFAULT_POLICY, RetryPolicy
+
+        return RetryPolicy(
+            timeout=self.timeout,
+            retries=DEFAULT_POLICY.retries if self.retries is None else self.retries,
+            fail_fast=self.fail_fast,
+        )
 
 
 #: Mapping of sub-command name to a callable producing the report text.  Every
@@ -88,6 +115,7 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
         max_workers=options.workers,
         simulation_backend=options.backend,
         store=options.store(),
+        resilience=options.resilience(),
     ).report(),
     "figure9": lambda options: run_figure9(
         fast=options.fast,
@@ -95,9 +123,10 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
         max_workers=options.workers,
         simulation_backend=options.backend,
         store=options.store(),
+        resilience=options.resilience(),
     ).report(),
     "figure10": lambda options: run_figure10(
-        fast=options.fast, max_workers=options.workers
+        fast=options.fast, max_workers=options.workers, resilience=options.resilience()
     ).report(),
     "table1": lambda options: run_table1().report(),
     "table2": lambda options: run_table2(
@@ -106,18 +135,23 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
         max_workers=options.workers,
         simulation_backend=options.backend,
         store=options.store(),
+        resilience=options.resilience(),
     ).report(),
     "discussion": lambda options: run_discussion(
-        fast=options.fast, max_workers=options.workers
+        fast=options.fast, max_workers=options.workers, resilience=options.resilience()
     ).report(),
     "strategies": lambda options: run_strategy_comparison(
         fast=options.fast,
         max_workers=options.workers,
         simulation_backend=options.backend,
         store=options.store(),
+        resilience=options.resilience(),
     ).report(),
     "network": lambda options: run_network(
-        fast=options.fast, max_workers=options.workers, store=options.store()
+        fast=options.fast,
+        max_workers=options.workers,
+        store=options.store(),
+        resilience=options.resilience(),
     ).report(),
     "optimal": lambda options: run_optimal(
         fast=options.fast,
@@ -127,6 +161,7 @@ _EXPERIMENTS: dict[str, Callable[[ExperimentOptions], str]] = {
         include_catalogue=options.backend != "markov",
         simulation_backend=options.backend,
         store=options.store(),
+        resilience=options.resilience(),
     ).report(),
 }
 
@@ -202,6 +237,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="sweep only: stop after N grid cells (the rest stay pending for --resume)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-run wall-clock budget: a run past it has its worker killed and "
+            "is retried (forces a worker process even for serial invocations)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "how many times a crashed/hung/failed run is re-attempted with "
+            "deterministic backoff before giving up (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help=(
+            "abort on the first run that exhausts its retry budget instead of "
+            "completing the rest (sweep otherwise degrades to failed cells)"
+        ),
+    )
     return parser
 
 
@@ -212,6 +275,20 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"retry count must be non-negative, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"timeout must be positive, got {value}")
+    return value
+
+
 def run_experiment(
     name: str,
     *,
@@ -219,6 +296,9 @@ def run_experiment(
     workers: int | None = None,
     backend: str = "chain",
     cache_dir: Path | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    fail_fast: bool = False,
 ) -> str:
     """Run one named experiment and return its report text.
 
@@ -226,7 +306,15 @@ def run_experiment(
     available experiments (the CLI parser already rejects them; this guards the
     programmatic entry point).
     """
-    options = ExperimentOptions(fast=fast, workers=workers, backend=backend, cache_dir=cache_dir)
+    options = ExperimentOptions(
+        fast=fast,
+        workers=workers,
+        backend=backend,
+        cache_dir=cache_dir,
+        timeout=timeout,
+        retries=retries,
+        fail_fast=fail_fast,
+    )
     try:
         experiment = _EXPERIMENTS[name]
     except KeyError:
@@ -243,6 +331,9 @@ def run_sweep(
     cache_dir: Path | None = None,
     resume: bool = False,
     max_cells: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    fail_fast: bool = False,
 ) -> str:
     """Run one scenario file through the sweep engine and return its report.
 
@@ -250,6 +341,12 @@ def run_sweep(
     cells of the interrupted sweep live); a plain invocation with a cache dir
     still reuses whatever the store already holds — ``--resume`` makes the
     intent explicit and fails loudly when the directory is missing.
+
+    Unless ``fail_fast`` is set, the sweep runs in the engine's degraded mode:
+    a run that exhausts its retry budget marks its cell *failed* in the report
+    (exit stays 0 so the settled cells' output is not thrown away), nothing
+    about the failure is persisted, and a ``--resume`` retries exactly the
+    failed runs.
     """
     from ..scenarios import ScenarioSpec, run_scenario
 
@@ -265,9 +362,20 @@ def run_sweep(
                 f"--resume expects an existing cache directory, {str(cache_dir)!r} is missing"
             )
     spec = ScenarioSpec.from_file(scenario_path)
-    options = ExperimentOptions(workers=workers, cache_dir=cache_dir)
+    options = ExperimentOptions(
+        workers=workers,
+        cache_dir=cache_dir,
+        timeout=timeout,
+        retries=retries,
+        fail_fast=fail_fast,
+    )
     result = run_scenario(
-        spec, store=options.store(), max_workers=workers, max_cells=max_cells
+        spec,
+        store=options.store(),
+        max_workers=workers,
+        max_cells=max_cells,
+        policy=options.resilience(),
+        on_failure="raise" if fail_fast else "record",
     )
     return result.report()
 
@@ -304,6 +412,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             cache_dir=arguments.cache_dir,
             resume=arguments.resume,
             max_cells=arguments.max_cells,
+            timeout=arguments.timeout,
+            retries=arguments.retries,
+            fail_fast=arguments.fail_fast,
         )
         print(f"==== sweep ({time.time() - started:.1f}s) ====")
         print(report)
@@ -317,6 +428,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             workers=arguments.workers,
             backend=arguments.backend,
             cache_dir=arguments.cache_dir,
+            timeout=arguments.timeout,
+            retries=arguments.retries,
+            fail_fast=arguments.fail_fast,
         )
         elapsed = time.time() - started
         print(f"==== {name} ({elapsed:.1f}s) ====")

@@ -11,6 +11,7 @@ reward designs can be evaluated the same way).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..analysis.absolute import Scenario
 from ..analysis.revenue import RevenueModel
@@ -18,6 +19,9 @@ from ..analysis.threshold import ThresholdResult, profitable_threshold
 from ..rewards.schedule import EthereumByzantiumSchedule, FlatUncleSchedule, RewardSchedule
 from ..utils.parallel import parallel_map
 from ..utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..utils.resilient import RetryPolicy
 
 
 def _solve_threshold(task: tuple[float, RewardSchedule, Scenario, int]) -> ThresholdResult:
@@ -86,6 +90,7 @@ def run_discussion(
     max_lead: int = 40,
     max_workers: int | None = None,
     fast: bool = False,
+    resilience: "RetryPolicy | None" = None,
 ) -> DiscussionResult:
     """Recompute the Section VI threshold comparison.
 
@@ -105,7 +110,7 @@ def run_discussion(
         (gamma, proposed_schedule, Scenario.REGULAR_ONLY, max_lead),
         (gamma, proposed_schedule, Scenario.REGULAR_PLUS_UNCLE, max_lead),
     ]
-    solved = parallel_map(_solve_threshold, tasks, max_workers)
+    solved = parallel_map(_solve_threshold, tasks, max_workers, policy=resilience)
     return DiscussionResult(
         gamma=gamma,
         current_scenario1=solved[0],

@@ -16,7 +16,7 @@ All three thresholds shrink as ``gamma`` grows and vanish at ``gamma = 1``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..analysis.absolute import Scenario
 from ..analysis.bitcoin import bitcoin_threshold
@@ -26,6 +26,9 @@ from ..rewards.schedule import EthereumByzantiumSchedule, RewardSchedule
 from ..utils.grids import inclusive_range
 from ..utils.parallel import parallel_map
 from ..utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..utils.resilient import RetryPolicy
 
 
 def _solve_thresholds(
@@ -119,6 +122,7 @@ def run_figure10(
     max_lead: int = 40,
     max_workers: int | None = None,
     fast: bool = False,
+    resilience: "RetryPolicy | None" = None,
 ) -> Figure10Result:
     """Reproduce Fig. 10 by solving for the threshold at every ``gamma``.
 
@@ -145,7 +149,7 @@ def run_figure10(
         max_lead = min(max_lead, 30)
 
     tasks = [(gamma, schedule, max_lead) for gamma in gammas]
-    solved = parallel_map(_solve_thresholds, tasks, max_workers)
+    solved = parallel_map(_solve_thresholds, tasks, max_workers, policy=resilience)
 
     points = [
         Figure10Point(

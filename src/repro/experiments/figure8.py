@@ -27,6 +27,7 @@ from ..utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..store import ResultStore
+    from ..utils.resilient import RetryPolicy
 
 #: The uncle reward used in Fig. 8 (``Ku = 4/8 * Ks``).
 FIGURE8_UNCLE_FRACTION = 0.5
@@ -132,6 +133,7 @@ def run_figure8(
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
     fast: bool = False,
+    resilience: "RetryPolicy | None" = None,
 ) -> Figure8Result:
     """Reproduce Fig. 8.
 
@@ -191,7 +193,9 @@ def run_figure8(
             simulation_backend=simulation_backend,
             seed=seed,
         )
-        sweep = run_scenario(spec, store=store, max_workers=max_workers)
+        sweep = run_scenario(
+            spec, store=store, max_workers=max_workers, policy=resilience
+        )
         simulation = SimulatedAlphaSweep.from_scenario(sweep, gamma)
 
     return Figure8Result(

@@ -28,6 +28,7 @@ from ..utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..store import ResultStore
+    from ..utils.resilient import RetryPolicy
 
 #: The flat uncle-reward fractions swept by the figure, keyed by their legend label.
 FIGURE9_FLAT_FRACTIONS: dict[str, float] = {"Ku=2/8": 2 / 8, "Ku=4/8": 4 / 8, "Ku=7/8": 7 / 8}
@@ -154,6 +155,7 @@ def run_figure9(
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
     fast: bool = False,
+    resilience: "RetryPolicy | None" = None,
 ) -> Figure9Result:
     """Reproduce Fig. 9 from the analytical model.
 
@@ -185,7 +187,9 @@ def run_figure9(
             simulation_backend=simulation_backend,
             seed=seed,
         )
-        sweep = run_scenario(spec, store=store, max_workers=max_workers)
+        sweep = run_scenario(
+            spec, store=store, max_workers=max_workers, policy=resilience
+        )
         simulation = SimulatedAlphaSweep.from_scenario(sweep, gamma)
 
     return Figure9Result(

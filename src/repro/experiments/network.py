@@ -33,6 +33,7 @@ from ..utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..store import ResultStore
+    from ..utils.resilient import RetryPolicy
 
 #: Mean message delays swept by default, as fractions of the block interval.
 DEFAULT_LATENCY_MEANS = (0.0, 0.05, 0.1, 0.2, 0.4, 0.8)
@@ -246,6 +247,7 @@ def run_network(
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
     fast: bool = False,
+    resilience: "RetryPolicy | None" = None,
 ) -> NetworkExperimentResult:
     """Run the latency sweep and the two-pool grid on the network backend.
 
@@ -294,7 +296,9 @@ def run_network(
         simulation_runs=simulation_runs,
         seed=seed,
     )
-    sweeps = run_scenarios(specs, store=store, max_workers=max_workers)
+    sweeps = run_scenarios(
+        specs, store=store, max_workers=max_workers, policy=resilience
+    )
     if latency_means:
         latency_aggregates = list(sweeps[0].aggregates())
         two_pool_sweeps = sweeps[1:]

@@ -41,6 +41,7 @@ from ..utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..store import ResultStore
+    from ..utils.resilient import RetryPolicy
 
 #: Tie-breaking values swept by the full frontier (the paper's bracketing pair
 #: plus the symmetric middle).
@@ -235,6 +236,7 @@ def run_optimal(
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
     fast: bool = False,
+    resilience: "RetryPolicy | None" = None,
 ) -> OptimalFrontierResult:
     """Solve the optimal-strategy frontier and (optionally) back it with simulation.
 
@@ -328,6 +330,7 @@ def run_optimal(
             ),
             store=store,
             max_workers=max_workers,
+            policy=resilience,
         )
         grid_aggregates = sweep.aggregates()
         per_strategy = {

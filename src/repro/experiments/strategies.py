@@ -31,6 +31,7 @@ from ..utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..store import ResultStore
+    from ..utils.resilient import RetryPolicy
 
 #: Strategies compared by default: the protocol baseline, the paper's Algorithm 1,
 #: and the two single-deviation stubborn variants.
@@ -142,6 +143,7 @@ def run_strategy_comparison(
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
     fast: bool = False,
+    resilience: "RetryPolicy | None" = None,
 ) -> StrategyComparisonResult:
     """Sweep relative revenue across mining strategies (Fig-8-style overlay).
 
@@ -203,6 +205,7 @@ def run_strategy_comparison(
         ),
         store=store,
         max_workers=max_workers,
+        policy=resilience,
     )
     grid_aggregates = sweep.aggregates()
     aggregates: dict[str, tuple[AggregatedResult, ...]] = {

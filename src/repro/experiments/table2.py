@@ -25,6 +25,7 @@ from ..utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..store import ResultStore
+    from ..utils.resilient import RetryPolicy
 
 #: Pool sizes tabulated by the paper.
 TABLE2_ALPHAS = (0.3, 0.45)
@@ -116,6 +117,7 @@ def run_table2(
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
     fast: bool = False,
+    resilience: "RetryPolicy | None" = None,
 ) -> Table2Result:
     """Reproduce Table II.
 
@@ -142,6 +144,7 @@ def run_table2(
             ),
             store=store,
             max_workers=max_workers,
+            policy=resilience,
         )
         aggregates = sweep.aggregates()
 

@@ -19,6 +19,13 @@ with a store this is what makes sweeps interruptible and resumable: a killed or
 capped sweep leaves its settled runs on disk, and the next invocation executes
 only what is still missing — the ``sweep`` CLI's ``--resume`` path.
 
+Execution is resilient (``policy``): worker crashes, hangs and transient
+failures are retried with deterministic backoff, and a run that exhausts its
+budget either aborts the sweep (``on_failure="raise"``, the default) or —
+``on_failure="record"``, the CLI's degraded mode — marks its cell *failed*
+without touching the others.  Failed runs are never persisted, so a later
+``--resume`` re-executes exactly the failures.
+
 When a store is configured, the MDP policy cache is pointed at it too
 (:func:`repro.mdp.solver.set_policy_store`), so scenarios sweeping the
 ``optimal`` strategy persist their per-point solves alongside the runs.
@@ -30,7 +37,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from ..simulation.metrics import AggregatedResult, aggregate_results
-from ..simulation.runner import execute_runs
+from ..simulation.runner import RunFailure, execute_runs
+from ..utils.resilient import RetryPolicy
 from ..utils.tables import Table
 from .spec import PlannedRun, ScenarioCell, ScenarioSpec
 
@@ -40,17 +48,32 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 
 @dataclass(frozen=True)
 class CellOutcome:
-    """One executed (or skipped) scenario cell with its aggregate and cache stats."""
+    """One executed (or skipped, or failed) scenario cell with its work accounting.
+
+    Exactly one of three states: *settled* (``aggregate`` present), *skipped*
+    (beyond the ``max_cells`` cap — never attempted), or *failed* (attempted,
+    but at least one of its runs exhausted the retry budget; the
+    :class:`~repro.simulation.runner.RunFailure` records are in ``failures``).
+    A failed cell has no aggregate — partial statistics would silently change
+    the cell's meaning — but its settled sibling runs are already persisted,
+    so resuming re-executes only the failures.
+    """
 
     cell: ScenarioCell
     aggregate: AggregatedResult | None
     executed_runs: int
     cached_runs: int
+    failures: tuple[RunFailure, ...] = ()
 
     @property
     def skipped(self) -> bool:
         """True when the cell was beyond this invocation's ``max_cells`` cap."""
-        return self.aggregate is None
+        return self.aggregate is None and not self.failures
+
+    @property
+    def failed(self) -> bool:
+        """True when at least one of the cell's runs exhausted its retry budget."""
+        return bool(self.failures)
 
 
 @dataclass(frozen=True)
@@ -76,18 +99,34 @@ class ScenarioRunResult:
         return sum(1 for outcome in self.cells if outcome.skipped)
 
     @property
+    def failed_cells(self) -> int:
+        """Cells with at least one run that exhausted its retry budget."""
+        return sum(1 for outcome in self.cells if outcome.failed)
+
+    @property
+    def failed_runs(self) -> int:
+        """Individual runs that exhausted their retry budget, across all cells."""
+        return sum(len(outcome.failures) for outcome in self.cells)
+
+    @property
     def complete(self) -> bool:
         """True when every cell of the scenario has an aggregate."""
-        return self.skipped_cells == 0
+        return self.skipped_cells == 0 and self.failed_cells == 0
 
     def aggregates(self) -> tuple[AggregatedResult, ...]:
         """The per-cell aggregates in cell order (requires a complete sweep)."""
-        missing = self.skipped_cells
-        if missing:
+        pending = self.skipped_cells
+        failed = self.failed_cells
+        if pending or failed:
             from ..errors import ExperimentError
 
+            parts = []
+            if pending:
+                parts.append(f"{pending} cells still pending")
+            if failed:
+                parts.append(f"{failed} cells failed ({self.failed_runs} runs)")
             raise ExperimentError(
-                f"scenario {self.spec.name!r} is incomplete: {missing} cells still pending "
+                f"scenario {self.spec.name!r} is incomplete: {', '.join(parts)} "
                 "(re-run with --resume, or without max_cells)"
             )
         return tuple(outcome.aggregate for outcome in self.cells)  # type: ignore[misc]
@@ -114,6 +153,8 @@ class ScenarioRunResult:
             cell = outcome.cell
             if outcome.skipped:
                 revenue, spread, runs = "-", "-", "pending"
+            elif outcome.failed:
+                revenue, spread, runs = "-", "-", f"failed ({len(outcome.failures)})"
             else:
                 stats = outcome.aggregate.relative_pool_revenue
                 revenue, spread, runs = stats.mean, stats.std, stats.count
@@ -128,10 +169,19 @@ class ScenarioRunResult:
                 spread,
             )
         lines = [self.spec.describe(), table.render()]
-        lines.append(
+        summary = (
             f"{self.executed_runs} runs executed, {self.cached_runs} from cache, "
             f"{self.skipped_cells} cells pending."
         )
+        if self.failed_runs:
+            summary += (
+                f" {self.failed_runs} runs in {self.failed_cells} cells FAILED"
+                " (not persisted; re-run with --resume to retry them):"
+            )
+        lines.append(summary)
+        for outcome in self.cells:
+            for failure in outcome.failures:
+                lines.append(f"  cell {outcome.cell.index}: {failure.error()}")
         return "\n".join(lines)
 
 
@@ -141,13 +191,19 @@ def run_scenarios(
     store: "ResultStore | None" = None,
     max_workers: int | None = None,
     max_cells: int | None = None,
+    policy: RetryPolicy | None = None,
+    on_failure: str = "raise",
 ) -> list[ScenarioRunResult]:
     """Execute several scenarios through one shared pool and one store.
 
     All specs' missing runs are dispatched together (one process pool keeps
     every worker busy across scenario boundaries), and results come back
     grouped per spec, per cell, in expansion order.  ``max_cells`` caps the
-    cells attempted across all specs combined, in plan order.
+    cells attempted across all specs combined, in plan order.  ``policy``
+    tunes the resilient dispatch (per-run timeout, retries, backoff,
+    fail-fast); ``on_failure="record"`` degrades a run that exhausts its
+    budget into a *failed* cell instead of raising
+    :class:`~repro.errors.RetryExhaustedError`.
     """
     if max_cells is not None and max_cells < 0:
         from ..errors import ExperimentError
@@ -164,11 +220,23 @@ def run_scenarios(
         set_policy_store(store)
         try:
             return _run_scenarios(
-                specs, store=store, max_workers=max_workers, max_cells=max_cells
+                specs,
+                store=store,
+                max_workers=max_workers,
+                max_cells=max_cells,
+                policy=policy,
+                on_failure=on_failure,
             )
         finally:
             set_policy_store(previous_policy_store)
-    return _run_scenarios(specs, store=store, max_workers=max_workers, max_cells=max_cells)
+    return _run_scenarios(
+        specs,
+        store=store,
+        max_workers=max_workers,
+        max_cells=max_cells,
+        policy=policy,
+        on_failure=on_failure,
+    )
 
 
 def _run_scenarios(
@@ -177,6 +245,8 @@ def _run_scenarios(
     store: "ResultStore | None",
     max_workers: int | None,
     max_cells: int | None,
+    policy: RetryPolicy | None = None,
+    on_failure: str = "raise",
 ) -> list[ScenarioRunResult]:
     budget = max_cells
     spec_cells: list[tuple[ScenarioSpec, tuple[ScenarioCell, ...], list[ScenarioCell]]] = []
@@ -194,7 +264,13 @@ def _run_scenarios(
     for spec, _, attempted in spec_cells:
         plan.extend(spec.run_plan(attempted))
     tasks = [(run.config, run.backend) for run in plan]
-    results, executed_indices = execute_runs(tasks, max_workers=max_workers, store=store)
+    results, executed_indices = execute_runs(
+        tasks,
+        max_workers=max_workers,
+        store=store,
+        policy=policy,
+        on_failure=on_failure,
+    )
     executed = set(executed_indices)
 
     outcomes: list[ScenarioRunResult] = []
@@ -209,15 +285,19 @@ def _run_scenarios(
                 )
                 continue
             cell_results = results[offset : offset + spec.num_runs]
+            failures = tuple(
+                result for result in cell_results if isinstance(result, RunFailure)
+            )
             executed_count = sum(
                 1 for position in range(offset, offset + spec.num_runs) if position in executed
             )
             cell_outcomes.append(
                 CellOutcome(
                     cell=cell,
-                    aggregate=aggregate_results(cell_results),
+                    aggregate=None if failures else aggregate_results(cell_results),
                     executed_runs=executed_count,
-                    cached_runs=spec.num_runs - executed_count,
+                    cached_runs=spec.num_runs - executed_count - len(failures),
+                    failures=failures,
                 )
             )
             offset += spec.num_runs
@@ -231,8 +311,15 @@ def run_scenario(
     store: "ResultStore | None" = None,
     max_workers: int | None = None,
     max_cells: int | None = None,
+    policy: RetryPolicy | None = None,
+    on_failure: str = "raise",
 ) -> ScenarioRunResult:
     """Execute one scenario (see :func:`run_scenarios`)."""
     return run_scenarios(
-        [spec], store=store, max_workers=max_workers, max_cells=max_cells
+        [spec],
+        store=store,
+        max_workers=max_workers,
+        max_cells=max_cells,
+        policy=policy,
+        on_failure=on_failure,
     )[0]

@@ -10,29 +10,51 @@ for the simulation overlays in Fig. 8.
 Because the runs of an experiment are independent, :func:`run_many` can fan them out
 over a process pool (``max_workers``).  The per-run seeds are derived from the master
 seed *before* dispatch — the seed stream does not depend on scheduling — so a
-parallel experiment is bit-for-bit identical to a serial one.
+parallel experiment is bit-for-bit identical to a serial one.  Dispatch goes
+through the resilient executor (:func:`repro.utils.resilient.resilient_map`):
+a worker death, a hung run or a transient failure costs one attempt of one
+task, is retried with deterministic backoff (settling to the bit-identical
+result, thanks to the pre-derived seeds), and only an exhausted retry budget
+surfaces — as :class:`RunFailure` records or a raised
+:class:`~repro.errors.RetryExhaustedError`, per ``on_failure``.
 
 Backends are resolved through the :mod:`repro.backends` registry; passing a
 ``store`` (a :class:`repro.store.ResultStore`) makes every entry point execute
 only the runs missing from the cache and persist the new ones, so repeated and
-interrupted experiments never re-simulate a cell they already settled.
+interrupted experiments never re-simulate a cell they already settled.  With a
+store, runs are also **claimed** (the store's cross-process lease protocol)
+before executing, so several sweep processes sharing one cache directory
+partition the work instead of duplicating it.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..backends import available_backends, make_simulator
 from ..errors import SimulationError
 from ..params import MiningParams
+from ..utils.resilient import (
+    DEFAULT_POLICY,
+    DEFERRED,
+    FAULTS_ENV,
+    RetryPolicy,
+    TaskFailure,
+    resilient_map,
+)
 from .config import SimulationConfig
 from .metrics import AggregatedResult, SimulationResult, aggregate_results
 from .rng import derive_seeds
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (store imports metrics)
-    from ..store import ResultStore
+    from ..store import Lease, ResultStore
+
+#: How often (seconds) a process waiting on another process's leased runs
+#: re-polls the store for the settled result or a stale lease.
+_LEASE_POLL_INTERVAL = 0.05
 
 #: Names of the available simulator backends (the :mod:`repro.backends` registry
 #: view, kept as a tuple for backwards compatibility).  ``chain`` and ``markov``
@@ -64,12 +86,43 @@ def _derive_run_configs(config: SimulationConfig, num_runs: int) -> list[Simulat
     return [config.with_seed(seed) for seed in derive_seeds(config.seed, num_runs)]
 
 
+@dataclass(frozen=True)
+class RunFailure:
+    """One run that could not be settled after its full retry budget.
+
+    Returned (in the run's slot) by :func:`execute_runs` when
+    ``on_failure="record"``; the scenario engine surfaces these as *failed*
+    cells next to its existing *skipped* (``max_cells``-capped) reporting.
+    A failed run is never persisted to the store, so a later ``--resume``
+    re-executes exactly the failures and nothing else.
+    """
+
+    config: SimulationConfig
+    backend: str
+    failure: TaskFailure
+
+    def error(self):
+        """The raisable form of this failure (see :class:`TaskFailure`)."""
+        return self.failure.exhausted_error()
+
+
+def _maybe_corrupt_store_entry(path, index: int) -> None:
+    """Fault-injection hook for the chaos tests (no-op unless a plan is set)."""
+    if not os.environ.get(FAULTS_ENV):
+        return
+    from ..testing.faults import corrupt_after_write
+
+    corrupt_after_write(path, index)
+
+
 def execute_runs(
     tasks: Sequence[tuple[SimulationConfig, str]],
     *,
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
-) -> tuple[list[SimulationResult], list[int]]:
+    policy: RetryPolicy | None = None,
+    on_failure: str = "raise",
+) -> tuple[list["SimulationResult | RunFailure"], list[int]]:
     """Execute independent ``(config, backend)`` runs, consulting ``store`` first.
 
     This is the one executor behind :func:`run_many`, :func:`run_many_grid` and
@@ -78,13 +131,35 @@ def execute_runs(
     persisted **as they complete** (in the parent process — workers never touch
     the store), so a sweep killed mid-flight leaves every settled run on disk
     for ``--resume``; the second element of the returned tuple lists the input
-    indices that actually executed (everything else came from the cache).
+    indices this process actually executed, in ascending order (everything else
+    came from the cache — or from a concurrent process sharing the store).
     Because cached results round-trip bit-exactly, the output is identical
     whether a run came from the cache or from the engine.
+
+    Dispatch is resilient (:func:`repro.utils.resilient.resilient_map`):
+    ``policy`` sets the per-run wall-clock timeout, the retry budget and the
+    deterministic backoff (:data:`~repro.utils.resilient.DEFAULT_POLICY` when
+    ``None``).  A retried run settles to the bit-identical result, so retries
+    can never change aggregates.  When a run exhausts its budget,
+    ``on_failure`` decides: ``"raise"`` (default) raises
+    :class:`~repro.errors.RetryExhaustedError` *after* every other run
+    settled (everything settled is already persisted), ``"record"`` degrades
+    gracefully and returns a :class:`RunFailure` in the run's slot.
+    ``policy.fail_fast`` instead aborts at the first exhausted run.
+
+    With a store, each missing run is **claimed** (cross-process lease) before
+    executing.  Runs whose claim is held by a concurrent process are not
+    duplicated: this process waits for the other's result (stealing the claim
+    only if it goes stale — holder dead or lease expired).
     """
     if max_workers is not None and max_workers < 1:
         raise SimulationError(f"max_workers must be positive, got {max_workers}")
-    results: list[SimulationResult | None] = [None] * len(tasks)
+    if on_failure not in ("raise", "record"):
+        raise SimulationError(
+            f"on_failure must be 'raise' or 'record', got {on_failure!r}"
+        )
+    policy = policy or DEFAULT_POLICY
+    results: list[SimulationResult | RunFailure | None] = [None] * len(tasks)
     missing: list[int] = []
     if store is not None:
         for index, (config, backend) in enumerate(tasks):
@@ -96,27 +171,105 @@ def execute_runs(
     else:
         missing = list(range(len(tasks)))
 
+    executed: list[int] = []
+    failures: dict[int, TaskFailure] = {}
+    leases: dict[int, "Lease"] = {}
+
+    def try_claim(index: int) -> bool:
+        lease = store.claim_result(*tasks[index])
+        if lease is None:
+            return False  # a concurrent process owns this run; wait for it
+        # The run may have settled between the up-front cache check and the
+        # claim (the holder writes before releasing): use it, don't recompute.
+        cached = store.load_result(*tasks[index])
+        if cached is not None:
+            results[index] = cached
+            store.release(lease)
+            return False
+        leases[index] = lease
+        return True
+
     def settle(index: int, result: SimulationResult) -> None:
         results[index] = result
+        executed.append(index)
         if store is not None:
-            store.save_result(result, tasks[index][1])
+            path = store.save_result(result, tasks[index][1])
+            _maybe_corrupt_store_entry(path, index)
+            lease = leases.pop(index, None)
+            if lease is not None:
+                store.release(lease)
 
-    pending = [tasks[index] for index in missing]
-    workers = min(max_workers or 1, len(pending))
-    if workers > 1:
-        # Ship several runs per IPC round-trip: with the vectorised Markov backend
-        # an individual run takes milliseconds, so per-run task dispatch would be
-        # dominated by pickling overhead on big grids.  Four waves per worker keeps
-        # the pool balanced when run times are uneven; results come back in input
-        # order either way, so chunking cannot change the aggregates.
-        chunksize = max(1, len(pending) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for index, result in zip(missing, pool.map(_run_task, pending, chunksize=chunksize)):
-                settle(index, result)
-    else:
-        for index in missing:
-            settle(index, _run_task(tasks[index]))
-    return [result for result in results if result is not None], missing
+    def record_failure(index: int, failure: TaskFailure) -> None:
+        failures[index] = failure
+        lease = leases.pop(index, None)
+        if lease is not None:  # free the claim so a resume (or peer) can retry
+            store.release(lease)
+
+    outcomes = resilient_map(
+        _run_task,
+        [tasks[index] for index in missing],
+        max_workers=max_workers,
+        policy=policy,
+        task_ids=missing,
+        try_claim=try_claim if store is not None else None,
+        on_settled=settle,
+    )
+    deferred: list[int] = []
+    for position, index in enumerate(missing):
+        outcome = outcomes[position]
+        if outcome is DEFERRED:
+            if results[index] is None:
+                deferred.append(index)
+        elif isinstance(outcome, TaskFailure):
+            record_failure(index, outcome)
+
+    # Wait out runs held by concurrent processes: their results appear in the
+    # store (the holder persists before releasing), or their lease goes stale
+    # (holder died) and we claim and run them ourselves.
+    while deferred:
+        progressed = False
+        for index in list(deferred):
+            cached = store.load_result(*tasks[index])
+            if cached is not None:
+                results[index] = cached
+                deferred.remove(index)
+                progressed = True
+                continue
+            lease = store.claim_result(*tasks[index])
+            if lease is None:
+                continue
+            cached = store.load_result(*tasks[index])
+            if cached is not None:
+                results[index] = cached
+                store.release(lease)
+                deferred.remove(index)
+                progressed = True
+                continue
+            leases[index] = lease
+            outcome = resilient_map(
+                _run_task,
+                [tasks[index]],
+                max_workers=1,
+                policy=policy,
+                task_ids=[index],
+                on_settled=settle,
+            )[0]
+            if isinstance(outcome, TaskFailure):
+                record_failure(index, outcome)
+            deferred.remove(index)
+            progressed = True
+        if deferred and not progressed:
+            time.sleep(_LEASE_POLL_INTERVAL)
+
+    if failures:
+        ordered = [failures[index] for index in sorted(failures)]
+        if on_failure == "raise":
+            first = ordered[0]
+            raise first.exhausted_error() from first.error()
+        for index, failure in failures.items():
+            config, backend = tasks[index]
+            results[index] = RunFailure(config=config, backend=backend, failure=failure)
+    return [result for result in results if result is not None], sorted(executed)
 
 
 def run_many_grid(
@@ -126,6 +279,7 @@ def run_many_grid(
     backend: str = "chain",
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
+    policy: RetryPolicy | None = None,
 ) -> list[AggregatedResult]:
     """Run ``num_runs`` of every configuration, one aggregate per configuration.
 
@@ -136,7 +290,11 @@ def run_many_grid(
     calling :func:`run_many` on each configuration serially.
 
     With a ``store`` only the runs missing from the cache execute; everything
-    else is loaded, bit-exact, from disk.
+    else is loaded, bit-exact, from disk.  ``policy`` tunes the resilient
+    dispatch (timeout / retries / backoff); a run that exhausts its budget
+    raises :class:`~repro.errors.RetryExhaustedError` (aggregation needs every
+    run, so there is no degraded mode here — use :func:`execute_runs` with
+    ``on_failure="record"`` for that).
     """
     if num_runs < 1:
         raise SimulationError(f"num_runs must be positive, got {num_runs}")
@@ -145,7 +303,9 @@ def run_many_grid(
         for config in configs
         for run_config in _derive_run_configs(config, num_runs)
     ]
-    results, _ = execute_runs(expanded, max_workers=max_workers, store=store)
+    results, _ = execute_runs(
+        expanded, max_workers=max_workers, store=store, policy=policy
+    )
     return [
         aggregate_results(results[index * num_runs : (index + 1) * num_runs])
         for index in range(len(configs))
@@ -159,6 +319,7 @@ def run_many(
     backend: str = "chain",
     max_workers: int | None = None,
     store: "ResultStore | None" = None,
+    policy: RetryPolicy | None = None,
 ) -> AggregatedResult:
     """Run ``num_runs`` independent simulations and aggregate their results.
 
@@ -171,10 +332,16 @@ def run_many(
     aggregated result is identical whichever execution mode (or worker count) is
     chosen — parallelism is purely a wall-clock optimisation.  Grid experiments
     should prefer :func:`run_many_grid`, which keeps the pool busy across cells.
-    With a ``store`` only the runs missing from the cache execute.
+    With a ``store`` only the runs missing from the cache execute; ``policy``
+    tunes the resilient dispatch (see :func:`run_many_grid`).
     """
     return run_many_grid(
-        [config], num_runs, backend=backend, max_workers=max_workers, store=store
+        [config],
+        num_runs,
+        backend=backend,
+        max_workers=max_workers,
+        store=store,
+        policy=policy,
     )[0]
 
 

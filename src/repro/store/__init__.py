@@ -15,7 +15,12 @@ store:
   (:func:`repro.mdp.solver.solve_optimal_policy` with a configured store), so
   the optimal strategy's per-point solve survives process restarts;
 * entries are checksummed and written atomically; corruption of any kind reads
-  as a cache miss and falls back to recomputation (:mod:`repro.store.store`).
+  as a cache miss and falls back to recomputation (:mod:`repro.store.store`);
+* several **processes** may share one root: the claim/lease protocol
+  (:meth:`ResultStore.claim` / :meth:`ResultStore.release`) stops two sweeps
+  pointed at the same ``--cache-dir`` from duplicating work, and
+  :meth:`ResultStore.vacuum` sweeps the ``.tmp`` files, stale claims and
+  invalid entries a hard-killed writer leaves behind.
 
 Results round-trip **bit-exactly** (:mod:`repro.store.serialize`): a warm-cache
 experiment reports the identical numbers, down to the last float bit, as a cold
@@ -30,13 +35,21 @@ from .fingerprint import (
     hash_payload,
 )
 from .serialize import result_from_payload, result_payload
-from .store import POLICY_NAMESPACE, SIMULATION_NAMESPACE, ResultStore
+from .store import (
+    POLICY_NAMESPACE,
+    SIMULATION_NAMESPACE,
+    Lease,
+    ResultStore,
+    VacuumReport,
+)
 
 __all__ = [
     "POLICY_NAMESPACE",
     "SIMULATION_NAMESPACE",
     "STORE_VERSION",
+    "Lease",
     "ResultStore",
+    "VacuumReport",
     "canonical_json",
     "config_fingerprint",
     "fingerprint_payload",

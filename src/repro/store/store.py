@@ -20,18 +20,38 @@ under a valid key.
 
 The store is deliberately *not* consulted inside process-pool workers: the
 runner checks it up front in the parent, dispatches only the missing runs, and
-persists the fresh results as they come back.  That keeps the store free of
-cross-process locking entirely.
+persists the fresh results as they come back.  What *is* supported is several
+**processes** sharing one root concurrently (two sweeps pointed at the same
+``--cache-dir``):
+
+* writes are atomic and idempotent (the same key always re-derives the same
+  bits), so concurrent writers can never corrupt each other — the worst case
+  is duplicated work;
+* duplicated work itself is prevented by the **lease protocol**: before
+  computing a missing entry a process takes a claim file
+  (``<key>.claim`` next to the entry, holding pid + host + expiry).  A live
+  claim makes other processes wait for the result instead of recomputing it.
+  A claim is *stale* — and may be stolen — once it expires, or as soon as its
+  holder process is dead (same-host pid probe), so a hard-killed writer blocks
+  nobody beyond its lease TTL.  Stealing uses write-then-read-back token
+  verification, so two stealers cannot both believe they won;
+* :meth:`ResultStore.vacuum` sweeps the debris hard-killed writers leave
+  behind: orphaned ``.tmp`` files, stale claims, and invalid (truncated,
+  corrupted) entries.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
+from ..errors import StoreLeaseError
 from .fingerprint import config_fingerprint, hash_payload
 from .serialize import result_from_payload, result_payload
 
@@ -45,12 +65,52 @@ SIMULATION_NAMESPACE = "simulation"
 #: Namespace of solved MDP policies.
 POLICY_NAMESPACE = "policy"
 
+#: This machine's name, recorded in claim files so staleness checks know when
+#: the holder pid can be probed locally.
+_HOSTNAME = platform.node() or "unknown-host"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A held claim on one store entry (see :meth:`ResultStore.claim`)."""
+
+    namespace: str
+    key: str
+    path: Path
+    token: str
+    expires_at: float
+
+
+@dataclass(frozen=True)
+class VacuumReport:
+    """What one :meth:`ResultStore.vacuum` pass removed."""
+
+    removed_tmp: int
+    removed_claims: int
+    removed_entries: int
+
+    @property
+    def total(self) -> int:
+        """Files removed altogether."""
+        return self.removed_tmp + self.removed_claims + self.removed_entries
+
 
 class ResultStore:
-    """A content-addressed JSON store rooted at one directory."""
+    """A content-addressed JSON store rooted at one directory.
 
-    def __init__(self, root: str | Path) -> None:
+    ``lease_ttl`` bounds how long a crashed process can block others via the
+    claim protocol: a claim older than this many seconds is stale and may be
+    stolen even when the holder cannot be probed (different host).  Set it
+    comfortably above the longest expected single run — a healthy-but-slow
+    holder whose lease expires gets its work duplicated (harmlessly, writes
+    are idempotent), not corrupted.
+    """
+
+    def __init__(self, root: str | Path, *, lease_ttl: float = 600.0) -> None:
+        if lease_ttl <= 0:
+            raise StoreLeaseError(f"lease_ttl must be positive, got {lease_ttl}")
         self.root = Path(root)
+        self.lease_ttl = lease_ttl
         self.root.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------ raw entries
@@ -58,24 +118,39 @@ class ResultStore:
         return self.root / namespace / key[:2] / f"{key}.json"
 
     def put(self, namespace: str, key: str, payload: dict) -> Path:
-        """Persist ``payload`` under ``key``, atomically, and return its path."""
+        """Persist ``payload`` under ``key``, atomically, and return its path.
+
+        Concurrent-writer-safe: the envelope lands via a same-directory
+        temporary file and ``os.replace``, and a concurrent ``vacuum`` that
+        sweeps the temporary file out from under the rename is absorbed by
+        rewriting through a fresh one.
+        """
         path = self._entry_path(namespace, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {"key": key, "checksum": hash_payload(payload), "payload": payload}
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "w") as handle:
-                handle.write(json.dumps(envelope, sort_keys=True))
-            os.replace(temp_name, path)
-        except BaseException:
+        body = json.dumps(envelope, sort_keys=True)
+        for attempt in range(3):
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        return path
+                with os.fdopen(descriptor, "w") as handle:
+                    handle.write(body)
+                os.replace(temp_name, path)
+            except FileNotFoundError:
+                # A concurrent vacuum removed the tmp file between write and
+                # rename; retry through a fresh one.
+                if attempt == 2:
+                    raise
+                continue
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            return path
+        raise OSError(f"could not persist {path}")  # pragma: no cover - loop returns
 
     def get(self, namespace: str, key: str) -> dict | None:
         """Load the payload stored under ``key``; ``None`` on miss *or* corruption.
@@ -125,6 +200,176 @@ class ResultStore:
         """Number of entries (valid or not) under ``namespace``."""
         return sum(1 for _ in self.keys(namespace))
 
+    # ------------------------------------------------------------------ leases
+    def _claim_path(self, namespace: str, key: str) -> Path:
+        return self.root / namespace / key[:2] / f"{key}.claim"
+
+    @staticmethod
+    def _read_claim(path: Path) -> dict | None:
+        """The claim file's holder record; ``None`` when absent or unreadable."""
+        try:
+            holder = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return holder if isinstance(holder, dict) else None
+
+    @staticmethod
+    def _claim_stale(holder: dict) -> bool:
+        """True when the claim may be stolen: expired, or its holder is dead.
+
+        The pid probe only works for same-host holders; cross-host staleness
+        falls back to the expiry alone.  A corrupt holder record is stale.
+        """
+        expires_at = holder.get("expires_at")
+        if not isinstance(expires_at, (int, float)) or expires_at <= time.time():
+            return True
+        if holder.get("host") == _HOSTNAME and isinstance(holder.get("pid"), int):
+            try:
+                os.kill(holder["pid"], 0)
+            except ProcessLookupError:
+                return True
+            except (PermissionError, OSError):  # pragma: no cover - alive, not ours
+                pass
+        return False
+
+    def claim(self, namespace: str, key: str) -> Lease | None:
+        """Try to take the cross-process claim on ``key``.
+
+        Returns a :class:`Lease` when this process now owns the right to
+        compute the entry, or ``None`` when another process holds a live claim
+        (wait for the entry, or poll :meth:`lease_state`).  A stale claim —
+        expired, dead same-host holder, or unreadable — is stolen atomically:
+        the stealer replaces the file and wins only if a read-back still shows
+        its own token.  After a successful claim, re-check the entry before
+        computing: the previous holder writes the result *before* releasing.
+        """
+        path = self._claim_path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        token = f"{_HOSTNAME}:{os.getpid()}:{os.urandom(8).hex()}"
+        record = {
+            "token": token,
+            "pid": os.getpid(),
+            "host": _HOSTNAME,
+            "acquired_at": now,
+            "expires_at": now + self.lease_ttl,
+        }
+        body = json.dumps(record, sort_keys=True)
+        lease = Lease(
+            namespace=namespace, key=key, path=path, token=token,
+            expires_at=record["expires_at"],
+        )
+        try:
+            descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            holder = self._read_claim(path)
+            if holder is not None and not self._claim_stale(holder):
+                return None
+            # Steal: atomic replace, then read-back verification so that two
+            # simultaneous stealers cannot both believe they won.
+            steal_descriptor, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-claim-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(steal_descriptor, "w") as handle:
+                    handle.write(body)
+                os.replace(temp_name, path)
+            except OSError as error:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise StoreLeaseError(f"could not steal stale claim {path}: {error}") from error
+            current = self._read_claim(path)
+            if current is None or current.get("token") != token:
+                return None
+            return lease
+        except OSError as error:
+            raise StoreLeaseError(f"could not create claim {path}: {error}") from error
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(body)
+        return lease
+
+    def release(self, lease: Lease) -> bool:
+        """Drop a held claim; ``False`` when it was already stolen or swept.
+
+        Release *after* persisting the result: any process that subsequently
+        wins the claim re-checks the entry first, so compute-then-write-then-
+        release guarantees nobody recomputes a settled entry.
+        """
+        current = self._read_claim(lease.path)
+        if current is None or current.get("token") != lease.token:
+            return False
+        try:
+            lease.path.unlink()
+        except OSError:  # pragma: no cover - racing steal/vacuum
+            return False
+        return True
+
+    def lease_state(self, namespace: str, key: str) -> str:
+        """``"free"``, ``"held"`` or ``"stale"`` — the claim slot's state."""
+        path = self._claim_path(namespace, key)
+        if not path.exists():
+            return "free"
+        holder = self._read_claim(path)
+        # An existing-but-unreadable claim file is stale (stealable), the same
+        # way :meth:`claim` treats it.
+        if holder is None or self._claim_stale(holder):
+            return "stale"
+        return "held"
+
+    # ------------------------------------------------------------------ vacuum
+    def vacuum(
+        self, namespace: str | None = None, *, tmp_max_age: float = 3600.0
+    ) -> VacuumReport:
+        """Sweep the debris hard-killed writers leave behind.
+
+        Removes, per namespace (all of them by default):
+
+        * temporary files older than ``tmp_max_age`` seconds (an in-flight
+          write holds its tmp file for milliseconds; anything old is an
+          orphan from a killed writer);
+        * stale claim files (expired or dead-holder — live claims are kept);
+        * invalid entries (truncated/corrupted envelopes), via the same
+          validation :meth:`get` applies, so the slot is clean to recompute.
+        """
+        if namespace is None:
+            namespaces = sorted(
+                child.name for child in self.root.iterdir() if child.is_dir()
+            )
+        else:
+            namespaces = [namespace]
+        removed_tmp = removed_claims = removed_entries = 0
+        cutoff = time.time() - tmp_max_age
+        for name in namespaces:
+            base = self.root / name
+            if not base.is_dir():
+                continue
+            for shard in sorted(child for child in base.iterdir() if child.is_dir()):
+                for temp_file in sorted(shard.glob(".*.tmp")):
+                    try:
+                        if temp_file.stat().st_mtime <= cutoff:
+                            temp_file.unlink()
+                            removed_tmp += 1
+                    except OSError:  # pragma: no cover - racing writer finished
+                        pass
+                for claim_file in sorted(shard.glob("*.claim")):
+                    holder = self._read_claim(claim_file)
+                    if holder is None or self._claim_stale(holder):
+                        try:
+                            claim_file.unlink()
+                            removed_claims += 1
+                        except OSError:  # pragma: no cover - racing release
+                            pass
+                for entry in sorted(shard.glob("*.json")):
+                    if self.get(name, entry.stem) is None and not entry.exists():
+                        removed_entries += 1
+        return VacuumReport(
+            removed_tmp=removed_tmp,
+            removed_claims=removed_claims,
+            removed_entries=removed_entries,
+        )
+
     # ------------------------------------------------------------------ simulation runs
     def result_key(self, config: "SimulationConfig", backend: str) -> str:
         """The content address of one ``(config, backend)`` run."""
@@ -150,6 +395,14 @@ class ResultStore:
         """Persist one settled run under its configuration's fingerprint."""
         key = self.result_key(result.config, backend)
         return self.put(SIMULATION_NAMESPACE, key, result_payload(result))
+
+    def claim_result(self, config: "SimulationConfig", backend: str) -> Lease | None:
+        """Claim the right to compute one run (see :meth:`claim`)."""
+        return self.claim(SIMULATION_NAMESPACE, self.result_key(config, backend))
+
+    def result_lease_state(self, config: "SimulationConfig", backend: str) -> str:
+        """The claim slot's state for one run (see :meth:`lease_state`)."""
+        return self.lease_state(SIMULATION_NAMESPACE, self.result_key(config, backend))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"ResultStore(root={str(self.root)!r})"

@@ -1,0 +1,30 @@
+"""Deterministic test harnesses shipped with the package.
+
+:mod:`repro.testing.faults` is the fault-injection harness behind the chaos
+tests and the CI chaos smoke job: seedable, environment-activated hooks that
+make the *real* process-pool path misbehave (raise, hang, die, corrupt a
+just-written store entry) at chosen task indices — so resilience is exercised
+against genuine worker death and on-disk corruption, not mocks.
+"""
+
+from .faults import (
+    FAULTS_ENV,
+    FaultInjected,
+    FaultSpec,
+    active_plan,
+    decode_plan,
+    encode_plan,
+    inject_faults,
+    plan_from_seed,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultSpec",
+    "active_plan",
+    "decode_plan",
+    "encode_plan",
+    "inject_faults",
+    "plan_from_seed",
+]

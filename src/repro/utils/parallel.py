@@ -3,18 +3,29 @@
 Several experiment drivers fan independent deterministic solves out over a
 process pool (figure 10's per-``gamma`` thresholds, the discussion driver's four
 schedule/scenario solves).  :func:`parallel_map` is the one implementation of
-the "pool when asked, serial otherwise" pattern: results come back in input
-order either way, so for deterministic functions the output is identical to a
-serial run regardless of worker count.
+the "pool when asked, serial otherwise" pattern, built on the resilient
+dispatcher (:func:`repro.utils.resilient.resilient_map`), so a solve whose
+worker is OOM-killed or segfaults is retried instead of aborting the whole
+batch.
+
+**Results always come back in input order** — serial, pooled, and retried
+executions are indistinguishable to the caller, so for deterministic functions
+the output is identical to ``[function(task) for task in tasks]`` regardless of
+worker count or how many attempts any task needed.  A task that keeps failing
+past the policy's retry budget raises
+:class:`~repro.errors.RetryExhaustedError` (chained to the last attempt's
+typed error); partial output is never returned.
 
 For *simulation* fan-out prefer :func:`repro.simulation.runner.run_many_grid`,
-which additionally owns the per-run seed-derivation protocol.
+which additionally owns the per-run seed-derivation protocol and the result
+store integration.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
+
+from .resilient import RetryPolicy, TaskFailure, resilient_map
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -24,14 +35,20 @@ def parallel_map(
     function: Callable[[Task], Result],
     tasks: Sequence[Task],
     max_workers: int | None = None,
+    *,
+    policy: RetryPolicy | None = None,
 ) -> list[Result]:
-    """``[function(task) for task in tasks]``, optionally on a process pool.
+    """``[function(task) for task in tasks]``, optionally on a resilient pool.
 
-    ``max_workers`` of ``None`` or ``1`` (or fewer than two tasks) runs serially
-    in-process.  ``function`` and every task must be picklable; module-level
-    functions taking one argument satisfy this.
+    ``max_workers`` of ``None`` or ``1`` runs serially in-process (unless the
+    policy configures a timeout, which needs a killable worker process).
+    ``function`` and every task must be picklable; module-level functions
+    taking one argument satisfy this.  ``policy`` tunes the per-task timeout
+    and retry budget (:class:`~repro.utils.resilient.RetryPolicy`); the
+    default retries crashed/failed tasks twice with deterministic backoff.
     """
-    if max_workers is not None and max_workers > 1 and len(tasks) > 1:
-        with ProcessPoolExecutor(max_workers=min(max_workers, len(tasks))) as pool:
-            return list(pool.map(function, tasks))
-    return [function(task) for task in tasks]
+    outcomes = resilient_map(function, tasks, max_workers=max_workers, policy=policy)
+    failures = [outcome for outcome in outcomes if isinstance(outcome, TaskFailure)]
+    if failures:
+        raise failures[0].exhausted_error() from failures[0].error()
+    return outcomes

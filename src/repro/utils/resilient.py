@@ -1,0 +1,479 @@
+"""Crash-safe, submit-based process-pool dispatch with deterministic retries.
+
+``ProcessPoolExecutor.map`` — the executor this module replaced — fails
+*wholesale*: one OOM-killed or segfaulted worker raises ``BrokenProcessPool``
+for the entire batch, a hung task blocks forever, and nothing is retried.
+:func:`resilient_map` is the submit-based dispatcher underneath every fan-out
+in the package (:func:`repro.simulation.runner.execute_runs` and
+:func:`repro.utils.parallel.parallel_map`):
+
+* every task is tracked individually — a worker death (detected the moment the
+  worker's pipe closes) or a wall-clock timeout (the worker is killed) costs
+  exactly one *attempt* of the task it was running, never the batch;
+* failed, timed-out and crashed attempts are retried up to
+  :attr:`RetryPolicy.retries` times with **deterministic exponential backoff**
+  (``backoff_base * 2**(attempt-1)``, capped — no jitter, so two identical
+  invocations schedule identically), and because every task is a pure function
+  of its payload (the pre-derived seed protocol), a retried run settles to the
+  bit-identical result;
+* when the budget is exhausted the dispatcher degrades gracefully: the task's
+  slot in the returned list holds a :class:`TaskFailure` record instead of a
+  result, unless :attr:`RetryPolicy.fail_fast` asks for an immediate
+  :class:`~repro.errors.RetryExhaustedError`.
+
+Results come back **in input order** regardless of worker count, scheduling or
+retries.  The pool is a set of single-task worker processes owned by this
+module (one duplex pipe each), so a kill only ever takes down the worker that
+deserved it; replacements are spawned on demand.  With ``max_workers`` of
+``None``/``1`` tasks run serially in-process — unless a timeout is configured,
+which needs a killable worker, so a single-worker pool is used instead.
+
+The dispatcher also carries the hooks of the deterministic fault-injection
+harness (:mod:`repro.testing.faults`): when the ``REPRO_FAULTS`` environment
+variable holds a plan, workers fire the planned faults (raise / hang / kill)
+at their chosen ``(task, attempt)`` coordinates before executing the payload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Optional, Sequence, TypeVar
+
+from ..errors import (
+    ExecutionError,
+    ParameterError,
+    RetryExhaustedError,
+    RunTimeoutError,
+    WorkerCrashError,
+)
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+#: Environment variable holding the fault-injection plan (see
+#: :mod:`repro.testing.faults`; duplicated here so the hot path never imports
+#: the harness when it is inactive).
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+class _DeferredType:
+    """Singleton sentinel: a task skipped because ``try_claim`` declined it."""
+
+    _instance: "_DeferredType | None" = None
+
+    def __new__(cls) -> "_DeferredType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "DEFERRED"
+
+
+#: Sentinel outcome of a task that another process holds the claim for.
+DEFERRED = _DeferredType()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the dispatcher treats failing tasks.
+
+    Attributes
+    ----------
+    timeout:
+        Per-task wall-clock budget in seconds (measured from dispatch to a
+        worker; there is no in-worker queueing).  ``None`` disables timeouts.
+        A timed-out worker is killed and the task's attempt counts as failed.
+    retries:
+        How many times a failed/timed-out/crashed task is re-attempted before
+        it is given up (``retries=2`` means up to three attempts in total).
+    backoff_base, backoff_cap:
+        Deterministic exponential backoff before retry ``k`` (1-based):
+        ``min(backoff_cap, backoff_base * 2**(k-1))`` seconds.  No jitter —
+        the schedule is a pure function of the policy, so reruns are
+        reproducible.
+    fail_fast:
+        Raise :class:`~repro.errors.RetryExhaustedError` the moment any task
+        exhausts its budget (outstanding work is abandoned) instead of
+        degrading to per-task :class:`TaskFailure` records.
+    """
+
+    timeout: float | None = None
+    retries: int = 2
+    backoff_base: float = 0.1
+    backoff_cap: float = 2.0
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ParameterError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ParameterError(f"retries must be non-negative, got {self.retries}")
+        if self.backoff_base < 0:
+            raise ParameterError(f"backoff_base must be non-negative, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise ParameterError(
+                f"backoff_cap must be at least backoff_base, got "
+                f"{self.backoff_cap} < {self.backoff_base}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based), deterministic."""
+        if attempt < 1:
+            raise ParameterError(f"retry attempts are 1-based, got {attempt}")
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+#: The package-wide default policy: no timeout, two retries, mild backoff.
+DEFAULT_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that spent its whole retry budget without settling.
+
+    ``kind`` is ``"error"`` (the task raised), ``"crash"`` (its worker died)
+    or ``"timeout"`` (its worker was killed at the wall-clock budget);
+    ``message`` describes the *last* failed attempt and ``attempts`` counts
+    every attempt made (1 + retries used).
+    """
+
+    task_id: int
+    kind: str
+    message: str
+    attempts: int
+
+    def error(self) -> ExecutionError:
+        """The typed error of the last failed attempt."""
+        if self.kind == "crash":
+            return WorkerCrashError(self.message)
+        if self.kind == "timeout":
+            return RunTimeoutError(self.message)
+        return ExecutionError(self.message)
+
+    def exhausted_error(self) -> RetryExhaustedError:
+        """The error raised (or chained) once the budget is spent."""
+        return RetryExhaustedError(
+            f"task {self.task_id} failed after {self.attempts} attempt(s); "
+            f"last failure ({self.kind}): {self.message}"
+        )
+
+
+def _fire_faults(task_id: int, attempt: int, *, in_worker: bool) -> None:
+    """Fault-injection hook (no-op unless the ``REPRO_FAULTS`` plan is set)."""
+    if not os.environ.get(FAULTS_ENV):
+        return
+    from ..testing.faults import fire_task_faults
+
+    fire_task_faults(task_id, attempt, in_worker=in_worker)
+
+
+def _worker_main(connection, function) -> None:  # pragma: no cover - subprocess body
+    """One pool worker: receive ``(task_id, attempt, payload)``, send the outcome.
+
+    Runs in a child process (coverage does not see it).  The worker holds at
+    most one task at a time, so the parent always knows exactly which task a
+    dead or timed-out worker was responsible for.
+    """
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            connection.close()
+            return
+        task_id, attempt, payload = message
+        try:
+            _fire_faults(task_id, attempt, in_worker=True)
+            result = function(payload)
+        except BaseException as error:  # noqa: BLE001 - report, parent decides
+            outcome = ("error", task_id, attempt, f"{type(error).__name__}: {error}")
+        else:
+            outcome = ("done", task_id, attempt, result)
+        try:
+            connection.send(outcome)
+        except BaseException as error:  # result not picklable / pipe gone
+            try:
+                connection.send(
+                    ("error", task_id, attempt, f"result could not be sent: {error!r}")
+                )
+            except BaseException:
+                os._exit(1)
+
+
+class _Worker:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("process", "connection", "position", "deadline")
+
+    def __init__(self, process, connection) -> None:
+        self.process = process
+        self.connection = connection
+        self.position: int | None = None  # index into the task list, None = idle
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.position is not None
+
+    def kill(self) -> None:
+        """Tear the worker down hard (timeout enforcement, shutdown)."""
+        try:
+            self.process.kill()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.process.join()
+
+
+def _spawn_worker(context, function) -> _Worker:
+    parent_connection, child_connection = context.Pipe(duplex=True)
+    process = context.Process(
+        target=_worker_main, args=(child_connection, function), daemon=True
+    )
+    process.start()
+    child_connection.close()
+    return _Worker(process, parent_connection)
+
+
+def resilient_map(
+    function: Callable[[Task], Result],
+    tasks: Sequence[Task],
+    *,
+    max_workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    task_ids: Sequence[int] | None = None,
+    try_claim: Optional[Callable[[int], bool]] = None,
+    on_settled: Optional[Callable[[int, Result], None]] = None,
+) -> list[Any]:
+    """Run independent tasks with per-task timeout, retries and crash recovery.
+
+    Returns one outcome per task, **in input order**: the task's result, a
+    :class:`TaskFailure` record (budget exhausted, unless ``fail_fast``), or
+    the :data:`DEFERRED` sentinel (``try_claim`` declined the task — another
+    process owns it).
+
+    Parameters
+    ----------
+    max_workers:
+        ``None``/``1`` runs serially in-process; ``>= 2`` fans out over worker
+        processes.  A configured ``policy.timeout`` forces at least one worker
+        process even for serial runs (an in-process task cannot be killed).
+    policy:
+        The :class:`RetryPolicy`; defaults to :data:`DEFAULT_POLICY`.
+    task_ids:
+        Stable identifiers reported to the fault-injection hooks, ``try_claim``,
+        ``on_settled`` and :class:`TaskFailure` records; defaults to the task's
+        position.  Callers dispatching a subset of a larger plan (the runner's
+        cache-miss list) pass the plan-level indices here so fault plans and
+        failure reports are phrased in plan coordinates.
+    try_claim:
+        Called once per task right before its *first* dispatch; returning
+        ``False`` marks the task :data:`DEFERRED` without executing it.  Claims
+        are taken just-in-time (when a worker is actually free), so concurrent
+        processes sharing a store partition the work instead of one process
+        claiming everything up front.  Retries keep the original claim.
+    on_settled:
+        Called as ``on_settled(task_id, result)`` the moment a task succeeds —
+        *before* later tasks settle — so callers can persist results
+        incrementally (a killed batch keeps everything already settled).
+    """
+    policy = policy or DEFAULT_POLICY
+    if task_ids is None:
+        ids: list[int] = list(range(len(tasks)))
+    else:
+        ids = list(task_ids)
+        if len(ids) != len(tasks):
+            raise ParameterError(
+                f"task_ids length {len(ids)} does not match {len(tasks)} tasks"
+            )
+    if not tasks:
+        return []
+    # Serial only when the caller asked for it (and no timeout needs a killable
+    # worker): an explicit ``max_workers >= 2`` keeps the pool even for a
+    # single task, so crash/kill isolation holds regardless of batch size.
+    if (max_workers or 1) == 1 and policy.timeout is None:
+        return _serial_map(function, tasks, ids, policy, try_claim, on_settled)
+    workers_wanted = max(1, min(max_workers or 1, len(tasks)))
+    return _pool_map(function, tasks, ids, policy, workers_wanted, try_claim, on_settled)
+
+
+def _serial_map(function, tasks, ids, policy, try_claim, on_settled) -> list[Any]:
+    """The in-process path: same retry/claim semantics, no worker to kill."""
+    outcomes: list[Any] = [None] * len(tasks)
+    for position, payload in enumerate(tasks):
+        task_id = ids[position]
+        if try_claim is not None and not try_claim(task_id):
+            outcomes[position] = DEFERRED
+            continue
+        attempt = 0
+        while True:
+            try:
+                _fire_faults(task_id, attempt, in_worker=False)
+                result = function(payload)
+            except Exception as error:
+                attempt += 1
+                if attempt > policy.retries:
+                    failure = TaskFailure(
+                        task_id=task_id,
+                        kind="error",
+                        message=f"{type(error).__name__}: {error}",
+                        attempts=attempt,
+                    )
+                    if policy.fail_fast:
+                        raise failure.exhausted_error() from error
+                    outcomes[position] = failure
+                    break
+                time.sleep(policy.backoff(attempt))
+            else:
+                outcomes[position] = result
+                if on_settled is not None:
+                    on_settled(task_id, result)
+                break
+    return outcomes
+
+
+def _pool_map(function, tasks, ids, policy, workers_wanted, try_claim, on_settled) -> list[Any]:
+    """The worker-pool path: submit-based dispatch over single-task workers."""
+    context = get_context()
+    outcomes: list[Any] = [None] * len(tasks)
+    attempts = [0] * len(tasks)
+    settled = 0
+    # (eligible_at, position): backoff delays push retries into the future.
+    pending: list[tuple[float, int]] = [(0.0, position) for position in range(len(tasks))]
+    heapq.heapify(pending)
+    workers: list[_Worker] = []
+
+    def settle_success(position: int, result: Any) -> None:
+        nonlocal settled
+        outcomes[position] = result
+        settled += 1
+        if on_settled is not None:
+            on_settled(ids[position], result)
+
+    def settle_attempt_failure(position: int, kind: str, message: str) -> None:
+        nonlocal settled
+        attempts[position] += 1
+        if attempts[position] <= policy.retries:
+            eligible_at = time.monotonic() + policy.backoff(attempts[position])
+            heapq.heappush(pending, (eligible_at, position))
+            return
+        failure = TaskFailure(
+            task_id=ids[position], kind=kind, message=message, attempts=attempts[position]
+        )
+        if policy.fail_fast:
+            raise failure.exhausted_error() from failure.error()
+        outcomes[position] = failure
+        settled += 1
+
+    def retire(worker: _Worker) -> None:
+        worker.kill()
+        if worker in workers:
+            workers.remove(worker)
+
+    try:
+        while settled < len(tasks):
+            now = time.monotonic()
+            # Dispatch every eligible pending task to an idle (or new) worker.
+            while pending and pending[0][0] <= now:
+                idle = next((worker for worker in workers if not worker.busy), None)
+                if idle is None and len(workers) >= workers_wanted:
+                    break
+                _, position = heapq.heappop(pending)
+                if (
+                    attempts[position] == 0
+                    and try_claim is not None
+                    and not try_claim(ids[position])
+                ):
+                    outcomes[position] = DEFERRED
+                    settled += 1
+                    continue
+                if idle is None:
+                    idle = _spawn_worker(context, function)
+                    workers.append(idle)
+                idle.position = position
+                idle.deadline = (
+                    now + policy.timeout if policy.timeout is not None else None
+                )
+                idle.connection.send((ids[position], attempts[position], tasks[position]))
+            busy = [worker for worker in workers if worker.busy]
+            if not busy:
+                if pending:
+                    time.sleep(max(0.0, pending[0][0] - time.monotonic()))
+                    continue
+                if settled < len(tasks):  # pragma: no cover - scheduler invariant
+                    raise ExecutionError("dispatcher stalled with unsettled tasks")
+                break
+            # Wake at the nearest deadline or backoff expiry, whichever first.
+            wait_timeout: float | None = None
+            deadlines = [worker.deadline for worker in busy if worker.deadline is not None]
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+            if pending:
+                until_eligible = max(0.0, pending[0][0] - time.monotonic())
+                wait_timeout = (
+                    until_eligible if wait_timeout is None else min(wait_timeout, until_eligible)
+                )
+            ready = connection_wait([worker.connection for worker in busy], wait_timeout)
+            by_connection = {worker.connection: worker for worker in busy}
+            for connection in ready:
+                worker = by_connection[connection]
+                position = worker.position
+                try:
+                    message = connection.recv()
+                except Exception:
+                    # The pipe died with a task in flight: the worker crashed
+                    # (OOM kill, segfault, injected SIGKILL, unpicklable state).
+                    worker.process.join()
+                    exit_code = worker.process.exitcode
+                    retire(worker)
+                    settle_attempt_failure(
+                        position,
+                        "crash",
+                        f"worker (pid {worker.process.pid}) died with exit code "
+                        f"{exit_code} while running task {ids[position]}",
+                    )
+                    continue
+                kind, task_id, _attempt, payload = message
+                worker.position = None
+                worker.deadline = None
+                if kind == "done":
+                    settle_success(position, payload)
+                else:
+                    settle_attempt_failure(position, "error", payload)
+            # Enforce per-task wall-clock deadlines on whoever is still busy.
+            now = time.monotonic()
+            for worker in list(workers):
+                if worker.busy and worker.deadline is not None and now >= worker.deadline:
+                    position = worker.position
+                    retire(worker)
+                    settle_attempt_failure(
+                        position,
+                        "timeout",
+                        f"task {ids[position]} exceeded its {policy.timeout}s "
+                        "wall-clock timeout and its worker was killed",
+                    )
+    finally:
+        for worker in workers:
+            if worker.busy or not worker.process.is_alive():
+                worker.kill()
+            else:
+                try:
+                    worker.connection.send(None)
+                except (OSError, ValueError):  # pragma: no cover - racing exit
+                    pass
+                worker.connection.close()
+                worker.process.join(timeout=5.0)
+                if worker.process.is_alive():  # pragma: no cover - stuck worker
+                    worker.process.kill()
+                    worker.process.join()
+    return outcomes

@@ -48,6 +48,42 @@ class TestParser:
         store = ExperimentOptions(cache_dir=tmp_path / "cache").store()
         assert isinstance(store, ResultStore)
 
+    def test_resilience_flags_parse_on_every_subcommand(self):
+        arguments = build_parser().parse_args(
+            ["figure8", "--timeout", "2.5", "--retries", "0", "--fail-fast"]
+        )
+        assert arguments.timeout == 2.5
+        assert arguments.retries == 0
+        assert arguments.fail_fast is True
+        defaults = build_parser().parse_args(["sweep", "scenario.json"])
+        assert defaults.timeout is None
+        assert defaults.retries is None
+        assert defaults.fail_fast is False
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "s.json", "--timeout", "0"],
+            ["sweep", "s.json", "--timeout", "-1"],
+            ["sweep", "s.json", "--retries", "-1"],
+        ],
+    )
+    def test_invalid_resilience_values_exit_with_usage_error(self, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+
+    def test_options_resilience_resolution(self):
+        from repro.utils.resilient import RetryPolicy
+
+        assert ExperimentOptions().resilience() is None
+        policy = ExperimentOptions(timeout=3.0, fail_fast=True).resilience()
+        assert isinstance(policy, RetryPolicy)
+        assert policy.timeout == 3.0
+        assert policy.retries == 2  # package default preserved
+        assert policy.fail_fast is True
+        assert ExperimentOptions(retries=0).resilience().retries == 0
+
 
 class TestRunSweep:
     def test_end_to_end_report(self, tmp_path):
@@ -116,6 +152,52 @@ class TestMain:
         assert "cli-sweep" in output
 
 
+class TestSweepDegradedMode:
+    def test_exhausted_run_becomes_failed_cell_not_crash(self, tmp_path, capsys):
+        from repro.testing import FaultSpec, inject_faults
+
+        path = scenario_file(tmp_path)
+        plan = tuple(
+            FaultSpec(kind="raise", task=0, attempt=attempt) for attempt in range(3)
+        )
+        with inject_faults(plan):
+            exit_code = main(
+                [
+                    "sweep",
+                    str(path),
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--retries",
+                    "2",
+                ]
+            )
+        assert exit_code == 0  # settled cells are reported, not thrown away
+        output = capsys.readouterr().out
+        assert "FAILED" in output
+        assert "failed (1)" in output
+
+        # The failed run was not persisted: a plain resume completes the sweep.
+        resumed = run_sweep(path, cache_dir=tmp_path / "cache")
+        assert "1 runs executed, 3 from cache" in resumed
+
+    def test_fail_fast_raises_instead_of_degrading(self, tmp_path):
+        from repro.errors import RetryExhaustedError
+        from repro.testing import FaultSpec, inject_faults
+
+        path = scenario_file(tmp_path)
+        plan = tuple(
+            FaultSpec(kind="raise", task=0, attempt=attempt) for attempt in range(2)
+        )
+        with inject_faults(plan):
+            with pytest.raises(RetryExhaustedError):
+                run_sweep(
+                    path,
+                    cache_dir=tmp_path / "cache",
+                    retries=1,
+                    fail_fast=True,
+                )
+
+
 class TestEngineHelpers:
     def test_find_filters_by_coordinates(self, tmp_path):
         from repro.scenarios import ScenarioSpec, run_scenario
@@ -144,3 +226,29 @@ class TestEngineHelpers:
         partial = run_scenario(spec, store=ResultStore(tmp_path / "s"), max_cells=1)
         assert not partial.complete
         assert run_scenario(spec).complete
+
+    def test_cell_outcome_state_trichotomy(self, tmp_path):
+        """skipped, failed and settled are mutually exclusive cell states."""
+        from repro.scenarios import ScenarioSpec, run_scenario
+        from repro.testing import FaultSpec, inject_faults
+        from repro.utils.resilient import RetryPolicy
+
+        spec = ScenarioSpec(
+            name="tri", alphas=(0.2, 0.3, 0.4), backends=("markov",), num_blocks=1000
+        )
+        plan = tuple(
+            FaultSpec(kind="raise", task=0, attempt=attempt) for attempt in range(2)
+        )
+        with inject_faults(plan):
+            result = run_scenario(
+                spec,
+                store=ResultStore(tmp_path / "s"),
+                max_cells=2,
+                policy=RetryPolicy(retries=1, backoff_base=0.0),
+                on_failure="record",
+            )
+        states = [(o.skipped, o.failed, o.aggregate is not None) for o in result.cells]
+        assert states == [(False, True, False), (False, False, True), (True, False, False)]
+        assert result.failed_cells == 1 and result.skipped_cells == 1
+        with pytest.raises(ExperimentError, match="1 cells failed"):
+            result.aggregates()

@@ -1,0 +1,201 @@
+"""Unit tests for the resilient dispatcher (:mod:`repro.utils.resilient`)."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ParameterError, RetryExhaustedError
+from repro.utils.resilient import (
+    DEFAULT_POLICY,
+    DEFERRED,
+    RetryPolicy,
+    TaskFailure,
+    resilient_map,
+)
+
+# ---------------------------------------------------------------------------
+# Worker payload functions: module-level so they pickle under any start method.
+# ---------------------------------------------------------------------------
+
+
+def _square(value):
+    return value * value
+
+
+def _fail_always(value):
+    raise ValueError(f"task {value} always fails")
+
+
+def _fail_below(value):
+    """Fail for even inputs on the first attempt only (marker file protocol)."""
+    marker, number = value
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted")
+        raise ValueError(f"first attempt at {number} fails")
+    return number * 10
+
+
+def _kill_self(value):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sleep_forever(value):
+    time.sleep(3600)
+
+
+def _sleep_briefly(value):
+    time.sleep(0.05)
+    return value
+
+
+#: A fast-retry policy so tests never sleep on backoff.
+FAST = RetryPolicy(retries=2, backoff_base=0.0, backoff_cap=0.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.3)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)  # capped, not 0.4
+        assert policy.backoff(10) == pytest.approx(0.3)
+
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(backoff_base=0.05)
+        assert [policy.backoff(k) for k in (1, 2, 3)] == [
+            policy.backoff(k) for k in (1, 2, 3)
+        ]
+
+    def test_backoff_rejects_zeroth_attempt(self):
+        with pytest.raises(ParameterError):
+            DEFAULT_POLICY.backoff(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"retries": -1},
+            {"backoff_base": -0.1},
+            {"backoff_base": 1.0, "backoff_cap": 0.5},
+        ],
+    )
+    def test_invalid_policies_are_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            RetryPolicy(**kwargs)
+
+
+class TestSerialPath:
+    def test_maps_in_input_order(self):
+        assert resilient_map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_input(self):
+        assert resilient_map(_square, []) == []
+
+    def test_failure_record_after_budget(self):
+        outcomes = resilient_map(_fail_always, [5], policy=FAST)
+        (failure,) = outcomes
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "error"
+        assert failure.attempts == 3  # 1 + 2 retries
+        assert "always fails" in failure.message
+
+    def test_transient_failure_is_retried_to_success(self, tmp_path):
+        marker = tmp_path / "attempted"
+        outcomes = resilient_map(_fail_below, [(str(marker), 4)], policy=FAST)
+        assert outcomes == [40]
+
+    def test_fail_fast_raises_immediately(self):
+        policy = RetryPolicy(retries=0, backoff_base=0.0, fail_fast=True)
+        with pytest.raises(RetryExhaustedError):
+            resilient_map(_fail_always, [1, 2], policy=policy)
+
+    def test_zero_retries_means_single_attempt(self):
+        policy = RetryPolicy(retries=0, backoff_base=0.0)
+        (failure,) = resilient_map(_fail_always, [1], policy=policy)
+        assert failure.attempts == 1
+
+    def test_task_ids_relabel_failures(self):
+        (failure,) = resilient_map(_fail_always, [1], policy=FAST, task_ids=[42])
+        assert failure.task_id == 42
+
+    def test_task_ids_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            resilient_map(_square, [1, 2], task_ids=[0])
+
+    def test_try_claim_defers_declined_tasks(self):
+        outcomes = resilient_map(
+            _square, [1, 2, 3], try_claim=lambda task_id: task_id != 1
+        )
+        assert outcomes == [1, DEFERRED, 9]
+
+    def test_on_settled_fires_incrementally_in_order(self):
+        settled = []
+        resilient_map(_square, [2, 3], on_settled=lambda i, r: settled.append((i, r)))
+        assert settled == [(0, 4), (1, 9)]
+
+
+class TestPoolPath:
+    def test_maps_in_input_order(self):
+        assert resilient_map(_square, list(range(6)), max_workers=2) == [
+            0,
+            1,
+            4,
+            9,
+            16,
+            25,
+        ]
+
+    def test_worker_crash_is_retried_and_reported(self):
+        policy = RetryPolicy(retries=1, backoff_base=0.0)
+        (failure,) = resilient_map(_kill_self, [0], max_workers=2, policy=policy)
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "crash"
+        assert failure.attempts == 2
+        assert "exit code -9" in failure.message
+
+    def test_worker_crash_does_not_poison_other_tasks(self):
+        policy = RetryPolicy(retries=0, backoff_base=0.0)
+        outcomes = resilient_map(
+            _crash_only_task_zero, [0, 1, 2, 3], max_workers=2, policy=policy
+        )
+        assert isinstance(outcomes[0], TaskFailure)
+        assert outcomes[1:] == [10, 20, 30]
+
+    def test_timeout_kills_the_worker_and_reports(self):
+        policy = RetryPolicy(timeout=0.3, retries=0, backoff_base=0.0)
+        started = time.monotonic()
+        (failure,) = resilient_map(_sleep_forever, [0], max_workers=1, policy=policy)
+        elapsed = time.monotonic() - started
+        assert isinstance(failure, TaskFailure)
+        assert failure.kind == "timeout"
+        assert "wall-clock timeout" in failure.message
+        assert elapsed < 30  # the 3600s sleep was genuinely killed
+
+    def test_timeout_forces_pool_even_for_serial_request(self):
+        # max_workers=None with a timeout must still go through a killable
+        # worker; a fast task simply succeeds there.
+        policy = RetryPolicy(timeout=30.0, retries=0)
+        assert resilient_map(_sleep_briefly, [7], policy=policy) == [7]
+
+    def test_fail_fast_raises_from_pool(self):
+        policy = RetryPolicy(retries=0, backoff_base=0.0, fail_fast=True)
+        with pytest.raises(RetryExhaustedError):
+            resilient_map(_fail_always, [1, 2, 3], max_workers=2, policy=policy)
+
+    def test_pool_results_match_serial_results(self):
+        tasks = list(range(8))
+        assert resilient_map(_square, tasks, max_workers=3) == resilient_map(
+            _square, tasks
+        )
+
+
+def _crash_only_task_zero(value):
+    if value == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 10

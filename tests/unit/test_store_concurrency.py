@@ -1,0 +1,258 @@
+"""Concurrency tests for the result store: leases, vacuum, and a process hammer."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.errors import StoreLeaseError
+from repro.params import MiningParams
+from repro.simulation.config import SimulationConfig
+from repro.store import Lease, ResultStore, VacuumReport
+
+CONFIG = SimulationConfig(params=MiningParams(alpha=0.3, gamma=0.5), num_blocks=600, seed=11)
+
+
+def _payload(key: str) -> dict:
+    return {"value": key, "n": 1}
+
+
+class TestLeaseProtocol:
+    def test_claim_returns_lease_and_blocks_second_claimant(self, tmp_path):
+        store = ResultStore(tmp_path)
+        lease = store.claim("simulation", "aa" * 32)
+        assert isinstance(lease, Lease)
+        assert store.claim("simulation", "aa" * 32) is None
+
+    def test_release_frees_the_slot(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "bb" * 32
+        lease = store.claim("simulation", key)
+        assert store.release(lease) is True
+        assert store.lease_state("simulation", key) == "free"
+        assert store.claim("simulation", key) is not None
+
+    def test_release_is_token_checked(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cc" * 32
+        lease = store.claim("simulation", key)
+        forged = Lease(
+            namespace=lease.namespace,
+            key=lease.key,
+            path=lease.path,
+            token="someone-else",
+            expires_at=lease.expires_at,
+        )
+        assert store.release(forged) is False
+        assert store.lease_state("simulation", key) == "held"
+        assert store.release(lease) is True
+
+    def test_lease_state_transitions(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "dd" * 32
+        assert store.lease_state("simulation", key) == "free"
+        lease = store.claim("simulation", key)
+        assert store.lease_state("simulation", key) == "held"
+        store.release(lease)
+        assert store.lease_state("simulation", key) == "free"
+
+    def test_expired_claim_is_stale_and_stolen(self, tmp_path):
+        key = "ee" * 32
+        holder = ResultStore(tmp_path, lease_ttl=0.05)
+        assert holder.claim("simulation", key) is not None
+        time.sleep(0.1)
+        stealer = ResultStore(tmp_path)
+        assert stealer.lease_state("simulation", key) == "stale"
+        stolen = stealer.claim("simulation", key)
+        assert stolen is not None
+        assert stealer.lease_state("simulation", key) == "held"
+
+    def test_dead_holder_claim_is_stale(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ff" * 32
+        lease = store.claim("simulation", key)
+        # Rewrite the claim as if a long-gone same-host process held it: the
+        # pid probe, not the (far-future) expiry, must flag it stale.
+        record = json.loads(lease.path.read_text())
+        dead = multiprocessing.Process(target=_exit_immediately)
+        dead.start()
+        dead_pid = dead.pid
+        dead.join()
+        record["pid"] = dead_pid
+        record["expires_at"] = time.time() + 10_000
+        lease.path.write_text(json.dumps(record))
+        assert store.lease_state("simulation", key) == "stale"
+        assert store.claim("simulation", key) is not None
+
+    def test_corrupt_claim_file_is_stale(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" * 32
+        lease = store.claim("simulation", key)
+        lease.path.write_text("not json at all")
+        assert store.lease_state("simulation", key) == "stale"
+        assert store.claim("simulation", key) is not None
+
+    def test_lease_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(StoreLeaseError):
+            ResultStore(tmp_path, lease_ttl=0)
+
+    def test_claim_result_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        lease = store.claim_result(CONFIG, "chain")
+        assert lease is not None
+        assert store.claim_result(CONFIG, "chain") is None
+        assert store.result_lease_state(CONFIG, "chain") == "held"
+        store.release(lease)
+        assert store.result_lease_state(CONFIG, "chain") == "free"
+
+
+class TestVacuum:
+    def test_empty_store_vacuums_clean(self, tmp_path):
+        report = ResultStore(tmp_path).vacuum()
+        assert report == VacuumReport(0, 0, 0)
+        assert report.total == 0
+
+    def test_sweeps_old_tmp_files_only(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "aa" * 32
+        store.put("simulation", key, _payload(key))
+        shard = store._entry_path("simulation", key).parent
+        orphan = shard / ".deadbeef-12345.tmp"
+        orphan.write_text("half a write")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))
+        fresh = shard / ".cafebabe-67890.tmp"
+        fresh.write_text("in flight right now")
+        report = store.vacuum()
+        assert report.removed_tmp == 1
+        assert not orphan.exists()
+        assert fresh.exists()
+
+    def test_sweeps_stale_claims_keeps_live_ones(self, tmp_path):
+        key_live, key_stale = "ab" * 32, "cd" * 32
+        store = ResultStore(tmp_path)
+        live = store.claim("simulation", key_live)
+        expiring = ResultStore(tmp_path, lease_ttl=0.05)
+        assert expiring.claim("simulation", key_stale) is not None
+        time.sleep(0.1)
+        report = store.vacuum()
+        assert report.removed_claims == 1
+        assert store.lease_state("simulation", key_live) == "held"
+        assert store.lease_state("simulation", key_stale) == "free"
+        store.release(live)
+
+    def test_sweeps_invalid_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good, bad = "ee" * 32, "ff" * 32
+        store.put("simulation", good, _payload(good))
+        bad_path = store._entry_path("simulation", bad)
+        bad_path.parent.mkdir(parents=True, exist_ok=True)
+        valid_body = json.dumps(
+            {"key": bad, "checksum": "wrong", "payload": _payload(bad)}
+        )
+        bad_path.write_text(valid_body[: len(valid_body) // 2])
+        report = store.vacuum()
+        assert report.removed_entries == 1
+        assert not bad_path.exists()
+        assert store.get("simulation", good) == _payload(good)
+
+    def test_namespace_filter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for namespace in ("simulation", "policy"):
+            path = store._entry_path(namespace, "aa" * 32)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text("truncated")
+        report = store.vacuum("policy")
+        assert report.removed_entries == 1
+        assert store._entry_path("simulation", "aa" * 32).exists()
+
+
+# ---------------------------------------------------------------------------
+# Multi-process hammer
+# ---------------------------------------------------------------------------
+
+_HAMMER_KEYS = [format(index, "02x") * 32 for index in range(6)]
+
+
+def _exit_immediately():
+    pass
+
+
+def _hammer_worker(root: str, worker_seed: int, barrier) -> None:
+    """Race put/get/vacuum against siblings; any inconsistency raises (exit != 0)."""
+    store = ResultStore(root)
+    barrier.wait()
+    for round_number in range(25):
+        key = _HAMMER_KEYS[(worker_seed + round_number) % len(_HAMMER_KEYS)]
+        store.put("simulation", key, _payload(key))
+        loaded = store.get("simulation", key)
+        if loaded is not None and loaded != _payload(key):
+            raise AssertionError(f"corrupted read for {key}: {loaded!r}")
+        if round_number % 5 == worker_seed % 5:
+            store.vacuum("simulation", tmp_max_age=0.0)
+
+
+def _lease_worker(root: str, log_path: str, barrier) -> None:
+    """Claim-compute-release every key once; log each key actually computed."""
+    store = ResultStore(root)
+    barrier.wait()
+    for key in _HAMMER_KEYS:
+        lease = store.claim("simulation", key)
+        if lease is None:
+            continue  # someone else is computing this key right now
+        try:
+            if store.get("simulation", key) is None:
+                with open(log_path, "a") as handle:  # O_APPEND: atomic small writes
+                    handle.write(f"{key}\n")
+                store.put("simulation", key, _payload(key))
+        finally:
+            store.release(lease)
+
+
+class TestProcessHammer:
+    def test_concurrent_put_get_vacuum_never_corrupts(self, tmp_path):
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(3)
+        processes = [
+            context.Process(target=_hammer_worker, args=(str(tmp_path), seed, barrier))
+            for seed in range(3)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        assert all(process.exitcode == 0 for process in processes)
+        store = ResultStore(tmp_path)
+        # Every key was written by at least one process with the same bits;
+        # no valid entry may be lost or corrupted by the concurrent traffic.
+        for key in _HAMMER_KEYS:
+            assert store.get("simulation", key) == _payload(key)
+
+    def test_lease_path_prevents_duplicate_computation(self, tmp_path):
+        root = tmp_path / "store"
+        log_path = tmp_path / "computed.log"
+        log_path.touch()
+        context = multiprocessing.get_context()
+        barrier = context.Barrier(3)
+        processes = [
+            context.Process(
+                target=_lease_worker, args=(str(root), str(log_path), barrier)
+            )
+            for _ in range(3)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        assert all(process.exitcode == 0 for process in processes)
+        computed = log_path.read_text().split()
+        # Zero duplicated simulations: each key computed at most once across
+        # all processes (losers either saw a held claim or a settled entry).
+        assert len(computed) == len(set(computed))
+        store = ResultStore(root)
+        for key in computed:
+            assert store.get("simulation", key) == _payload(key)
