@@ -2,16 +2,20 @@
 """Run the engine benchmark suite and write a machine-readable timing record.
 
 The driver invokes the pytest-benchmark suite (engines, network, MDP solver,
-sweep-engine and resilient-dispatcher files by default), extracts per-benchmark
-timings, derives blocks-per-second figures for the simulator benchmarks, and
-writes everything to ``BENCH_PR7.json`` at the repository root so the
+sweep-engine, resilient-dispatcher and store files by default), extracts
+per-benchmark timings, derives blocks-per-second figures for the simulator
+benchmarks and entries-per-second figures for the store benchmarks, and
+writes everything to ``BENCH_PR9.json`` at the repository root so the
 performance trajectory is tracked in-repo (``BENCH_PR2.json``,
-``BENCH_PR5.json`` and ``BENCH_PR6.json`` hold the earlier-era records).
+``BENCH_PR5.json``, ``BENCH_PR6.json`` and ``BENCH_PR7.json`` hold the
+earlier-era records).
 
-The PR 7 record additionally pairs the resilient-dispatcher benchmarks with
-their pre-PR 7 replicas (a bare ``ProcessPoolExecutor.map`` and a plain serial
-loop) into ``overhead_vs_pool_map`` / ``overhead_vs_serial_loop`` ratios — the
-wall-clock tax of the fault-tolerance machinery on a healthy workload.
+The record pairs the resilient-dispatcher benchmarks with their pre-PR 7
+replicas (a bare ``ProcessPoolExecutor.map`` and a plain serial loop) into
+``overhead_vs_pool_map`` / ``overhead_vs_serial_loop`` ratios — the
+wall-clock tax of the fault-tolerance machinery on a healthy workload.  The
+PR 9 store benchmarks measure the pack-compaction tier: the same warm batched
+read over loose JSON entries vs compacted sqlite packs.
 
 Every record is stamped with its provenance — the git commit it measured, the
 interpreter and machine it ran on, and the contents of the four component
@@ -28,8 +32,10 @@ Usage::
 ``--smoke`` shrinks the simulated block counts (via ``REPRO_BENCH_SCALE``) and runs
 single rounds so the whole suite finishes in seconds.  ``--check`` asserts that the
 compiled-table Markov backend beats the scalar accumulate path (the PR 2
-vectorisation) and that the network simulator's zero-latency fast path beats the
-general event loop on the same workload (the PR 6 batched event core).
+vectorisation), that the network simulator's zero-latency fast path beats the
+general event loop on the same workload (the PR 6 batched event core), that the
+resilient dispatcher stays near a bare pool.map (PR 7), and that the pack-file
+read path beats the loose-entry path by at least 3x (the PR 9 compaction tier).
 """
 
 from __future__ import annotations
@@ -46,13 +52,13 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR7.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_PR9.json"
 #: Default pytest selection: the engine suite plus the network-backend, MDP
-#: solver, sweep-engine and resilient-dispatcher suites (whitespace-separated;
-#: each token is passed to pytest as its own argument).
+#: solver, sweep-engine, resilient-dispatcher and store suites
+#: (whitespace-separated; each token is passed to pytest as its own argument).
 DEFAULT_SELECT = (
     "benchmarks/bench_engines.py benchmarks/bench_network.py benchmarks/bench_mdp.py "
-    "benchmarks/bench_sweep.py benchmarks/bench_resilient.py"
+    "benchmarks/bench_sweep.py benchmarks/bench_resilient.py benchmarks/bench_store.py"
 )
 
 #: Full-scale timings measured immediately before the PR 2 optimisations landed
@@ -99,6 +105,21 @@ PR6_BASELINES_S = {
 #: Pairs of (measured benchmark, its no-machinery replica) whose mean ratio is
 #: recorded as a named overhead field on the *measured* record.  This is the
 #: PR 7 "dispatcher overhead vs old pool.map" number.
+#: Full-scale timings from the committed ``BENCH_PR7.json`` (the record made
+#: immediately before the PR 9 store-compaction tier landed), so the store and
+#: sweep benchmarks carry their position relative to the previous era next to
+#: the absolute numbers.  The warm-sweep benchmark is the one the batched pack
+#: read path actually touches; the engine benchmarks are carried as control
+#: measurements.  Only meaningful at scale 1.0.
+PR7_BASELINES_S = {
+    "test_sweep_cold_cache_benchmark": 0.1214,
+    "test_sweep_warm_cache_benchmark": 0.0042,
+    "test_markov_monte_carlo_benchmark": 0.0229,
+    "test_chain_simulator_benchmark": 0.4064,
+    "test_resilient_pool_dispatch_benchmark": 0.1157,
+    "test_resilient_serial_dispatch_benchmark": 0.0456,
+}
+
 OVERHEAD_PAIRS = (
     (
         "test_resilient_pool_dispatch_benchmark",
@@ -215,6 +236,12 @@ def summarise(payload: dict, scale: float) -> list[dict]:
         if blocks is not None:
             record["blocks"] = blocks
             record["blocks_per_sec"] = blocks / stats["mean"]
+        # Store benchmarks report their entry count the same way; entries/s is
+        # the store tier's throughput figure.
+        entries = bench.get("extra_info", {}).get("entries")
+        if entries is not None:
+            record["entries"] = entries
+            record["entries_per_sec"] = entries / stats["mean"]
         if scale == 1.0:
             baseline = PRE_PR2_BASELINES_S.get(bench["name"])
             if baseline is not None:
@@ -228,6 +255,10 @@ def summarise(payload: dict, scale: float) -> list[dict]:
             if pr6_baseline is not None:
                 record["pr6_baseline_s"] = pr6_baseline
                 record["speedup_vs_pr6"] = pr6_baseline / stats["mean"]
+            pr7_baseline = PR7_BASELINES_S.get(bench["name"])
+            if pr7_baseline is not None:
+                record["pr7_baseline_s"] = pr7_baseline
+                record["speedup_vs_pr7"] = pr7_baseline / stats["mean"]
         records.append(record)
     attach_overhead_ratios(records)
     return records
@@ -307,6 +338,31 @@ def check_dispatcher_overhead(records: list[dict]) -> None:
     )
 
 
+def check_pack_reads_beat_loose(records: list[dict]) -> None:
+    """Assert the pack-file read path beats the loose-entry path by >= 3x.
+
+    The acceptance bar of the PR 9 compaction tier: the same warm batched
+    ``get_many`` over compacted packs must run at least 3x the loose-entry
+    throughput (one SELECT per shard vs one file open per key).
+    """
+    by_name = {record["name"]: record for record in records}
+    loose = by_name.get("test_store_loose_read_benchmark")
+    pack = by_name.get("test_store_pack_read_benchmark")
+    if loose is None or pack is None:
+        raise SystemExit("--check needs both store read benchmarks in the selection")
+    ratio = loose["mean_s"] / pack["mean_s"]
+    if ratio < 3.0:
+        raise SystemExit(
+            "pack-file reads did not beat loose-entry reads by 3x: "
+            f"pack {pack['mean_s']:.4f}s vs loose {loose['mean_s']:.4f}s ({ratio:.2f}x)"
+        )
+    print(
+        f"check OK: pack reads {pack['mean_s']:.4f}s beat loose reads "
+        f"{loose['mean_s']:.4f}s ({ratio:.1f}x, "
+        f"{pack.get('entries_per_sec', 0):,.0f} entries/s warm)"
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
@@ -321,8 +377,9 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help=(
             "assert the compiled-table Markov backend beats the scalar path, "
-            "the zero-latency fast path beats the general event loop, and the "
-            "resilient dispatcher stays near a bare pool.map"
+            "the zero-latency fast path beats the general event loop, the "
+            "resilient dispatcher stays near a bare pool.map, and pack-file "
+            "reads beat loose-entry reads by 3x"
         ),
     )
     args = parser.parse_args(argv)
@@ -347,12 +404,18 @@ def main(argv: list[str] | None = None) -> None:
     args.output.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     print(f"wrote {args.output} ({len(records)} benchmarks)")
     for record in records:
-        rate = f" ({record['blocks_per_sec']:,.0f} blocks/s)" if "blocks_per_sec" in record else ""
+        if "blocks_per_sec" in record:
+            rate = f" ({record['blocks_per_sec']:,.0f} blocks/s)"
+        elif "entries_per_sec" in record:
+            rate = f" ({record['entries_per_sec']:,.0f} entries/s)"
+        else:
+            rate = ""
         print(f"  {record['name']}: {record['mean_s'] * 1e3:.2f} ms{rate}")
     if args.check:
         check_vectorised_beats_scalar(records)
         check_fast_path_beats_event_loop(records)
         check_dispatcher_overhead(records)
+        check_pack_reads_beat_loose(records)
 
 
 if __name__ == "__main__":

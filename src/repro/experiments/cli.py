@@ -10,6 +10,9 @@ Installed as the ``repro-experiments`` console script::
     repro-experiments all --fast           # every artifact, fast settings
     repro-experiments sweep my_scenario.toml --cache-dir .repro-cache
     repro-experiments sweep my_scenario.toml --cache-dir .repro-cache --resume
+    repro-experiments store compact --cache-dir .repro-cache
+    repro-experiments store stats --cache-dir .repro-cache
+    repro-experiments store vacuum --cache-dir .repro-cache --namespace simulation
 
 Each sub-command prints the corresponding driver's text report to stdout.  All
 sub-commands share one set of flags (:class:`ExperimentOptions`):
@@ -36,6 +39,15 @@ The ``sweep`` sub-command runs an arbitrary scenario file (JSON or TOML; see
 flags: ``--max-cells N`` stops after N grid cells (leaving the rest pending on
 disk), and ``--resume`` continues an interrupted sweep from an existing
 ``--cache-dir`` — only the still-missing cells execute.
+
+The ``store`` sub-command maintains a ``--cache-dir`` in place:
+``store compact`` batches the settled loose entries into per-shard sqlite pack
+files (bit-exact — warm reads return identical results, just through one
+``SELECT`` per shard instead of one file open per run), ``store stats`` prints
+per-namespace loose/packed accounting, and ``store vacuum`` sweeps debris —
+orphaned tmp files, stale claims, corrupt entries and pack rows, and loose
+duplicates of already-packed entries.  ``--namespace`` restricts any of the
+three to one namespace (``simulation`` or ``policy``).
 
 Purely descriptive artifacts (``table1``, ``figure6``) accept and ignore the
 worker/backend/cache flags so that scripted invocations stay uniform.
@@ -174,18 +186,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "sweep"],
+        choices=sorted(_EXPERIMENTS) + ["all", "store", "sweep"],
         help=(
             "which artifact to regenerate ('all' runs every driver; 'sweep' runs "
-            "a scenario file through the shared sweep engine)"
+            "a scenario file through the shared sweep engine; 'store' maintains "
+            "a --cache-dir: compact | stats | vacuum)"
         ),
     )
     parser.add_argument(
         "scenario",
         nargs="?",
         default=None,
-        metavar="SCENARIO_FILE",
-        help="scenario file (.json/.toml) for the 'sweep' sub-command",
+        metavar="SCENARIO_FILE_OR_ACTION",
+        help=(
+            "scenario file (.json/.toml) for the 'sweep' sub-command, or the "
+            "action (compact | stats | vacuum) for the 'store' sub-command"
+        ),
+    )
+    parser.add_argument(
+        "--namespace",
+        default=None,
+        metavar="NAME",
+        help=(
+            "store only: restrict compact/stats/vacuum to one namespace "
+            "('simulation' or 'policy'; default: all)"
+        ),
     )
     parser.add_argument(
         "--fast",
@@ -380,6 +405,73 @@ def run_sweep(
     return result.report()
 
 
+#: Actions of the ``store`` sub-command.
+STORE_ACTIONS = ("compact", "stats", "vacuum")
+
+
+def run_store(
+    action: str,
+    *,
+    cache_dir: Path | None,
+    namespace: str | None = None,
+) -> str:
+    """Run one store-maintenance action against ``cache_dir`` and report it.
+
+    ``compact`` batches settled loose entries into per-shard pack files,
+    ``stats`` prints per-namespace accounting, ``vacuum`` sweeps debris (tmp
+    files, stale claims, corrupt entries and pack rows, loose duplicates of
+    packed entries).  All three require an *existing* cache directory — a typo
+    should fail loudly, not create an empty store.
+    """
+    from ..store import ResultStore
+    from ..utils.tables import Table
+
+    if action not in STORE_ACTIONS:
+        raise ExperimentError(
+            f"unknown store action {action!r}; available: {', '.join(STORE_ACTIONS)}"
+        )
+    if cache_dir is None:
+        raise ExperimentError("'store' needs --cache-dir (the store to maintain)")
+    if not Path(cache_dir).is_dir():
+        raise ExperimentError(
+            f"'store' expects an existing cache directory, {str(cache_dir)!r} is missing"
+        )
+    store = ResultStore(cache_dir)
+    if action == "compact":
+        report = store.compact(namespace)
+        lines = [
+            f"packed {report.packed} loose entries into {report.packs} pack file(s); "
+            f"{report.deduplicated} already packed, {report.invalid} corrupt discarded"
+        ]
+        if report.reset_packs:
+            lines.append(f"{report.reset_packs} unreadable pack file(s) rebuilt from scratch")
+        return "\n".join(lines)
+    if action == "vacuum":
+        report = store.vacuum(namespace)
+        return (
+            f"removed {report.removed_tmp} orphaned tmp files, "
+            f"{report.removed_claims} stale claims, "
+            f"{report.removed_entries} invalid entries, "
+            f"{report.removed_pack_rows} corrupt pack rows, "
+            f"{report.removed_packs} unreadable packs, "
+            f"{report.deduplicated_entries} loose duplicates of packed entries"
+        )
+    table = Table(
+        headers=["namespace", "loose", "packed", "packs", "loose bytes", "pack bytes"],
+        title=f"Store {cache_dir}",
+    )
+    for stats in store.stats(namespace):
+        table.add_row(
+            stats.namespace,
+            stats.loose_entries,
+            stats.packed_entries,
+            stats.pack_files,
+            stats.loose_bytes,
+            stats.pack_bytes,
+        )
+    return table.render()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -394,6 +486,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error(
                 "--backend does not apply to 'sweep'; set 'backends' in the scenario file"
             )
+        if arguments.namespace is not None:
+            parser.error("--namespace only applies to 'store'")
+    elif arguments.experiment == "store":
+        if arguments.scenario is None:
+            parser.error(
+                f"'store' needs an action: repro-experiments store "
+                f"{{{'|'.join(STORE_ACTIONS)}}} --cache-dir DIR"
+            )
+        if arguments.fast:
+            parser.error("--fast does not apply to 'store'")
+        if arguments.backend != "chain":
+            parser.error("--backend does not apply to 'store'")
+        if arguments.resume:
+            parser.error("--resume only applies to 'sweep'")
+        if arguments.max_cells is not None:
+            parser.error("--max-cells only applies to 'sweep'")
     else:
         if arguments.scenario is not None:
             parser.error(
@@ -404,6 +512,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--resume only applies to 'sweep'")
         if arguments.max_cells is not None:
             parser.error("--max-cells only applies to 'sweep'")
+        if arguments.namespace is not None:
+            parser.error("--namespace only applies to 'store'")
+    if arguments.experiment == "store":
+        started = time.time()
+        report = run_store(
+            arguments.scenario,
+            cache_dir=arguments.cache_dir,
+            namespace=arguments.namespace,
+        )
+        print(f"==== store {arguments.scenario} ({time.time() - started:.1f}s) ====")
+        print(report)
+        return 0
     if arguments.experiment == "sweep":
         started = time.time()
         report = run_sweep(

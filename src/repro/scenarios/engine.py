@@ -14,7 +14,9 @@ values and executes their combined run plans through one pipeline:
    the cache absorbed.
 
 ``max_cells`` caps how many cells (across all specs, in plan order) are
-attempted in this invocation; the rest are recorded as *skipped*.  Together
+attempted in this invocation; the rest are recorded as *skipped*.  With a
+store, cells already fully cached are settled for free (a batched
+``has_results`` check) without consuming the cap.  Together
 with a store this is what makes sweeps interruptible and resumable: a killed or
 capped sweep leaves its settled runs on disk, and the next invocation executes
 only what is still missing — the ``sweep`` CLI's ``--resume`` path.
@@ -199,7 +201,10 @@ def run_scenarios(
     All specs' missing runs are dispatched together (one process pool keeps
     every worker busy across scenario boundaries), and results come back
     grouped per spec, per cell, in expansion order.  ``max_cells`` caps the
-    cells attempted across all specs combined, in plan order.  ``policy``
+    cells attempted across all specs combined, in plan order; with a store,
+    cells whose every run is already cached are *free* — a batched store check
+    settles them without consuming the cap, so the cap budgets fresh progress.
+    ``policy``
     tunes the resilient dispatch (per-run timeout, retries, backoff,
     fail-fast); ``on_failure="record"`` degrades a run that exhausts its
     budget into a *failed* cell instead of raising
@@ -254,9 +259,26 @@ def _run_scenarios(
         cells = spec.cells()
         if budget is None:
             attempted = list(cells)
-        else:
+        elif store is None:
             attempted = list(cells[: max(budget, 0)])
             budget -= len(attempted)
+        else:
+            # Plan filter: one batched containment check (one pack SELECT per
+            # shard on a compacted store) decides which cells are already
+            # fully settled.  Those are free — loading them does no simulation
+            # work — so ``max_cells`` budgets *new* cells only, and every
+            # capped invocation of a resumed sweep makes max_cells cells of
+            # fresh progress instead of re-spending the cap on cached cells.
+            plan = spec.run_plan(cells)
+            present = store.has_results([(run.config, run.backend) for run in plan])
+            attempted = []
+            for position, cell in enumerate(cells):
+                runs = present[position * spec.num_runs : (position + 1) * spec.num_runs]
+                if all(runs):
+                    attempted.append(cell)
+                elif budget > 0:
+                    attempted.append(cell)
+                    budget -= 1
         spec_cells.append((spec, cells, attempted))
 
     # One flat task list across all specs; slices map back to (spec, cell).

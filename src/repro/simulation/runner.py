@@ -162,8 +162,10 @@ def execute_runs(
     results: list[SimulationResult | RunFailure | None] = [None] * len(tasks)
     missing: list[int] = []
     if store is not None:
-        for index, (config, backend) in enumerate(tasks):
-            cached = store.load_result(config, backend)
+        # One batched read answers the whole up-front check — a warm sweep
+        # over a compacted store costs one pack SELECT per shard instead of
+        # one file open per run.
+        for index, cached in enumerate(store.load_many(tasks)):
             if cached is None:
                 missing.append(index)
             else:

@@ -16,6 +16,12 @@ store:
   the optimal strategy's per-point solve survives process restarts;
 * entries are checksummed and written atomically; corruption of any kind reads
   as a cache miss and falls back to recomputation (:mod:`repro.store.store`);
+* settled entries **compact into per-shard sqlite pack files**
+  (:mod:`repro.store.packs`): reads consult the pack first and fall back to
+  loose JSON, and the batched lookups (``load_many`` / ``contains_many``)
+  answer warm million-cell sweeps with one ``SELECT`` per shard instead of one
+  ``open()`` per run — same checksums, same corruption-degrades-to-recompute
+  contract;
 * several **processes** may share one root: the claim/lease protocol
   (:meth:`ResultStore.claim` / :meth:`ResultStore.release`) stops two sweeps
   pointed at the same ``--cache-dir`` from duplicating work, and
@@ -34,6 +40,7 @@ from .fingerprint import (
     fingerprint_payload,
     hash_payload,
 )
+from .packs import PACK_FILENAME, CompactReport, NamespaceStats, PackStore
 from .serialize import result_from_payload, result_payload
 from .store import (
     POLICY_NAMESPACE,
@@ -44,10 +51,14 @@ from .store import (
 )
 
 __all__ = [
+    "PACK_FILENAME",
     "POLICY_NAMESPACE",
     "SIMULATION_NAMESPACE",
     "STORE_VERSION",
+    "CompactReport",
     "Lease",
+    "NamespaceStats",
+    "PackStore",
     "ResultStore",
     "VacuumReport",
     "canonical_json",

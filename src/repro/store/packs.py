@@ -1,0 +1,442 @@
+"""Pack files: many settled entries compacted into one sqlite file per shard.
+
+The loose layout — one JSON file per settled run — is what makes writes atomic
+and corruption-local, but it does not survive millions of results: a warm
+million-cell sweep pays one ``open()`` + parse per cell, and a single shard
+directory holds thousands of tiny files.  :class:`PackStore` is the compaction
+tier underneath :class:`~repro.store.store.ResultStore`:
+
+* one **pack file** per ``(namespace, shard prefix)`` — the sqlite database
+  ``<root>/<namespace>/<shard>/entries.pack`` sitting next to the loose
+  entries it absorbed, so the sharding scheme (first two hex digits of the
+  key) is unchanged and a namespace's data never crosses a shard boundary;
+* rows keep the loose envelope's exact integrity contract: the ``payload``
+  column holds the entry's **canonical JSON** text and ``checksum`` its
+  SHA-256 (:func:`~repro.store.fingerprint.hash_payload`), so a row validates
+  by hashing the stored text — no parse needed — and any mismatch reads as a
+  cache miss exactly like a corrupted loose file;
+* :meth:`compact` moves valid loose entries into their shard's pack in one
+  transaction and unlinks them only after the commit, so a crash mid-compact
+  can lose no data (worst case: a loose entry also present in the pack, which
+  ``vacuum`` deduplicates later);
+* reads are **batched**: :meth:`get_many` / :meth:`contains_many` group keys
+  by shard and answer each shard with one ``SELECT``, so a warm sweep does
+  O(shards) file opens instead of O(cells).  Connections are cached per pack
+  (and must therefore stay in the parent process — the store is never
+  consulted inside pool workers, see :mod:`repro.simulation.runner`).
+
+A pack is still just a cache: an unreadable pack file (truncated, overwritten,
+not sqlite at all) makes every key it held read as a miss, and
+:meth:`vacuum_shard` deletes it so the slot is clean to recompact — the same
+degrade-to-recompute contract the loose tier pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .fingerprint import canonical_json
+
+#: File name of the per-shard pack database (lives inside the shard directory,
+#: next to the loose ``<key>.json`` entries it replaces).
+PACK_FILENAME = "entries.pack"
+
+#: ``PRAGMA user_version`` stamped into every pack; bump on schema changes.
+PACK_SCHEMA_VERSION = 1
+
+#: Keys per ``IN (...)`` clause — comfortably under sqlite's default 999
+#: bound-variable limit.
+_SELECT_CHUNK = 400
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key TEXT PRIMARY KEY,
+    checksum TEXT NOT NULL,
+    payload TEXT NOT NULL
+) WITHOUT ROWID
+"""
+
+
+@dataclass(frozen=True)
+class CompactReport:
+    """What one :meth:`PackStore.compact` pass did."""
+
+    #: Loose entries moved into pack files.
+    packed: int
+    #: Loose entries whose key was already in the pack (removed, not re-written).
+    deduplicated: int
+    #: Corrupt loose entries discarded instead of packed.
+    invalid: int
+    #: Pack files written or updated.
+    packs: int
+    #: Unreadable pack files deleted and rebuilt from scratch.
+    reset_packs: int = 0
+
+    @property
+    def total(self) -> int:
+        """Loose entries this pass removed from the loose tier."""
+        return self.packed + self.deduplicated + self.invalid
+
+
+@dataclass(frozen=True)
+class NamespaceStats:
+    """Size accounting for one namespace (see :meth:`PackStore.stats`)."""
+
+    namespace: str
+    loose_entries: int
+    packed_entries: int
+    pack_files: int
+    loose_bytes: int
+    pack_bytes: int
+
+    @property
+    def entries(self) -> int:
+        """Entries reachable through the read path (loose + packed)."""
+        return self.loose_entries + self.packed_entries
+
+
+def _row_valid(key: str, checksum: str, payload_text: str) -> bool:
+    """A pack row's integrity check: the stored canonical text hashes to its checksum.
+
+    Rows are written from :func:`canonical_json`, so this is exactly
+    ``hash_payload(payload) == checksum`` without the parse.
+    """
+    return (
+        isinstance(checksum, str)
+        and isinstance(payload_text, str)
+        and hashlib.sha256(payload_text.encode("utf-8")).hexdigest() == checksum
+    )
+
+
+class PackStore:
+    """The per-shard sqlite pack tier under one store root (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._connections: dict[Path, sqlite3.Connection] = {}
+
+    def __getstate__(self) -> dict:
+        # sqlite connections are process-local; a pickled PackStore (e.g. a
+        # store riding along into a worker) reconnects lazily on first use.
+        return {"root": self.root}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = state["root"]
+        self._connections = {}
+
+    # ------------------------------------------------------------------ paths
+    def pack_path(self, namespace: str, shard: str) -> Path:
+        """The pack file of one ``(namespace, shard-prefix)`` pair."""
+        return self.root / namespace / shard / PACK_FILENAME
+
+    def _connect(self, path: Path, *, create: bool = False) -> sqlite3.Connection | None:
+        """A cached connection to ``path``; ``None`` when absent and not creating."""
+        connection = self._connections.get(path)
+        if connection is not None:
+            return connection
+        if not create and not path.exists():
+            return None
+        if create:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(path, timeout=30.0)
+        if create:
+            try:
+                connection.execute(_SCHEMA)
+                connection.execute(f"PRAGMA user_version = {PACK_SCHEMA_VERSION}")
+                connection.commit()
+            except sqlite3.Error:
+                # The path exists but is not a usable database (e.g. a pack
+                # overwritten with garbage): close the half-open handle and let
+                # the caller decide — compact deletes and rebuilds it.
+                connection.close()
+                raise
+        self._connections[path] = connection
+        return connection
+
+    def _drop_connection(self, path: Path) -> None:
+        connection = self._connections.pop(path, None)
+        if connection is not None:
+            try:
+                connection.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
+
+    def close(self) -> None:
+        """Close every cached pack connection (tests, process shutdown)."""
+        for path in list(self._connections):
+            self._drop_connection(path)
+
+    # ------------------------------------------------------------------ reads
+    def get(self, namespace: str, key: str) -> dict | None:
+        """The payload packed under ``key``; ``None`` on miss *or* corruption."""
+        found = self.get_many(namespace, [key])
+        return found.get(key)
+
+    def contains(self, namespace: str, key: str) -> bool:
+        """True when a valid pack row exists under ``key``."""
+        return key in self.contains_many(namespace, [key])
+
+    def get_many(self, namespace: str, keys: Sequence[str]) -> dict[str, dict]:
+        """Batch-load valid packed payloads: one ``SELECT`` per shard touched.
+
+        Returns only the keys found (and valid); corrupt rows and unreadable
+        packs read as misses, eviction is :meth:`vacuum_shard`'s job.
+        """
+        found: dict[str, dict] = {}
+        for key, checksum, payload_text in self._select(namespace, keys):
+            if _row_valid(key, checksum, payload_text):
+                try:
+                    found[key] = json.loads(payload_text)
+                except json.JSONDecodeError:  # pragma: no cover - checksum gate
+                    continue
+        return found
+
+    def contains_many(self, namespace: str, keys: Sequence[str]) -> set[str]:
+        """The subset of ``keys`` with a valid pack row (checksum verified, no parse)."""
+        return {
+            key
+            for key, checksum, payload_text in self._select(namespace, keys)
+            if _row_valid(key, checksum, payload_text)
+        }
+
+    def _select(
+        self, namespace: str, keys: Sequence[str]
+    ) -> Iterable[tuple[str, str, str]]:
+        """Yield ``(key, checksum, payload)`` rows for ``keys``, grouped by shard."""
+        by_shard: dict[str, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(key[:2], []).append(key)
+        for shard, shard_keys in by_shard.items():
+            connection = self._connect(self.pack_path(namespace, shard))
+            if connection is None:
+                continue
+            try:
+                for start in range(0, len(shard_keys), _SELECT_CHUNK):
+                    chunk = shard_keys[start : start + _SELECT_CHUNK]
+                    placeholders = ",".join("?" * len(chunk))
+                    yield from connection.execute(
+                        f"SELECT key, checksum, payload FROM entries "
+                        f"WHERE key IN ({placeholders})",
+                        chunk,
+                    )
+            except sqlite3.Error:
+                # An unreadable pack is a cache miss for every key it held;
+                # vacuum deletes it.  Drop the connection so a recompacted
+                # replacement file is picked up fresh.
+                self._drop_connection(self.pack_path(namespace, shard))
+                continue
+
+    # ------------------------------------------------------------------ compaction
+    def compact(self, namespace: str | None = None) -> CompactReport:
+        """Batch every valid loose entry into its shard's pack file.
+
+        Crash-safe ordering: rows land in one transaction, the commit happens
+        before any loose file is unlinked — an interrupted compaction leaves
+        every entry reachable (possibly twice, which ``vacuum`` deduplicates).
+        Concurrent compactors are safe (sqlite locking + idempotent inserts);
+        concurrent writers are safe because a loose rewrite of a packed key
+        re-derives the same bits (content addressing).
+        """
+        packed = deduplicated = invalid = packs = reset_packs = 0
+        for name in self._namespaces(namespace):
+            base = self.root / name
+            for shard in sorted(child for child in base.iterdir() if child.is_dir()):
+                loose = sorted(shard.glob("*.json"))
+                if not loose:
+                    continue
+                result = self._compact_shard(name, shard.name, loose)
+                if result is None:
+                    # Unreadable pack: delete it and rebuild from the loose tier.
+                    self._drop_connection(self.pack_path(name, shard.name))
+                    try:
+                        self.pack_path(name, shard.name).unlink()
+                    except OSError:  # pragma: no cover - racing vacuum
+                        pass
+                    reset_packs += 1
+                    result = self._compact_shard(name, shard.name, loose)
+                    if result is None:  # pragma: no cover - fresh pack unreadable
+                        continue
+                shard_packed, shard_deduplicated, shard_invalid = result
+                packed += shard_packed
+                deduplicated += shard_deduplicated
+                invalid += shard_invalid
+                if shard_packed or shard_deduplicated:
+                    packs += 1
+        return CompactReport(
+            packed=packed,
+            deduplicated=deduplicated,
+            invalid=invalid,
+            packs=packs,
+            reset_packs=reset_packs,
+        )
+
+    def _compact_shard(
+        self, namespace: str, shard: str, loose: Sequence[Path]
+    ) -> tuple[int, int, int] | None:
+        """Pack one shard's loose files; ``None`` when the pack is unreadable."""
+        rows: list[tuple[str, str, str]] = []
+        packable: list[Path] = []
+        invalid = 0
+        for path in loose:
+            payload = _read_loose_entry(path)
+            if payload is None:
+                # Same contract as ResultStore.get: corruption is discarded so
+                # the slot is clean for the recompute.
+                try:
+                    path.unlink()
+                    invalid += 1
+                except OSError:  # pragma: no cover - racing remover
+                    pass
+                continue
+            text = canonical_json(payload)
+            rows.append((path.stem, hashlib.sha256(text.encode("utf-8")).hexdigest(), text))
+            packable.append(path)
+        if not rows:
+            return (0, 0, invalid)
+        try:
+            connection = self._connect(self.pack_path(namespace, shard), create=True)
+            existing: set[str] = set()
+            for start in range(0, len(rows), _SELECT_CHUNK):
+                chunk = [row[0] for row in rows[start : start + _SELECT_CHUNK]]
+                placeholders = ",".join("?" * len(chunk))
+                existing.update(
+                    key
+                    for (key,) in connection.execute(
+                        f"SELECT key FROM entries WHERE key IN ({placeholders})", chunk
+                    )
+                )
+            connection.executemany(
+                "INSERT OR REPLACE INTO entries (key, checksum, payload) VALUES (?, ?, ?)",
+                rows,
+            )
+            connection.commit()
+        except sqlite3.Error:
+            return None
+        packed = deduplicated = 0
+        for (key, _checksum, _text), path in zip(rows, packable):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing remover
+                continue
+            if key in existing:
+                deduplicated += 1
+            else:
+                packed += 1
+        return (packed, deduplicated, 0 if invalid == 0 else invalid)
+
+    # ------------------------------------------------------------------ maintenance
+    def packed_keys(self, namespace: str, shard: str) -> set[str]:
+        """Every key in one shard's pack (validity not checked, no side effects)."""
+        connection = self._connect(self.pack_path(namespace, shard))
+        if connection is None:
+            return set()
+        try:
+            return {key for (key,) in connection.execute("SELECT key FROM entries")}
+        except sqlite3.Error:
+            return set()
+
+    def vacuum_shard(self, namespace: str, shard: str) -> tuple[int, int, set[str]]:
+        """Sweep one shard's pack: evict checksum-failing rows, drop unreadable packs.
+
+        Returns ``(removed_rows, removed_packs, valid_keys)``; ``valid_keys``
+        lets the caller deduplicate loose entries the pack already covers.
+        """
+        path = self.pack_path(namespace, shard)
+        connection = self._connect(path)
+        if connection is None:
+            return (0, 0, set())
+        valid: set[str] = set()
+        bad: list[str] = []
+        try:
+            for key, checksum, payload_text in connection.execute(
+                "SELECT key, checksum, payload FROM entries"
+            ):
+                if _row_valid(key, checksum, payload_text):
+                    valid.add(key)
+                else:
+                    bad.append(key)
+            if bad:
+                connection.executemany(
+                    "DELETE FROM entries WHERE key = ?", [(key,) for key in bad]
+                )
+                connection.commit()
+        except sqlite3.Error:
+            # The pack itself is unreadable: every key is a miss, delete it.
+            self._drop_connection(path)
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing remover
+                pass
+            return (0, 1, set())
+        return (len(bad), 0, valid)
+
+    def stats(self, namespace: str | None = None) -> tuple[NamespaceStats, ...]:
+        """Per-namespace loose/packed entry and byte counts."""
+        reports: list[NamespaceStats] = []
+        for name in self._namespaces(namespace):
+            base = self.root / name
+            loose_entries = loose_bytes = packed_entries = pack_files = pack_bytes = 0
+            for shard in sorted(child for child in base.iterdir() if child.is_dir()):
+                for entry in shard.glob("*.json"):
+                    try:
+                        loose_bytes += entry.stat().st_size
+                        loose_entries += 1
+                    except OSError:  # pragma: no cover - racing remover
+                        pass
+                path = self.pack_path(name, shard.name)
+                connection = self._connect(path)
+                if connection is None:
+                    continue
+                try:
+                    (count,) = connection.execute("SELECT COUNT(*) FROM entries").fetchone()
+                    pack_bytes += path.stat().st_size
+                except (sqlite3.Error, OSError):
+                    continue
+                pack_files += 1
+                packed_entries += count
+            reports.append(
+                NamespaceStats(
+                    namespace=name,
+                    loose_entries=loose_entries,
+                    packed_entries=packed_entries,
+                    pack_files=pack_files,
+                    loose_bytes=loose_bytes,
+                    pack_bytes=pack_bytes,
+                )
+            )
+        return tuple(reports)
+
+    def _namespaces(self, namespace: str | None) -> list[str]:
+        if namespace is not None:
+            return [namespace] if (self.root / namespace).is_dir() else []
+        if not self.root.is_dir():
+            return []
+        return sorted(child.name for child in self.root.iterdir() if child.is_dir())
+
+
+def _read_loose_entry(path: Path) -> dict | None:
+    """Read and fully validate one loose envelope; ``None`` on any damage.
+
+    The exact validation :meth:`ResultStore.get` applies (key-by-stem,
+    checksum over the canonical payload), shared here so compaction can never
+    launder a corrupt loose entry into a valid-looking pack row.
+    """
+    from .fingerprint import hash_payload
+
+    try:
+        envelope = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("key") != path.stem
+        or "payload" not in envelope
+        or envelope.get("checksum") != hash_payload(envelope["payload"])
+    ):
+        return None
+    return envelope["payload"]

@@ -38,6 +38,16 @@ persists the fresh results as they come back.  What *is* supported is several
 * :meth:`ResultStore.vacuum` sweeps the debris hard-killed writers leave
   behind: orphaned ``.tmp`` files, stale claims, and invalid (truncated,
   corrupted) entries.
+
+Underneath the loose one-JSON-per-entry layout sits the **pack tier**
+(:mod:`repro.store.packs`): :meth:`ResultStore.compact` batches settled
+entries into one sqlite pack file per shard, reads consult the pack first and
+fall back to loose JSON, and the batched lookups (:meth:`ResultStore.get_many`
+/ :meth:`ResultStore.load_many` / :meth:`ResultStore.contains_many`) answer a
+warm sweep with one ``SELECT`` per shard instead of one ``open()`` per run.
+Compaction changes nothing observable except speed: the pack rows carry the
+same checksums, a corrupt row reads as a miss exactly like a corrupt loose
+file, and ``vacuum`` sweeps packs too.
 """
 
 from __future__ import annotations
@@ -49,10 +59,11 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from ..errors import StoreLeaseError
 from .fingerprint import config_fingerprint, hash_payload
+from .packs import CompactReport, NamespaceStats, PackStore
 from .serialize import result_from_payload, result_payload
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -83,16 +94,33 @@ class Lease:
 
 @dataclass(frozen=True)
 class VacuumReport:
-    """What one :meth:`ResultStore.vacuum` pass removed."""
+    """What one :meth:`ResultStore.vacuum` pass removed.
+
+    Every count covers removals *this pass performed* — debris a racing
+    process swept first is not claimed here.
+    """
 
     removed_tmp: int
     removed_claims: int
     removed_entries: int
+    #: Checksum-failing rows evicted from pack files.
+    removed_pack_rows: int = 0
+    #: Unreadable pack files deleted outright (their keys read as misses).
+    removed_packs: int = 0
+    #: Valid loose entries removed because their shard's pack already holds them.
+    deduplicated_entries: int = 0
 
     @property
     def total(self) -> int:
-        """Files removed altogether."""
-        return self.removed_tmp + self.removed_claims + self.removed_entries
+        """Files and pack rows removed altogether."""
+        return (
+            self.removed_tmp
+            + self.removed_claims
+            + self.removed_entries
+            + self.removed_pack_rows
+            + self.removed_packs
+            + self.deduplicated_entries
+        )
 
 
 class ResultStore:
@@ -112,6 +140,7 @@ class ResultStore:
         self.root = Path(root)
         self.lease_ttl = lease_ttl
         self.root.mkdir(parents=True, exist_ok=True)
+        self.packs = PackStore(self.root)
 
     # ------------------------------------------------------------------ raw entries
     def _entry_path(self, namespace: str, key: str) -> Path:
@@ -155,17 +184,37 @@ class ResultStore:
     def get(self, namespace: str, key: str) -> dict | None:
         """Load the payload stored under ``key``; ``None`` on miss *or* corruption.
 
-        A corrupted entry (unreadable, malformed JSON, wrong envelope shape,
-        key/checksum mismatch) is removed so the slot is clean for the rewrite
-        that follows the recomputation.
+        The shard's pack file is consulted first, loose JSON second.  A
+        corrupted loose entry (unreadable, malformed JSON, wrong envelope
+        shape, key or checksum mismatch) is removed so the slot is clean for
+        the rewrite that follows the recomputation; a corrupted pack row just
+        reads as a miss (:meth:`vacuum` evicts it).
         """
+        packed = self.packs.get(namespace, key)
+        if packed is not None:
+            return packed
+        return self._get_loose(namespace, key)
+
+    def _get_loose(self, namespace: str, key: str) -> dict | None:
+        """The loose tier's half of :meth:`get`: validate, discard on damage."""
         path = self._entry_path(namespace, key)
+        payload = self._read_valid_entry(path, key)
+        if payload is None:
+            if path.exists():
+                self._discard(path)
+            return None
+        return payload
+
+    @staticmethod
+    def _read_valid_entry(path: Path, key: str) -> dict | None:
+        """Read and fully validate one loose envelope; ``None`` on any damage.
+
+        Pure read — never removes anything, so callers that must account for
+        their *own* removals (``vacuum``) can unlink explicitly.
+        """
         try:
             envelope = json.loads(path.read_text())
-        except FileNotFoundError:
-            return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self._discard(path)
             return None
         if (
             not isinstance(envelope, dict)
@@ -173,7 +222,6 @@ class ResultStore:
             or "payload" not in envelope
             or envelope.get("checksum") != hash_payload(envelope["payload"])
         ):
-            self._discard(path)
             return None
         return envelope["payload"]
 
@@ -185,19 +233,50 @@ class ResultStore:
             pass
 
     def contains(self, namespace: str, key: str) -> bool:
-        """True when a *valid* entry exists under ``key``."""
+        """True when a *valid* entry exists under ``key`` (packed or loose)."""
         return self.get(namespace, key) is not None
 
+    def get_many(self, namespace: str, keys: Sequence[str]) -> dict[str, dict]:
+        """Batch-load the valid payloads under ``keys``; misses are absent.
+
+        One ``SELECT`` per shard answers the packed keys; only the remainder
+        falls back to per-file loose reads, so a mostly-compacted store does
+        O(shards) file opens rather than O(keys).
+        """
+        found = self.packs.get_many(namespace, keys)
+        for key in keys:
+            if key not in found:
+                payload = self._get_loose(namespace, key)
+                if payload is not None:
+                    found[key] = payload
+        return found
+
+    def contains_many(self, namespace: str, keys: Sequence[str]) -> set[str]:
+        """The subset of ``keys`` with a valid entry (packed or loose), batched."""
+        present = self.packs.contains_many(namespace, keys)
+        for key in keys:
+            if key not in present and self._get_loose(namespace, key) is not None:
+                present.add(key)
+        return present
+
     def keys(self, namespace: str) -> Iterator[str]:
-        """Iterate the keys present under ``namespace`` (validity not checked)."""
+        """Iterate the keys present under ``namespace`` (validity not checked).
+
+        Covers both tiers: loose entry files and pack rows, each key once.
+        """
         base = self.root / namespace
         if not base.is_dir():
             return
+        seen: set[str] = set()
         for path in sorted(base.glob("*/*.json")):
+            seen.add(path.stem)
             yield path.stem
+        for shard in sorted(child for child in base.iterdir() if child.is_dir()):
+            for key in sorted(self.packs.packed_keys(namespace, shard.name) - seen):
+                yield key
 
     def count(self, namespace: str) -> int:
-        """Number of entries (valid or not) under ``namespace``."""
+        """Number of entries (valid or not) under ``namespace``, both tiers."""
         return sum(1 for _ in self.keys(namespace))
 
     # ------------------------------------------------------------------ leases
@@ -296,25 +375,53 @@ class ResultStore:
         Release *after* persisting the result: any process that subsequently
         wins the claim re-checks the entry first, so compute-then-write-then-
         release guarantees nobody recomputes a settled entry.
+
+        A check-then-unlink here would race a stealer: between reading our
+        token back and unlinking, the claim file can be atomically replaced
+        with the *stealer's* live claim, and the unlink would drop a claim we
+        no longer own.  Instead the claim is renamed aside first — the rename
+        atomically decides whose claim we took — and only then inspected: our
+        token means release succeeded; anyone else's claim is put back via
+        ``os.link`` (which, unlike a rename, cannot stomp a claim created in
+        the meantime).
         """
-        current = self._read_claim(lease.path)
-        if current is None or current.get("token") != lease.token:
-            return False
+        aside = lease.path.with_name(
+            f".{lease.key[:8]}-release-{os.getpid()}-{os.urandom(4).hex()}.tmp"
+        )
         try:
-            lease.path.unlink()
-        except OSError:  # pragma: no cover - racing steal/vacuum
+            os.rename(lease.path, aside)
+        except OSError:  # claim already gone (stolen + released, or vacuumed)
             return False
-        return True
+        current = self._read_claim(aside)
+        if current is not None and current.get("token") == lease.token:
+            self._discard(aside)
+            return True
+        # The claim under the slot was not ours — restore it.  link-then-unlink
+        # re-creates the name only if the slot is still empty; if a third
+        # process claimed it during the aside window, that newer claim stands.
+        try:
+            os.link(aside, lease.path)
+        except OSError:  # pragma: no cover - slot re-claimed in the window
+            pass
+        self._discard(aside)
+        return False
 
     def lease_state(self, namespace: str, key: str) -> str:
-        """``"free"``, ``"held"`` or ``"stale"`` — the claim slot's state."""
+        """``"free"``, ``"held"`` or ``"stale"`` — the claim slot's state.
+
+        One read decides: an ``exists()`` pre-check would misreport a claim
+        released between the check and the read as ``"stale"`` when the slot
+        is actually free.
+        """
         path = self._claim_path(namespace, key)
-        if not path.exists():
+        try:
+            holder = json.loads(path.read_text())
+        except FileNotFoundError:
             return "free"
-        holder = self._read_claim(path)
-        # An existing-but-unreadable claim file is stale (stealable), the same
-        # way :meth:`claim` treats it.
-        if holder is None or self._claim_stale(holder):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # Present but unreadable: stale (stealable), as :meth:`claim` treats it.
+            return "stale"
+        if not isinstance(holder, dict) or self._claim_stale(holder):
             return "stale"
         return "held"
 
@@ -331,7 +438,18 @@ class ResultStore:
           orphan from a killed writer);
         * stale claim files (expired or dead-holder — live claims are kept);
         * invalid entries (truncated/corrupted envelopes), via the same
-          validation :meth:`get` applies, so the slot is clean to recompute.
+          validation :meth:`get` applies, so the slot is clean to recompute;
+        * pack damage: checksum-failing pack rows are evicted and a pack file
+          that is not readable sqlite at all is deleted (its keys already read
+          as misses either way);
+        * loose entries whose shard's pack holds a *valid* row for the same
+          key — redundant since :meth:`compact` committed them, so the dedup
+          reclaims what an interrupted compaction left behind.
+
+        Several processes may vacuum (or remove entries) concurrently; each
+        report counts only the removals *that pass itself performed* — a file
+        that vanishes under the sweep was someone else's removal and is not
+        claimed.
         """
         if namespace is None:
             namespaces = sorted(
@@ -340,6 +458,7 @@ class ResultStore:
         else:
             namespaces = [namespace]
         removed_tmp = removed_claims = removed_entries = 0
+        removed_pack_rows = removed_packs = deduplicated_entries = 0
         cutoff = time.time() - tmp_max_age
         for name in namespaces:
             base = self.root / name
@@ -361,14 +480,59 @@ class ResultStore:
                             removed_claims += 1
                         except OSError:  # pragma: no cover - racing release
                             pass
+                shard_rows, shard_packs, packed = self.packs.vacuum_shard(
+                    name, shard.name
+                )
+                removed_pack_rows += shard_rows
+                removed_packs += shard_packs
                 for entry in sorted(shard.glob("*.json")):
-                    if self.get(name, entry.stem) is None and not entry.exists():
-                        removed_entries += 1
+                    key = entry.stem
+                    if key in packed:
+                        # The pack holds a verified row for this key; the loose
+                        # copy is an interrupted compaction's leftover.
+                        try:
+                            entry.unlink()
+                            deduplicated_entries += 1
+                        except OSError:  # racing remover got there first
+                            pass
+                        continue
+                    if self._read_valid_entry(entry, key) is None:
+                        # Invalid (or vanished since the glob): remove it
+                        # ourselves and count only a removal we performed — a
+                        # FileNotFoundError here means a racing process already
+                        # swept it, which is not this pass's removal.
+                        try:
+                            entry.unlink()
+                            removed_entries += 1
+                        except OSError:
+                            pass
         return VacuumReport(
             removed_tmp=removed_tmp,
             removed_claims=removed_claims,
             removed_entries=removed_entries,
+            removed_pack_rows=removed_pack_rows,
+            removed_packs=removed_packs,
+            deduplicated_entries=deduplicated_entries,
         )
+
+    # ------------------------------------------------------------------ compaction
+    def compact(self, namespace: str | None = None) -> CompactReport:
+        """Batch settled loose entries into per-shard pack files.
+
+        Bit-exact and crash-safe (see :meth:`PackStore.compact`): loading any
+        key after compaction returns the identical payload, and an interrupted
+        pass loses nothing — at worst a loose duplicate that the next
+        :meth:`vacuum` deduplicates.
+        """
+        return self.packs.compact(namespace)
+
+    def stats(self, namespace: str | None = None) -> tuple[NamespaceStats, ...]:
+        """Per-namespace loose/packed entry and byte accounting."""
+        return self.packs.stats(namespace)
+
+    def close(self) -> None:
+        """Release cached pack connections (safe to keep using the store after)."""
+        self.packs.close()
 
     # ------------------------------------------------------------------ simulation runs
     def result_key(self, config: "SimulationConfig", backend: str) -> str:
@@ -395,6 +559,39 @@ class ResultStore:
         """Persist one settled run under its configuration's fingerprint."""
         key = self.result_key(result.config, backend)
         return self.put(SIMULATION_NAMESPACE, key, result_payload(result))
+
+    def load_many(
+        self, tasks: Sequence[tuple["SimulationConfig", str]]
+    ) -> list["SimulationResult | None"]:
+        """Batched :meth:`load_result`, aligned with ``tasks``.
+
+        The hot path of a warm sweep: all packed hits come back from one
+        ``SELECT`` per shard instead of one file open per run.
+        """
+        keys = [self.result_key(config, backend) for config, backend in tasks]
+        payloads = self.get_many(SIMULATION_NAMESPACE, keys)
+        results: list["SimulationResult | None"] = []
+        for (config, _backend), key in zip(tasks, keys):
+            payload = payloads.get(key)
+            if payload is None:
+                results.append(None)
+                continue
+            try:
+                results.append(result_from_payload(payload, config))
+            except (KeyError, TypeError, ValueError):
+                # A payload from an incompatible schema: recompute rather than
+                # fail (its loose file, if any, is discarded like load_result's).
+                self._discard(self._entry_path(SIMULATION_NAMESPACE, key))
+                results.append(None)
+        return results
+
+    def has_results(
+        self, tasks: Sequence[tuple["SimulationConfig", str]]
+    ) -> list[bool]:
+        """Batched :meth:`has_result`, aligned with ``tasks``."""
+        keys = [self.result_key(config, backend) for config, backend in tasks]
+        present = self.contains_many(SIMULATION_NAMESPACE, keys)
+        return [key in present for key in keys]
 
     def claim_result(self, config: "SimulationConfig", backend: str) -> Lease | None:
         """Claim the right to compute one run (see :meth:`claim`)."""

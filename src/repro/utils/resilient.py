@@ -320,7 +320,15 @@ def _serial_map(function, tasks, ids, policy, try_claim, on_settled) -> list[Any
             try:
                 _fire_faults(task_id, attempt, in_worker=False)
                 result = function(payload)
-            except Exception as error:
+            except KeyboardInterrupt:
+                # The user interrupting the *parent* is not a task failure on
+                # either path (under the pool it hits the dispatcher, not a
+                # worker), so it propagates here too.
+                raise
+            except BaseException as error:  # noqa: BLE001 - settle like a worker
+                # Same capture as _worker_main: a SystemExit-raising task (or
+                # any other BaseException) settles as a failed attempt instead
+                # of propagating serially but not under the pool.
                 attempt += 1
                 if attempt > policy.retries:
                     failure = TaskFailure(
@@ -352,6 +360,10 @@ def _pool_map(function, tasks, ids, policy, workers_wanted, try_claim, on_settle
     pending: list[tuple[float, int]] = [(0.0, position) for position in range(len(tasks))]
     heapq.heapify(pending)
     workers: list[_Worker] = []
+    # Positions whose try_claim already succeeded: a task redispatched because
+    # its worker died before receiving it (send failure below) must keep the
+    # claim it holds, not take a second one.
+    claimed: set[int] = set()
 
     def settle_success(position: int, result: Any) -> None:
         nonlocal settled
@@ -391,12 +403,14 @@ def _pool_map(function, tasks, ids, policy, workers_wanted, try_claim, on_settle
                 _, position = heapq.heappop(pending)
                 if (
                     attempts[position] == 0
+                    and position not in claimed
                     and try_claim is not None
-                    and not try_claim(ids[position])
                 ):
-                    outcomes[position] = DEFERRED
-                    settled += 1
-                    continue
+                    if not try_claim(ids[position]):
+                        outcomes[position] = DEFERRED
+                        settled += 1
+                        continue
+                    claimed.add(position)
                 if idle is None:
                     idle = _spawn_worker(context, function)
                     workers.append(idle)
@@ -404,7 +418,18 @@ def _pool_map(function, tasks, ids, policy, workers_wanted, try_claim, on_settle
                 idle.deadline = (
                     now + policy.timeout if policy.timeout is not None else None
                 )
-                idle.connection.send((ids[position], attempts[position], tasks[position]))
+                try:
+                    idle.connection.send(
+                        (ids[position], attempts[position], tasks[position])
+                    )
+                except OSError:
+                    # The idle worker died *between* tasks (its pipe is gone).
+                    # That is the worker's failure, not the task's: retire the
+                    # corpse and put the task straight back — a fresh worker
+                    # picks it up on the next dispatch round, no attempt
+                    # charged and no second claim taken.
+                    retire(idle)
+                    heapq.heappush(pending, (now, position))
             busy = [worker for worker in workers if worker.busy]
             if not busy:
                 if pending:

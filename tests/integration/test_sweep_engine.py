@@ -76,6 +76,32 @@ class TestWarmStoreDoesZeroWork:
         assert warm.executed_runs == 0 and warm.cached_runs == 18
         assert [o.aggregate for o in warm.cells] == [o.aggregate for o in cold.cells]
 
+    def test_compacted_store_still_does_zero_work_bit_exactly(self, tmp_path, monkeypatch):
+        """Compaction must not cost a single recompute or change a single bit."""
+        spec = ScenarioSpec(
+            name="figure8-compacted",
+            alphas=tuple(round(0.05 * step, 2) for step in range(1, 10)),
+            gammas=(0.5,),
+            strategies=("selfish",),
+            backends=("markov",),
+            schedules=(FlatUncleSchedule(0.5),),
+            num_runs=2,
+            num_blocks=2_000,
+            seed=2019,
+        )
+        counter = _counting_make_simulator(monkeypatch)
+        store = ResultStore(tmp_path / "cache")
+        cold = run_scenario(spec, store=store)
+        assert cold.executed_runs == 18
+
+        report = store.compact()
+        assert report.packed == 18
+        counter["builds"] = 0
+        warm = run_scenario(spec, store=store)
+        assert counter["builds"] == 0, "compacted warm re-run constructed a simulator"
+        assert warm.executed_runs == 0 and warm.cached_runs == 18
+        assert [o.aggregate for o in warm.cells] == [o.aggregate for o in cold.cells]
+
 
 class TestSeedEngineFixturesThroughStore:
     @pytest.fixture(scope="class")
@@ -242,6 +268,36 @@ class TestInterruptAndResume:
         assert resumed.cached_runs == 4
         uncached = run_scenario(spec)
         assert [o.aggregate for o in resumed.cells] == [o.aggregate for o in uncached.cells]
+
+    def test_max_cells_budget_is_not_spent_on_cached_cells(self, tmp_path):
+        """Fully-cached cells ride along free under ``max_cells``.
+
+        The budget exists to bound *computation*; charging it for cells the
+        store already settles meant a resumed ``--max-cells N`` sweep made no
+        forward progress once N cells were cached.  Each resume at the same
+        budget must settle N *new* cells until the sweep completes.
+        """
+        spec = ScenarioSpec(
+            name="budget",
+            alphas=(0.2, 0.3, 0.4),
+            strategies=("honest", "selfish"),
+            backends=("markov",),
+            num_runs=1,
+            num_blocks=1_000,
+            seed=5,
+        )
+        store = ResultStore(tmp_path / "cache")
+        first = run_scenario(spec, store=store, max_cells=2)
+        assert first.executed_runs == 2 and first.skipped_cells == 4
+        second = run_scenario(spec, store=store, max_cells=2)
+        assert second.executed_runs == 2 and second.cached_runs == 2
+        assert second.skipped_cells == 2
+        third = run_scenario(spec, store=store, max_cells=2)
+        assert third.executed_runs == 2 and third.cached_runs == 4
+        assert third.skipped_cells == 0 and third.complete
+        assert [o.aggregate for o in third.cells] == [
+            o.aggregate for o in run_scenario(spec).cells
+        ]
 
     def test_aggregates_refused_while_cells_pending(self, tmp_path):
         from repro.errors import ExperimentError

@@ -11,11 +11,15 @@ The store's three load-bearing claims, each pinned here over randomised inputs:
    bit-for-bit, for both the plain and the network result shapes.
 3. **Corruption safety** — any byte-level damage to an entry reads as a cache
    miss, after which recomputation and re-storing restore the exact result.
+4. **Compaction transparency** — moving entries into the pack tier changes
+   nothing observable: a compacted entry loads bit-identically to the loose
+   one, and a damaged pack row degrades to recompute exactly like (3).
 """
 
 from __future__ import annotations
 
 import json
+import sqlite3
 import subprocess
 import sys
 from pathlib import Path
@@ -146,6 +150,44 @@ class TestCacheRoundTrip:
             envelope["payload"]["total_blocks"] = -1.0
             path.write_text(json.dumps(envelope))
         assert store.load_result(config, "markov") is None
+        recomputed = run_once(config, backend="markov")
+        assert recomputed == direct
+        store.save_result(recomputed, "markov")
+        assert store.load_result(config, "markov") == direct
+
+
+class TestPackRoundTrip:
+    @given(config=small_configs(), backend=backends)
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_compacted_result_equals_direct_run(self, tmp_path_factory, config, backend):
+        if backend == "markov" and config.strategy_name == "lead_stubborn":
+            config = config.with_strategy("selfish")
+        store = ResultStore(tmp_path_factory.mktemp("store"))
+        direct = run_once(config, backend=backend)
+        loose_path = store.save_result(direct, backend)
+        report = store.compact()
+        assert report.packed == 1
+        assert not loose_path.exists()  # the entry now lives in the pack only
+        assert store.load_result(config, backend) == direct
+        assert store.has_result(config, backend)
+
+    @given(config=small_configs())
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_corrupted_pack_row_falls_back_to_recompute(self, tmp_path_factory, config):
+        if config.strategy_name not in ("honest", "selfish"):
+            config = config.with_strategy("selfish")
+        store = ResultStore(tmp_path_factory.mktemp("store"))
+        direct = run_once(config, backend="markov")
+        store.save_result(direct, "markov")
+        store.compact()
+        key = store.result_key(config, "markov")
+        pack = store.packs.pack_path(SIMULATION_NAMESPACE, key[:2])
+        with sqlite3.connect(pack) as connection:
+            connection.execute(
+                "UPDATE entries SET payload = ? WHERE key = ?", ('{"bad": 1}', key)
+            )
+        assert store.load_result(config, "markov") is None
+        assert store.vacuum().removed_pack_rows == 1
         recomputed = run_once(config, backend="markov")
         assert recomputed == direct
         store.save_result(recomputed, "markov")

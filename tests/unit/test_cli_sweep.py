@@ -1,4 +1,4 @@
-"""Unit tests for the ``sweep`` CLI subcommand and cache-dir plumbing."""
+"""Unit tests for the ``sweep``/``store`` CLI subcommands and cache-dir plumbing."""
 
 from __future__ import annotations
 
@@ -7,7 +7,13 @@ import json
 import pytest
 
 from repro.errors import ExperimentError
-from repro.experiments.cli import ExperimentOptions, build_parser, main, run_sweep
+from repro.experiments.cli import (
+    ExperimentOptions,
+    build_parser,
+    main,
+    run_store,
+    run_sweep,
+)
 from repro.store import ResultStore
 
 
@@ -132,12 +138,55 @@ class TestRejectedFlagCombinations:
             ["table1", "--max-cells", "2"],
             ["sweep", "scenario.json", "--fast"],
             ["sweep", "scenario.json", "--backend", "markov"],
+            ["sweep", "scenario.json", "--namespace", "simulation"],
+            ["figure8", "--namespace", "simulation"],
+            ["store"],  # missing action
+            ["store", "compact", "--fast"],
+            ["store", "compact", "--backend", "markov"],
+            ["store", "compact", "--resume"],
+            ["store", "compact", "--max-cells", "2"],
         ],
     )
     def test_mismatched_flags_exit_with_usage_error(self, argv):
         with pytest.raises(SystemExit) as excinfo:
             main(argv)
         assert excinfo.value.code == 2
+
+
+class TestRunStore:
+    def test_unknown_action_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="unknown store action"):
+            run_store("defragment", cache_dir=tmp_path)
+
+    def test_cache_dir_required(self):
+        with pytest.raises(ExperimentError, match="needs --cache-dir"):
+            run_store("compact", cache_dir=None)
+
+    def test_cache_dir_must_exist(self, tmp_path):
+        # A typo should fail loudly, not create and maintain an empty store.
+        with pytest.raises(ExperimentError, match="existing cache directory"):
+            run_store("stats", cache_dir=tmp_path / "absent")
+
+    def test_compact_then_stats_then_vacuum(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_sweep(scenario_file(tmp_path), cache_dir=cache)
+        compacted = run_store("compact", cache_dir=cache)
+        assert "packed 4 loose entries" in compacted
+        stats = run_store("stats", cache_dir=cache)
+        assert "simulation" in stats
+        vacuumed = run_store("vacuum", cache_dir=cache)
+        assert "0 invalid entries" in vacuumed
+        # The compacted store still answers the sweep entirely from cache.
+        warm = run_sweep(scenario_file(tmp_path), cache_dir=cache)
+        assert "0 runs executed, 4 from cache" in warm
+
+    def test_namespace_restriction_passes_through(self, tmp_path):
+        cache = tmp_path / "cache"
+        run_sweep(scenario_file(tmp_path), cache_dir=cache)
+        report = run_store("compact", cache_dir=cache, namespace="policy")
+        assert "packed 0 loose entries" in report  # nothing in 'policy'
+        # The simulation namespace was left alone.
+        assert ResultStore(cache).stats("simulation")[0].loose_entries == 4
 
 
 class TestMain:
@@ -150,6 +199,16 @@ class TestMain:
         output = capsys.readouterr().out
         assert "==== sweep" in output
         assert "cli-sweep" in output
+
+    def test_main_runs_store_compact(self, tmp_path, capsys):
+        path = scenario_file(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["sweep", str(path), "--cache-dir", str(cache)]) == 0
+        exit_code = main(["store", "compact", "--cache-dir", str(cache)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "==== store compact" in output
+        assert "packed 4 loose entries" in output
 
 
 class TestSweepDegradedMode:

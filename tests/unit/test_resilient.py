@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import signal
 import time
@@ -51,6 +52,10 @@ def _sleep_forever(value):
 def _sleep_briefly(value):
     time.sleep(0.05)
     return value
+
+
+def _raise_system_exit(value):
+    raise SystemExit(3)
 
 
 #: A fast-retry policy so tests never sleep on backoff.
@@ -193,6 +198,58 @@ class TestPoolPath:
         assert resilient_map(_square, tasks, max_workers=3) == resilient_map(
             _square, tasks
         )
+
+    def test_idle_worker_death_between_tasks_charges_no_attempt(self):
+        """Regression: dispatching to a worker that died while idle lost the batch.
+
+        A worker that exits *between* tasks (OOM-killed while idle, torn down
+        by the OS) makes the next ``connection.send`` raise — which used to
+        propagate and abort every remaining task.  It is the worker's failure,
+        not the task's: the dispatcher must retire the corpse, redispatch to a
+        fresh worker, charge no attempt and take no second claim.
+        """
+        # timeout forces the pool path even with one worker; retries=0 makes
+        # the assertion sharp — any wrongly-charged attempt fails the task.
+        policy = RetryPolicy(timeout=60.0, retries=0, backoff_base=0.0)
+        claims: list[int] = []
+
+        def claim_and_kill_idle_worker(task_id):
+            claims.append(task_id)
+            if task_id == 1:
+                # Task 0 settled, so the pool's only worker is idle right now;
+                # kill it so the upcoming send hits a closed pipe.
+                for child in multiprocessing.active_children():
+                    child.kill()
+                    child.join()
+            return True
+
+        outcomes = resilient_map(
+            _square,
+            [5, 6],
+            max_workers=1,
+            policy=policy,
+            try_claim=claim_and_kill_idle_worker,
+        )
+        assert outcomes == [25, 36]
+        assert claims == [0, 1]  # the redispatch took no second claim
+
+    def test_system_exit_settles_identically_on_both_paths(self):
+        """Regression: serial and pool paths disagreed on BaseException tasks.
+
+        A ``SystemExit``-raising task settled as a failed attempt under the
+        pool (the worker catches ``BaseException``) but propagated — killing
+        the whole batch — on the serial path.  Both paths must now produce the
+        identical failure record.
+        """
+        (serial,) = resilient_map(_raise_system_exit, [5], policy=FAST)
+        (pooled,) = resilient_map(
+            _raise_system_exit, [5], max_workers=2, policy=FAST
+        )
+        assert isinstance(serial, TaskFailure)
+        assert serial == pooled  # frozen dataclass: field-for-field identical
+        assert serial.kind == "error"
+        assert serial.message == "SystemExit: 3"
+        assert serial.attempts == 3
 
 
 def _crash_only_task_zero(value):

@@ -6,6 +6,7 @@ import json
 import multiprocessing
 import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -96,6 +97,51 @@ class TestLeaseProtocol:
         assert store.lease_state("simulation", key) == "stale"
         assert store.claim("simulation", key) is not None
 
+    def test_release_after_steal_does_not_drop_the_stolen_claim(self, tmp_path):
+        """Regression: release raced a stealer and unlinked the stolen claim.
+
+        The old check-then-unlink release could read its own token back, lose
+        the CPU while a stealer atomically replaced the file, and then unlink
+        the *stealer's* live claim.  The rename-aside release decides ownership
+        atomically: a late release of a stolen lease returns ``False`` and the
+        stolen claim stays exactly where it was.
+        """
+        key = "ce" * 32
+        holder = ResultStore(tmp_path, lease_ttl=0.05)
+        lease = holder.claim("simulation", key)
+        assert lease is not None
+        time.sleep(0.1)
+        stealer = ResultStore(tmp_path)
+        stolen = stealer.claim("simulation", key)
+        assert stolen is not None
+        assert holder.release(lease) is False
+        assert stealer.lease_state("simulation", key) == "held"
+        assert json.loads(stolen.path.read_text())["token"] == stolen.token
+        # No aside debris left behind either way.
+        assert list(stolen.path.parent.glob(".*.tmp")) == []
+        assert stealer.release(stolen) is True
+
+    def test_claim_vanishing_at_read_time_reports_free(self, tmp_path, monkeypatch):
+        """Regression: a claim released between exists() and read is *free*.
+
+        ``lease_state`` used to pre-check ``exists()`` and then treat a failed
+        read as corruption (``"stale"``); a release landing in that window made
+        a free slot look stealable.  The single-read implementation must map
+        the vanished file to ``"free"``.
+        """
+        store = ResultStore(tmp_path)
+        key = "ba" * 32
+        assert store.claim("simulation", key) is not None
+        original = Path.read_text
+
+        def vanishing_read(self, *args, **kwargs):
+            if self.suffix == ".claim" and self.exists():
+                os.unlink(self)  # the holder releases just before our read
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", vanishing_read)
+        assert store.lease_state("simulation", key) == "free"
+
     def test_lease_ttl_must_be_positive(self, tmp_path):
         with pytest.raises(StoreLeaseError):
             ResultStore(tmp_path, lease_ttl=0)
@@ -159,6 +205,32 @@ class TestVacuum:
         assert report.removed_entries == 1
         assert not bad_path.exists()
         assert store.get("simulation", good) == _payload(good)
+
+    def test_racing_remover_is_not_counted(self, tmp_path, monkeypatch):
+        """Regression: vacuum claimed removals a concurrent process performed.
+
+        The old sweep counted an invalid entry the moment validation failed,
+        even when the unlink then raised because another vacuum (or ``get``)
+        had already removed the file.  Each report must count only removals
+        that pass itself performed.
+        """
+        store = ResultStore(tmp_path)
+        bad = "fe" * 32
+        bad_path = store._entry_path("simulation", bad)
+        bad_path.parent.mkdir(parents=True, exist_ok=True)
+        bad_path.write_text("truncated")
+        original = ResultStore._read_valid_entry
+
+        def racing_read(path, key):
+            payload = original(path, key)
+            if payload is None and path.exists():
+                path.unlink()  # a concurrent sweep gets there first
+            return payload
+
+        monkeypatch.setattr(ResultStore, "_read_valid_entry", staticmethod(racing_read))
+        report = store.vacuum()
+        assert report.removed_entries == 0
+        assert not bad_path.exists()
 
     def test_namespace_filter(self, tmp_path):
         store = ResultStore(tmp_path)

@@ -1,0 +1,264 @@
+"""Unit tests for the pack tier: compaction, pack-first reads, pack damage.
+
+The contract under test (see :mod:`repro.store.packs`): compaction changes
+nothing observable except speed.  Every payload loads bit-exactly after
+``compact()``, corruption in a pack reads as a miss exactly like corruption in
+a loose file, and ``vacuum()`` sweeps pack damage the way it sweeps loose
+debris.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.params import MiningParams
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import run_once
+from repro.store import (
+    PACK_FILENAME,
+    POLICY_NAMESPACE,
+    SIMULATION_NAMESPACE,
+    CompactReport,
+    ResultStore,
+)
+
+CONFIG = SimulationConfig(params=MiningParams(alpha=0.3, gamma=0.5), num_blocks=600, seed=11)
+
+
+def _key(index: int) -> str:
+    return hashlib.sha256(f"pack-test-{index}".encode()).hexdigest()
+
+
+def _payload(index: int) -> dict:
+    return {"index": index, "values": [index * 0.5, index * 0.25], "tag": f"entry-{index}"}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+def populate(store, count, namespace=SIMULATION_NAMESPACE):
+    keys = [_key(index) for index in range(count)]
+    for index, key in enumerate(keys):
+        store.put(namespace, key, _payload(index))
+    return keys
+
+
+def corrupt_pack_row(store, namespace, key):
+    """Tamper one pack row's payload without updating its checksum."""
+    path = store.packs.pack_path(namespace, key[:2])
+    with sqlite3.connect(path) as connection:
+        connection.execute(
+            "UPDATE entries SET payload = ? WHERE key = ?", ('{"tampered": true}', key)
+        )
+
+
+class TestCompactRoundTrip:
+    def test_compaction_is_bit_exact(self, store):
+        keys = populate(store, 20)
+        before = {key: store.get(SIMULATION_NAMESPACE, key) for key in keys}
+        report = store.compact()
+        assert report.packed == 20
+        assert report.invalid == 0
+        after = {key: store.get(SIMULATION_NAMESPACE, key) for key in keys}
+        assert after == before
+
+    def test_loose_files_removed_and_packs_created(self, store):
+        keys = populate(store, 10)
+        store.compact()
+        base = store.root / SIMULATION_NAMESPACE
+        assert list(base.glob("*/*.json")) == []
+        packs = list(base.glob(f"*/{PACK_FILENAME}"))
+        assert packs  # one per shard touched
+        assert {path.parent.name for path in packs} == {key[:2] for key in keys}
+
+    def test_recompaction_is_a_noop(self, store):
+        populate(store, 10)
+        store.compact()
+        again = store.compact()
+        assert again == CompactReport(packed=0, deduplicated=0, invalid=0, packs=0)
+
+    def test_simulation_result_round_trips_through_compaction(self, store):
+        result = run_once(CONFIG, backend="markov")
+        store.save_result(result, "markov")
+        store.compact()
+        assert store.load_result(CONFIG, "markov") == result
+        assert store.has_result(CONFIG, "markov")
+
+    def test_invalid_loose_entry_discarded_not_packed(self, store):
+        keys = populate(store, 3)
+        path = store._entry_path(SIMULATION_NAMESPACE, keys[0])
+        path.write_text("{not json")
+        report = store.compact()
+        assert report.packed == 2
+        assert report.invalid == 1
+        assert store.get(SIMULATION_NAMESPACE, keys[0]) is None
+        assert store.get(SIMULATION_NAMESPACE, keys[1]) is not None
+
+    def test_namespace_restriction(self, store):
+        sim_keys = populate(store, 2, SIMULATION_NAMESPACE)
+        policy_keys = populate(store, 2, POLICY_NAMESPACE)
+        report = store.compact(POLICY_NAMESPACE)
+        assert report.packed == 2
+        # Policy entries are packed, simulation entries still loose.
+        assert (store.root / POLICY_NAMESPACE / policy_keys[0][:2] / PACK_FILENAME).exists()
+        assert store._entry_path(SIMULATION_NAMESPACE, sim_keys[0]).exists()
+        assert store.get(SIMULATION_NAMESPACE, sim_keys[0]) is not None
+
+    def test_rewritten_loose_entry_deduplicated_on_recompact(self, store):
+        keys = populate(store, 4)
+        store.compact()
+        # A concurrent writer re-deriving a packed key leaves a loose duplicate.
+        store.put(SIMULATION_NAMESPACE, keys[0], _payload(0))
+        report = store.compact()
+        assert report.deduplicated == 1
+        assert report.packed == 0
+        assert not store._entry_path(SIMULATION_NAMESPACE, keys[0]).exists()
+        assert store.get(SIMULATION_NAMESPACE, keys[0]) == _payload(0)
+
+
+class TestPackReads:
+    def test_get_many_spans_both_tiers(self, store):
+        keys = populate(store, 6)
+        store.compact()
+        loose_keys = populate(store, 3)  # same keys 0..2, rewritten loose
+        extra = hashlib.sha256(b"pack-test-extra").hexdigest()
+        store.put(SIMULATION_NAMESPACE, extra, {"fresh": True})
+        found = store.get_many(SIMULATION_NAMESPACE, keys + [extra, "f" * 64])
+        assert set(found) == set(keys) | {extra}
+        assert found[loose_keys[0]] == _payload(0)
+        assert found[extra] == {"fresh": True}
+
+    def test_contains_many_spans_both_tiers(self, store):
+        keys = populate(store, 4)
+        store.compact()
+        extra = hashlib.sha256(b"pack-test-loose-only").hexdigest()
+        store.put(SIMULATION_NAMESPACE, extra, {"fresh": True})
+        present = store.contains_many(SIMULATION_NAMESPACE, keys + [extra, "0" * 64])
+        assert present == set(keys) | {extra}
+
+    def test_keys_and_count_cover_both_tiers_without_duplicates(self, store):
+        keys = populate(store, 5)
+        store.compact()
+        store.put(SIMULATION_NAMESPACE, keys[0], _payload(0))  # loose duplicate
+        extra = hashlib.sha256(b"pack-test-loose-new").hexdigest()
+        store.put(SIMULATION_NAMESPACE, extra, {"fresh": True})
+        listed = list(store.keys(SIMULATION_NAMESPACE))
+        assert sorted(listed) == sorted(set(keys) | {extra})
+        assert len(listed) == len(set(listed))
+        assert store.count(SIMULATION_NAMESPACE) == 6
+
+    def test_load_many_aligns_hits_and_misses(self, store):
+        result = run_once(CONFIG, backend="markov")
+        store.save_result(result, "markov")
+        store.compact()
+        other = CONFIG.with_seed(99)
+        loaded = store.load_many([(CONFIG, "markov"), (other, "markov")])
+        assert loaded == [result, None]
+        assert store.has_results([(CONFIG, "markov"), (other, "markov")]) == [True, False]
+
+    def test_store_pickles_without_connections(self, store):
+        keys = populate(store, 3)
+        store.compact()
+        assert store.get(SIMULATION_NAMESPACE, keys[0]) is not None  # warm a connection
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.packs._connections == {}
+        assert clone.get(SIMULATION_NAMESPACE, keys[0]) == _payload(0)
+
+
+class TestPackDamage:
+    def test_corrupt_pack_row_reads_as_miss(self, store):
+        keys = populate(store, 3)
+        store.compact()
+        corrupt_pack_row(store, SIMULATION_NAMESPACE, keys[0])
+        assert store.get(SIMULATION_NAMESPACE, keys[0]) is None
+        assert store.get(SIMULATION_NAMESPACE, keys[1]) == _payload(1)
+
+    def test_vacuum_evicts_corrupt_pack_rows(self, store):
+        keys = populate(store, 3)
+        store.compact()
+        corrupt_pack_row(store, SIMULATION_NAMESPACE, keys[0])
+        report = store.vacuum()
+        assert report.removed_pack_rows == 1
+        assert report.removed_packs == 0
+        # The slot is clean: a recompute persists and reads back normally.
+        store.put(SIMULATION_NAMESPACE, keys[0], _payload(0))
+        assert store.get(SIMULATION_NAMESPACE, keys[0]) == _payload(0)
+
+    def test_unreadable_pack_reads_as_miss_for_every_key(self, store):
+        keys = populate(store, 3)
+        store.compact()
+        store.close()
+        shards = {key[:2] for key in keys}
+        for shard in shards:
+            store.packs.pack_path(SIMULATION_NAMESPACE, shard).write_bytes(b"not sqlite")
+        for key in keys:
+            assert store.get(SIMULATION_NAMESPACE, key) is None
+
+    def test_vacuum_removes_unreadable_packs(self, store):
+        keys = populate(store, 3)
+        store.compact()
+        store.close()
+        shards = {key[:2] for key in keys}
+        for shard in shards:
+            store.packs.pack_path(SIMULATION_NAMESPACE, shard).write_bytes(b"not sqlite")
+        report = store.vacuum()
+        assert report.removed_packs == len(shards)
+        for shard in shards:
+            assert not store.packs.pack_path(SIMULATION_NAMESPACE, shard).exists()
+
+    def test_compact_rebuilds_an_unreadable_pack(self, store):
+        keys = populate(store, 2)
+        store.compact()
+        store.close()
+        shard = keys[0][:2]
+        store.packs.pack_path(SIMULATION_NAMESPACE, shard).write_bytes(b"not sqlite")
+        # New loose entries in the damaged shard force a compaction attempt.
+        store.put(SIMULATION_NAMESPACE, keys[0], _payload(0))
+        report = store.compact()
+        assert report.reset_packs == 1
+        assert store.get(SIMULATION_NAMESPACE, keys[0]) == _payload(0)
+
+    def test_vacuum_deduplicates_loose_copies_of_packed_entries(self, store):
+        keys = populate(store, 4)
+        store.compact()
+        # An interrupted compaction leaves a loose copy the pack already holds.
+        store.put(SIMULATION_NAMESPACE, keys[0], _payload(0))
+        report = store.vacuum()
+        assert report.deduplicated_entries == 1
+        assert report.removed_entries == 0
+        assert not store._entry_path(SIMULATION_NAMESPACE, keys[0]).exists()
+        assert store.get(SIMULATION_NAMESPACE, keys[0]) == _payload(0)
+
+
+class TestStats:
+    def test_stats_account_for_both_tiers(self, store):
+        populate(store, 6)
+        (report,) = store.stats(SIMULATION_NAMESPACE)
+        assert report.namespace == SIMULATION_NAMESPACE
+        assert report.loose_entries == 6
+        assert report.packed_entries == 0
+        assert report.pack_files == 0
+        assert report.loose_bytes > 0
+        assert report.entries == 6
+
+        store.compact()
+        (report,) = store.stats(SIMULATION_NAMESPACE)
+        assert report.loose_entries == 0
+        assert report.packed_entries == 6
+        assert report.pack_files >= 1
+        assert report.pack_bytes > 0
+        assert report.entries == 6
+
+    def test_stats_cover_every_namespace_by_default(self, store):
+        populate(store, 2, SIMULATION_NAMESPACE)
+        populate(store, 3, POLICY_NAMESPACE)
+        reports = {report.namespace: report for report in store.stats()}
+        assert reports[SIMULATION_NAMESPACE].entries == 2
+        assert reports[POLICY_NAMESPACE].entries == 3
