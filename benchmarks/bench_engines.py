@@ -102,6 +102,35 @@ def test_chain_simulator_benchmark(benchmark):
     assert result.total_blocks == blocks
 
 
+def test_chain_simulator_object_tree_benchmark(benchmark):
+    """The same chain workload forced onto the legacy object tree.
+
+    The ``--check`` control for the PR 10 array-backed chain core: comparing
+    the default backend against this replica in the same run stays meaningful
+    at any ``REPRO_BENCH_SCALE`` and under CI-runner noise, where comparisons
+    against absolute recorded baselines do not.
+    """
+    blocks = scaled(20_000)
+    benchmark.extra_info["blocks"] = blocks
+    config = SimulationConfig(
+        params=PARAMS, schedule=EthereumByzantiumSchedule(), num_blocks=blocks, seed=1
+    )
+
+    def run_on_object_tree():
+        saved = os.environ.get("REPRO_OBJECT_TREE")
+        os.environ["REPRO_OBJECT_TREE"] = "1"
+        try:
+            return ChainSimulator(config).run()
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_OBJECT_TREE", None)
+            else:
+                os.environ["REPRO_OBJECT_TREE"] = saved
+
+    result = benchmark.pedantic(run_on_object_tree, rounds=1, iterations=1)
+    assert result.total_blocks == blocks
+
+
 def test_markov_monte_carlo_benchmark(benchmark):
     """The compiled-table Markov backend (the default ``accumulate="table"``)."""
     blocks = scaled(100_000)

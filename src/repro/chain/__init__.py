@@ -8,6 +8,7 @@ and the end-of-run reward settlement that walks the main chain and pays static, 
 and nephew rewards.
 """
 
+from .arrays import ArrayBlockTree, make_block_tree
 from .block import Block, GENESIS_ID, MinerKind
 from .blocktree import BlockTree
 from .fork_choice import ForkChoiceRule, GhostRule, LongestChainRule
@@ -16,6 +17,7 @@ from .uncles import eligible_uncles, is_eligible_uncle
 from .validation import validate_tree
 
 __all__ = [
+    "ArrayBlockTree",
     "Block",
     "BlockTree",
     "ChainSettlement",
@@ -26,6 +28,7 @@ __all__ = [
     "MinerKind",
     "eligible_uncles",
     "is_eligible_uncle",
+    "make_block_tree",
     "settle_rewards",
     "validate_tree",
 ]

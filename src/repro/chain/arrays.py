@@ -1,0 +1,709 @@
+"""The flat, array-backed block tree shared by both simulators' hot paths.
+
+:class:`ArrayBlockTree` stores the per-block columns — parent, height, miner
+kind, miner index, creation stamp, publication flag and fixed-width uncle
+slots — in preallocated, geometrically grown numpy arrays instead of one
+:class:`~repro.chain.block.Block` object per block.  It exposes the same API
+surface as the object :class:`~repro.chain.blocktree.BlockTree` (``add_block``
+/ ``publish`` / ``block`` / ``uncle_candidates`` / ``fork_children_index`` /
+``fork_point`` / ``tips`` / …), materialising a ``Block`` NamedTuple only at
+the boundaries that demand one, so the fork-choice rules, the validator, the
+settlement and the metrics layer run on either tree unchanged.
+
+Storage layout
+--------------
+
+Each column is a preallocated numpy array grown geometrically (capacity
+doubles when exhausted), paired with a plain Python-list *write tail* of the
+same values.  Appends go to the list (a list append plus the amortised bulk
+copy is cheaper than an element-wise numpy store, and scalar reads from a
+list avoid the numpy-scalar boxing tax on the simulators' per-event walks);
+the numpy side is brought up to date in one vectorised slice assignment the
+moment a vectorised consumer asks for a column view.  Uncle references are
+kept both as per-block tuples (for the scalar eligibility walk) and as flat
+``(referencing block, uncle)`` id arrays in reference order (for the
+vectorised settlement); the publication flag lives in a Python set (the
+simulators' shared membership structure) and is lowered to a boolean column
+on demand.
+
+The per-event protocol both simulators drive — ``add_block_id`` /
+``height_of`` / ``parent_id_of`` / ``is_pool_block`` / ``fork_point_id`` /
+``select_uncles`` / ``ids_at_height`` — is implemented here without any
+``Block`` construction; :class:`~repro.chain.blocktree.BlockTree` implements
+the same protocol on its object storage, so ``REPRO_OBJECT_TREE=1`` swaps the
+implementations under identical simulator code (the equivalence CI cell).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..errors import ChainStructureError, UnknownBlockError
+from .block import Block, GENESIS_ID, MinerKind, make_genesis
+
+#: Initial column capacity when the caller gives no sizing hint.
+_DEFAULT_CAPACITY = 1024
+
+
+class _BlockMapping(Mapping):
+    """Read-only dict-like view over an :class:`ArrayBlockTree`'s blocks.
+
+    Keeps ``tree.by_id[...]`` consumers (the generic uncle/eligibility helpers
+    and diagnostics) working against the array tree; every access materialises
+    the requested ``Block``, so hot paths use the scalar accessors instead.
+    """
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, tree: "ArrayBlockTree") -> None:
+        self._tree = tree
+
+    def __getitem__(self, block_id: int) -> Block:
+        return self._tree.block(block_id)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(len(self._tree)))
+
+    def __contains__(self, block_id: object) -> bool:
+        return isinstance(block_id, int) and 0 <= block_id < len(self._tree)
+
+
+class ArrayBlockTree:
+    """An append-only block tree backed by flat per-column arrays."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
+        capacity = max(int(capacity), 16)
+        genesis = make_genesis()
+        # Scalar write tails (the per-event hot path reads and appends these).
+        self._parents: list[int] = [-1]
+        self._heights: list[int] = [0]
+        self._pool_flags: list[bool] = [False]
+        self._miner_indices: list[int] = [genesis.miner_index]
+        self._created: list[int] = [genesis.created_at]
+        self._uncle_tuples: list[tuple[int, ...]] = [()]
+        # Bound appends of the six per-block tails: the list objects are never
+        # replaced (growth only ever appends), so the bound methods stay valid
+        # and save a per-column method lookup on every add_block_id.
+        self._append_parent = self._parents.append
+        self._append_height = self._heights.append
+        self._append_pool_flag = self._pool_flags.append
+        self._append_miner_index = self._miner_indices.append
+        self._append_created = self._created.append
+        self._append_uncle_tuple = self._uncle_tuples.append
+        # Flat uncle-reference lists in reference order (block id ascending,
+        # slot order within a block) — the vectorised settlement's input.
+        self._ref_blocks: list[int] = []
+        self._ref_uncles: list[int] = []
+        # Preallocated numpy columns, synced from the tails at `_flushed`.
+        self._capacity = capacity
+        self._parent_arr = np.empty(capacity, dtype=np.int64)
+        self._height_arr = np.empty(capacity, dtype=np.int64)
+        self._kind_arr = np.empty(capacity, dtype=np.int64)
+        self._miner_arr = np.empty(capacity, dtype=np.int64)
+        self._created_arr = np.empty(capacity, dtype=np.int64)
+        self._flushed = 0
+        self._published_cache: np.ndarray | None = None
+        self._ref_cache: tuple[np.ndarray, np.ndarray] | None = None
+        # Auxiliary indexes, maintained incrementally exactly like the object
+        # tree's (children lists are created lazily — most blocks are leaves).
+        self._children: dict[int, list[int]] = {}
+        self._published: set[int] = {GENESIS_ID}
+        self._by_height: dict[int, list[int]] = {0: [GENESIS_ID]}
+        self._fork_children_by_height: dict[int, list[int]] = {}
+        # Sorted heights with at least one uncle candidate, the bucket lists in
+        # the same order (sharing list objects with _fork_children_by_height),
+        # and the highest such height: select_uncles answers "window empty" in
+        # one compare and jumps straight to the (typically one or two)
+        # occupied heights without hashing.
+        self._fork_heights: list[int] = []
+        self._fork_buckets: list[list[int]] = []
+        self._max_fork_height = 0
+
+    # ------------------------------------------------------------------ basic access
+    @property
+    def genesis(self) -> Block:
+        """The genesis block."""
+        return make_genesis()
+
+    def __len__(self) -> int:
+        return len(self._heights)
+
+    def __contains__(self, block_id: int) -> bool:
+        return 0 <= block_id < len(self._heights)
+
+    def __iter__(self) -> Iterator[Block]:
+        return (self.block(block_id) for block_id in range(len(self._heights)))
+
+    def block(self, block_id: int) -> Block:
+        """Materialise the block with identifier ``block_id``."""
+        if not 0 <= block_id < len(self._heights):
+            raise UnknownBlockError(f"block {block_id} is not in the tree")
+        parent_id = self._parents[block_id]
+        return Block(
+            block_id=block_id,
+            parent_id=None if parent_id < 0 else parent_id,
+            height=self._heights[block_id],
+            miner=MinerKind.POOL if self._pool_flags[block_id] else MinerKind.HONEST,
+            miner_index=self._miner_indices[block_id],
+            created_at=self._created[block_id],
+            uncle_ids=self._uncle_tuples[block_id],
+        )
+
+    def blocks(self) -> list[Block]:
+        """All blocks in insertion (creation) order."""
+        return [self.block(block_id) for block_id in range(len(self._heights))]
+
+    @property
+    def by_id(self) -> Mapping[int, Block]:
+        """Dict-like id→block view (materialises on access; not a hot path here)."""
+        return _BlockMapping(self)
+
+    @property
+    def published_ids(self) -> set[int]:
+        """The live set of published block ids (shared membership structure)."""
+        return self._published
+
+    @property
+    def next_block_id(self) -> int:
+        """Identifier the next added block will receive (ids are sequential)."""
+        return len(self._heights)
+
+    def count_at_height(self, height: int) -> int:
+        """Number of blocks at ``height`` (cheap no-fork check for hot paths)."""
+        return len(self._by_height.get(height, ()))
+
+    @property
+    def fork_children_index(self) -> dict[int, list[int]]:
+        """Height-indexed uncle-candidate ids (see :meth:`uncle_candidates`)."""
+        return self._fork_children_by_height
+
+    def children(self, block_id: int) -> list[Block]:
+        """Children of ``block_id`` in insertion order."""
+        if not 0 <= block_id < len(self._heights):
+            raise UnknownBlockError(f"block {block_id} is not in the tree")
+        return [self.block(child) for child in self._children.get(block_id, ())]
+
+    # ------------------------------------------------------------------ insertion
+    def add_block_id(
+        self,
+        parent_id: int,
+        miner: MinerKind,
+        *,
+        miner_index: int = 0,
+        created_at: int = 0,
+        uncle_ids: Iterable[int] = (),
+        published: bool = True,
+    ) -> int:
+        """Append a new block on top of ``parent_id`` and return its id.
+
+        The structural checks match :meth:`BlockTree.add_block` exactly; no
+        ``Block`` object is built.  This is both simulators' insertion hot path.
+        """
+        heights = self._heights
+        count = len(heights)
+        if not 0 <= parent_id < count:
+            raise UnknownBlockError(f"block {parent_id} is not in the tree")
+        uncle_tuple = tuple(uncle_ids)
+        if uncle_tuple:
+            for position, uncle_id in enumerate(uncle_tuple):
+                if not 0 <= uncle_id < count:
+                    raise UnknownBlockError(f"uncle {uncle_id} is not in the tree")
+                if uncle_id in uncle_tuple[:position]:
+                    raise ChainStructureError(
+                        f"uncle {uncle_id} referenced twice by the same block"
+                    )
+                if uncle_id == parent_id:
+                    raise ChainStructureError(
+                        "a block cannot reference its own parent as an uncle"
+                    )
+            ref_blocks = self._ref_blocks
+            ref_uncles = self._ref_uncles
+            for uncle_id in uncle_tuple:
+                ref_blocks.append(count)
+                ref_uncles.append(uncle_id)
+
+        block_id = count
+        height = heights[parent_id] + 1
+        self._append_parent(parent_id)
+        self._append_height(height)
+        self._append_pool_flag(miner is MinerKind.POOL)
+        self._append_miner_index(miner_index)
+        self._append_created(created_at)
+        self._append_uncle_tuple(uncle_tuple)
+
+        children = self._children
+        siblings = children.get(parent_id)
+        if siblings is None:
+            children[parent_id] = [block_id]
+        else:
+            siblings.append(block_id)
+            fork_children = self._fork_children_by_height
+            if len(siblings) == 2:
+                # The parent just forked: its first child becomes a candidate too.
+                first_child = siblings[0]
+                first_height = heights[first_child]
+                bucket = fork_children.get(first_height)
+                if bucket is None:
+                    bucket = [first_child]
+                    fork_children[first_height] = bucket
+                    position = bisect_left(self._fork_heights, first_height)
+                    self._fork_heights.insert(position, first_height)
+                    self._fork_buckets.insert(position, bucket)
+                else:
+                    bucket.append(first_child)
+            bucket = fork_children.get(height)
+            if bucket is None:
+                bucket = [block_id]
+                fork_children[height] = bucket
+                position = bisect_left(self._fork_heights, height)
+                self._fork_heights.insert(position, height)
+                self._fork_buckets.insert(position, bucket)
+            else:
+                bucket.append(block_id)
+            if height > self._max_fork_height:
+                self._max_fork_height = height
+        by_height = self._by_height.get(height)
+        if by_height is None:
+            self._by_height[height] = [block_id]
+        else:
+            by_height.append(block_id)
+        if published:
+            self._published.add(block_id)
+        self._published_cache = None
+        return block_id
+
+    def add_block(
+        self,
+        parent_id: int,
+        miner: MinerKind,
+        *,
+        miner_index: int = 0,
+        created_at: int = 0,
+        uncle_ids: Iterable[int] = (),
+        published: bool = True,
+    ) -> Block:
+        """Append a new block and return it (object-API compatibility wrapper)."""
+        block_id = self.add_block_id(
+            parent_id,
+            miner,
+            miner_index=miner_index,
+            created_at=created_at,
+            uncle_ids=uncle_ids,
+            published=published,
+        )
+        return self.block(block_id)
+
+    # ------------------------------------------------------------------ publication
+    def publish(self, block_id: int) -> None:
+        """Mark ``block_id`` as published (visible to honest miners)."""
+        if not 0 <= block_id < len(self._heights):
+            raise UnknownBlockError(f"block {block_id} is not in the tree")
+        self._published.add(block_id)
+        self._published_cache = None
+
+    def is_published(self, block_id: int) -> bool:
+        """True if ``block_id`` has been published."""
+        if not 0 <= block_id < len(self._heights):
+            raise UnknownBlockError(f"block {block_id} is not in the tree")
+        return block_id in self._published
+
+    def published_blocks(self) -> list[Block]:
+        """All published blocks in creation order."""
+        published = self._published
+        return [self.block(bid) for bid in range(len(self._heights)) if bid in published]
+
+    def unpublished_ids(self) -> list[int]:
+        """Ids of the still-unpublished blocks, ascending."""
+        published = self._published
+        return [bid for bid in range(len(self._heights)) if bid not in published]
+
+    # ------------------------------------------------------------------ scalar protocol
+    def height_of(self, block_id: int) -> int:
+        """Height of ``block_id`` (unchecked scalar accessor; hot path)."""
+        return self._heights[block_id]
+
+    def parent_id_of(self, block_id: int) -> int:
+        """Parent id of ``block_id``; ``-1`` for the genesis block (hot path)."""
+        return self._parents[block_id]
+
+    def is_pool_block(self, block_id: int) -> bool:
+        """True when ``block_id`` was mined by a pool (hot path)."""
+        return self._pool_flags[block_id]
+
+    def created_at_of(self, block_id: int) -> int:
+        """Creation stamp of ``block_id`` (hot path)."""
+        return self._created[block_id]
+
+    def ids_at_height(self, height: int) -> list[int]:
+        """Block ids at ``height`` in creation order (read-only; hot path)."""
+        return self._by_height.get(height, [])
+
+    def fork_point_id(self, first_id: int, second_id: int) -> int:
+        """Id of the deepest common ancestor of two blocks (lockstep descent)."""
+        heights = self._heights
+        count = len(heights)
+        if not 0 <= first_id < count or not 0 <= second_id < count:
+            raise UnknownBlockError("fork point of a block that is not in the tree")
+        parents = self._parents
+        first_height = heights[first_id]
+        second_height = heights[second_id]
+        while first_height > second_height:
+            first_id = parents[first_id]
+            first_height -= 1
+        while second_height > first_height:
+            second_id = parents[second_id]
+            second_height -= 1
+        while first_id != second_id:
+            first_id = parents[first_id]
+            second_id = parents[second_id]
+        return first_id
+
+    def select_uncles(
+        self,
+        parent_id: int,
+        *,
+        max_distance: int,
+        max_count: int,
+        known=None,
+    ) -> list[int]:
+        """Uncle references for a block mined on ``parent_id``, protocol-capped.
+
+        One fused pass: the fork-children height index supplies the candidates
+        (filtered by ``known`` membership when the composing miner has a local
+        view; ``None`` means the full tree, the pool's view), a single ancestor
+        walk over the parent column settles rules 1, 2 and 4, and the survivors
+        are ordered oldest-first by ``(height, created_at, block_id)`` before
+        the per-block cap — byte-for-byte the candidate order of
+        ``uncle_candidates`` + :func:`repro.chain.uncles.eligible_uncles`.
+        """
+        if max_count <= 0 or max_distance <= 0:
+            return []
+        heights = self._heights
+        new_height = heights[parent_id] + 1
+        low = new_height - max_distance
+        if low < 1:
+            low = 1
+        if self._max_fork_height < low:
+            return []  # no candidate anywhere in (or above) the window
+        fork_heights = self._fork_heights
+        index = bisect_left(fork_heights, low)
+        total = len(fork_heights)
+        if index >= total or fork_heights[index] >= new_height:
+            return []
+
+        # Candidate survival is independent per candidate and the result is
+        # canonically ordered below, so the rules run per occupied height
+        # bucket with no intermediate candidate list.  One lazy ancestor walk
+        # serves every rule check: chain[k] is the ancestor at height
+        # ``new_height - 1 - k``, descending only as deep as the lowest bucket
+        # can probe (two heights below it, floored at the window / genesis) —
+        # every membership question becomes one indexed compare.
+        fork_buckets = self._fork_buckets
+        parents = self._parents
+        uncle_tuples = self._uncle_tuples
+        chain: list[int] = [parent_id]
+        append = chain.append
+        floor = fork_heights[index] - 2
+        if floor < low - 1:
+            floor = low - 1
+        if floor < 0:
+            floor = 0
+        ancestor = parent_id
+        height = new_height - 1
+        while height > floor and ancestor:
+            ancestor = parents[ancestor]
+            append(ancestor)
+            height -= 1
+        walk_last = len(chain) - 1
+
+        selected: list[int] = []
+        while index < total:
+            bucket_height = fork_heights[index]
+            if bucket_height >= new_height:
+                break
+            offset = new_height - 1 - bucket_height
+            for candidate in fork_buckets[index]:
+                # Rule 1: the uncle must not be on the chain being extended.
+                if chain[offset] == candidate:
+                    continue
+                # Rule 2: the uncle's parent must be on the chain being extended.
+                if chain[offset + 1] != parents[candidate]:
+                    continue
+                # The composing miner must know the candidate (None = full view).
+                if known is not None and candidate not in known:
+                    continue
+                # Rule 4: not already referenced by an ancestor of the new block
+                # (scan stops at the first ancestor below the uncle's parent).
+                limit = offset + 2
+                if limit > walk_last:
+                    limit = walk_last
+                referenced = False
+                for position in range(limit + 1):
+                    if candidate in uncle_tuples[chain[position]]:
+                        referenced = True
+                        break
+                if not referenced:
+                    selected.append(candidate)
+            index += 1
+
+        if len(selected) > 1:
+            created = self._created
+            selected.sort(key=lambda bid: (heights[bid], created[bid], bid))
+        return selected[:max_count]
+
+    # ------------------------------------------------------------------ chain walks
+    def ancestors(self, block_id: int, *, include_self: bool = False) -> Iterator[Block]:
+        """Yield the ancestors of ``block_id`` walking towards the genesis block."""
+        block = self.block(block_id)
+        if include_self:
+            yield block
+        while block.parent_id is not None:
+            block = self.block(block.parent_id)
+            yield block
+
+    def chain_to(self, block_id: int) -> list[Block]:
+        """The path from the genesis block to ``block_id``, inclusive, root first."""
+        path = list(self.ancestors(block_id, include_self=True))
+        path.reverse()
+        return path
+
+    def main_chain_ids(self, tip_id: int) -> list[int]:
+        """Ids of the path genesis → ``tip_id`` inclusive (one parent-column walk)."""
+        if not 0 <= tip_id < len(self._heights):
+            raise UnknownBlockError(f"block {tip_id} is not in the tree")
+        parents = self._parents
+        chain = [0] * (self._heights[tip_id] + 1)
+        position = len(chain) - 1
+        block_id = tip_id
+        while position >= 0:
+            chain[position] = block_id
+            block_id = parents[block_id]
+            position -= 1
+        return chain
+
+    def is_ancestor(self, ancestor_id: int, descendant_id: int) -> bool:
+        """True when ``ancestor_id`` lies on the path from genesis to ``descendant_id``."""
+        heights = self._heights
+        count = len(heights)
+        if not 0 <= ancestor_id < count or not 0 <= descendant_id < count:
+            raise UnknownBlockError("ancestry query for a block that is not in the tree")
+        parents = self._parents
+        ancestor_height = heights[ancestor_id]
+        while True:
+            if descendant_id == ancestor_id:
+                return True
+            if heights[descendant_id] <= ancestor_height:
+                return False
+            descendant_id = parents[descendant_id]
+
+    def fork_point(self, first_id: int, second_id: int) -> Block:
+        """The deepest common ancestor of two blocks (Block-materialising wrapper)."""
+        return self.block(self.fork_point_id(first_id, second_id))
+
+    def common_ancestor(self, first_id: int, second_id: int) -> Block:
+        """The deepest block that is an ancestor of both arguments."""
+        return self.fork_point(first_id, second_id)
+
+    # ------------------------------------------------------------------ tips and heights
+    def tips(self, *, published_only: bool = False) -> list[Block]:
+        """Leaf blocks, optionally restricted to published ones (vectorised).
+
+        Matches the object tree's semantics: with ``published_only`` a
+        published block whose only children are unpublished still counts as a
+        tip.  One boolean pass over the parent column replaces the per-block
+        children scan.
+        """
+        count = len(self._heights)
+        parent = self.parent_column()
+        if published_only:
+            published = self.published_column()
+            has_visible_child = np.zeros(count, dtype=bool)
+            visible_children = published[1:]
+            has_visible_child[parent[1:][visible_children]] = True
+            mask = published & ~has_visible_child
+        else:
+            has_child = np.zeros(count, dtype=bool)
+            has_child[parent[1:]] = True
+            mask = ~has_child
+        return [self.block(int(bid)) for bid in np.nonzero(mask)[0]]
+
+    def tip_ids(self, *, published_only: bool = False) -> list[int]:
+        """Leaf block ids (see :meth:`tips`) without materialising ``Block``s."""
+        count = len(self._heights)
+        parent = self.parent_column()
+        if published_only:
+            published = self.published_column()
+            has_visible_child = np.zeros(count, dtype=bool)
+            has_visible_child[parent[1:][published[1:]]] = True
+            mask = published & ~has_visible_child
+        else:
+            has_child = np.zeros(count, dtype=bool)
+            has_child[parent[1:]] = True
+            mask = ~has_child
+        return np.nonzero(mask)[0].tolist()
+
+    def max_height(self, *, published_only: bool = False) -> int:
+        """Largest height present in the tree (optionally among published blocks)."""
+        if published_only:
+            heights = self.height_column()
+            return int(heights[self.published_column()].max())
+        return len(self._by_height) - 1
+
+    def blocks_at_height(self, height: int, *, published_only: bool = False) -> list[Block]:
+        """All blocks at a given height, in creation order."""
+        block_ids = self._by_height.get(height, [])
+        if published_only:
+            published = self._published
+            block_ids = [bid for bid in block_ids if bid in published]
+        return [self.block(bid) for bid in block_ids]
+
+    def blocks_in_height_range(
+        self, low: int, high: int, *, published_only: bool = False
+    ) -> list[Block]:
+        """All blocks with ``low <= height <= high`` (uncle-candidate lookup)."""
+        result: list[Block] = []
+        for height in range(max(low, 0), high + 1):
+            result.extend(self.blocks_at_height(height, published_only=published_only))
+        return result
+
+    def uncle_candidates(
+        self, low: int, high: int, *, published_only: bool = False
+    ) -> list[Block]:
+        """Blocks in the height window whose parent has at least two children."""
+        result: list[Block] = []
+        published = self._published
+        for height in range(max(low, 1), high + 1):
+            for block_id in self._fork_children_by_height.get(height, ()):
+                if published_only and block_id not in published:
+                    continue
+                result.append(self.block(block_id))
+        return result
+
+    # ------------------------------------------------------------------ column views
+    def _flush(self) -> None:
+        """Bring the numpy columns up to date with the scalar write tails."""
+        count = len(self._heights)
+        flushed = self._flushed
+        if flushed == count:
+            return
+        if count > self._capacity:
+            capacity = self._capacity
+            while capacity < count:
+                capacity *= 2
+            self._capacity = capacity
+            for name in ("_parent_arr", "_height_arr", "_kind_arr", "_miner_arr", "_created_arr"):
+                grown = np.empty(capacity, dtype=np.int64)
+                grown[:flushed] = getattr(self, name)[:flushed]
+                setattr(self, name, grown)
+        self._parent_arr[flushed:count] = self._parents[flushed:]
+        self._height_arr[flushed:count] = self._heights[flushed:]
+        self._kind_arr[flushed:count] = self._pool_flags[flushed:]
+        self._miner_arr[flushed:count] = self._miner_indices[flushed:]
+        self._created_arr[flushed:count] = self._created[flushed:]
+        self._flushed = count
+
+    def parent_column(self) -> np.ndarray:
+        """Parent ids as int64 (``-1`` for genesis); read-only view."""
+        self._flush()
+        return self._parent_arr[: len(self._heights)]
+
+    def height_column(self) -> np.ndarray:
+        """Heights as int64; read-only view."""
+        self._flush()
+        return self._height_arr[: len(self._heights)]
+
+    def kind_column(self) -> np.ndarray:
+        """Miner kinds as int64 (``1`` pool, ``0`` honest); read-only view."""
+        self._flush()
+        return self._kind_arr[: len(self._heights)]
+
+    def miner_index_column(self) -> np.ndarray:
+        """Per-party miner indices as int64; read-only view."""
+        self._flush()
+        return self._miner_arr[: len(self._heights)]
+
+    def created_column(self) -> np.ndarray:
+        """Creation stamps as int64; read-only view."""
+        self._flush()
+        return self._created_arr[: len(self._heights)]
+
+    def published_column(self) -> np.ndarray:
+        """Publication flags as a boolean column (rebuilt lazily from the set)."""
+        cached = self._published_cache
+        if cached is not None:
+            return cached
+        count = len(self._heights)
+        column = np.zeros(count, dtype=bool)
+        if self._published:
+            column[np.fromiter(self._published, dtype=np.int64, count=len(self._published))] = True
+        self._published_cache = column
+        return column
+
+    def reference_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat ``(referencing block ids, uncle ids)`` arrays in reference order.
+
+        Reference order is ascending referencing-block id with slot order
+        within a block — which is also main-chain order for any chain's refs,
+        because a parent's id is always smaller than its child's.
+        """
+        cached = self._ref_cache
+        count = len(self._ref_blocks)
+        if cached is not None and len(cached[0]) == count:
+            return cached
+        columns = (
+            np.asarray(self._ref_blocks, dtype=np.int64),
+            np.asarray(self._ref_uncles, dtype=np.int64),
+        )
+        self._ref_cache = columns
+        return columns
+
+    def uncle_count_column(self) -> np.ndarray:
+        """Per-block uncle-reference counts as int64."""
+        ref_blocks, _ = self.reference_columns()
+        return np.bincount(ref_blocks, minlength=len(self._heights))
+
+    # ------------------------------------------------------------------ statistics
+    def count_by_miner(self) -> dict[MinerKind, int]:
+        """Number of non-genesis blocks mined by each party."""
+        pool = sum(self._pool_flags)
+        return {
+            MinerKind.POOL: pool,
+            MinerKind.HONEST: len(self._heights) - 1 - pool,
+        }
+
+    def describe(self) -> str:
+        """Short human-readable summary of the tree."""
+        counts = self.count_by_miner()
+        return (
+            f"ArrayBlockTree(blocks={len(self) - 1}, pool={counts[MinerKind.POOL]}, "
+            f"honest={counts[MinerKind.HONEST]}, max_height={self.max_height()})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return self.describe()
+
+
+def object_tree_forced() -> bool:
+    """True when ``REPRO_OBJECT_TREE`` forces the object tree (equivalence CI cell)."""
+    return os.environ.get("REPRO_OBJECT_TREE", "") not in ("", "0")
+
+
+def make_block_tree(capacity: int = _DEFAULT_CAPACITY):
+    """The simulators' tree factory: array-backed unless ``REPRO_OBJECT_TREE`` is set.
+
+    Both trees implement the same per-event protocol, so the simulators run
+    identical code either way; the env-var escape hatch keeps the object tree
+    exercised under the full engine suites until it is fully retired.
+    """
+    if object_tree_forced():
+        from .blocktree import BlockTree
+
+        return BlockTree()
+    return ArrayBlockTree(capacity=capacity)

@@ -183,6 +183,106 @@ class BlockTree:
         self._next_id = block_id + 1
         return block
 
+    # ------------------------------------------------------------------ scalar protocol
+    # The per-event protocol shared with repro.chain.arrays.ArrayBlockTree: the
+    # simulators drive blocks by id through these accessors, so either tree can
+    # sit underneath the same simulator code (REPRO_OBJECT_TREE=1 selects this
+    # one).  Accessors are unchecked, like by_id indexing.
+
+    def add_block_id(
+        self,
+        parent_id: int,
+        miner: MinerKind,
+        *,
+        miner_index: int = 0,
+        created_at: int = 0,
+        uncle_ids: Iterable[int] = (),
+        published: bool = True,
+    ) -> int:
+        """Append a new block on top of ``parent_id`` and return its id."""
+        return self.add_block(
+            parent_id,
+            miner,
+            miner_index=miner_index,
+            created_at=created_at,
+            uncle_ids=uncle_ids,
+            published=published,
+        ).block_id
+
+    def height_of(self, block_id: int) -> int:
+        """Height of ``block_id`` (unchecked scalar accessor)."""
+        return self._blocks[block_id].height
+
+    def parent_id_of(self, block_id: int) -> int:
+        """Parent id of ``block_id``; ``-1`` for the genesis block."""
+        parent_id = self._blocks[block_id].parent_id
+        return -1 if parent_id is None else parent_id
+
+    def is_pool_block(self, block_id: int) -> bool:
+        """True when ``block_id`` was mined by a pool."""
+        return self._blocks[block_id].miner is MinerKind.POOL
+
+    def created_at_of(self, block_id: int) -> int:
+        """Creation stamp of ``block_id``."""
+        return self._blocks[block_id].created_at
+
+    def ids_at_height(self, height: int) -> list[int]:
+        """Block ids at ``height`` in creation order (read-only)."""
+        return self._by_height.get(height, [])
+
+    def unpublished_ids(self) -> list[int]:
+        """Ids of the still-unpublished blocks, ascending."""
+        published = self._published
+        return [bid for bid in self._blocks if bid not in published]
+
+    def fork_point_id(self, first_id: int, second_id: int) -> int:
+        """Id of the deepest common ancestor of two blocks."""
+        return self.fork_point(first_id, second_id).block_id
+
+    def main_chain_ids(self, tip_id: int) -> list[int]:
+        """Ids of the path genesis → ``tip_id`` inclusive, root first."""
+        chain = [block.block_id for block in self.ancestors(tip_id, include_self=True)]
+        chain.reverse()
+        return chain
+
+    def select_uncles(
+        self,
+        parent_id: int,
+        *,
+        max_distance: int,
+        max_count: int,
+        known=None,
+    ) -> list[int]:
+        """Uncle references for a block mined on ``parent_id``, protocol-capped.
+
+        Mirrors ``ArrayBlockTree.select_uncles``: candidates from the
+        fork-children index filtered by ``known`` membership (``None`` means
+        the full tree), eligibility via :func:`repro.chain.uncles.eligible_uncles`,
+        oldest-first order, capped at ``max_count``.
+        """
+        if max_count <= 0 or max_distance <= 0:
+            return []
+        from .uncles import eligible_uncles
+
+        new_height = self._blocks[parent_id].height + 1
+        low = new_height - max_distance
+        blocks = self._blocks
+        candidates: list[Block] = []
+        for height in range(max(low, 1), new_height):
+            for block_id in self._fork_children_by_height.get(height, ()):
+                if known is None or block_id in known:
+                    candidates.append(blocks[block_id])
+        if not candidates:
+            return []
+        eligible = eligible_uncles(
+            self,
+            parent_id,
+            max_distance=max_distance,
+            candidates=candidates,
+            window_checked=True,
+        )
+        return [block.block_id for block in eligible[:max_count]]
+
     # ------------------------------------------------------------------ publication
     def publish(self, block_id: int) -> None:
         """Mark ``block_id`` as published (visible to honest miners)."""
@@ -281,6 +381,10 @@ class BlockTree:
             if not children:
                 result.append(block)
         return result
+
+    def tip_ids(self, *, published_only: bool = False) -> list[int]:
+        """Leaf block ids (see :meth:`tips`) without materialising ``Block``s."""
+        return [tip.block_id for tip in self.tips(published_only=published_only)]
 
     def max_height(self, *, published_only: bool = False) -> int:
         """Largest height present in the tree (optionally among published blocks)."""

@@ -40,16 +40,41 @@ class ForkChoiceRule(ABC):
             raise ChainStructureError("fork choice found no eligible tips")
         return min(tips, key=lambda block: (block.created_at, block.block_id))
 
+    def best_tip_id(self, tree: BlockTree, *, published_only: bool = True) -> int:
+        """Id of :meth:`best_tip` — rules may override with a block-free path."""
+        return self.best_tip(tree, published_only=published_only).block_id
+
 
 class LongestChainRule(ForkChoiceRule):
     """The longest-chain rule: the tip(s) of maximum height win."""
 
     def best_tips(self, tree: BlockTree, *, published_only: bool = True) -> list[Block]:
-        tips = tree.tips(published_only=published_only)
-        if not tips:
+        tip_ids = tree.tip_ids(published_only=published_only)
+        if not tip_ids:
             return []
-        best_height = max(tip.height for tip in tips)
-        return [tip for tip in tips if tip.height == best_height]
+        height_of = tree.height_of
+        best_height = max(height_of(tip) for tip in tip_ids)
+        return [tree.block(tip) for tip in tip_ids if height_of(tip) == best_height]
+
+    def best_tip_id(self, tree: BlockTree, *, published_only: bool = True) -> int:
+        """Single best tip id over the scalar protocol (no ``Block`` objects).
+
+        Same tie-breaking as :meth:`ForkChoiceRule.best_tip`: earliest creation
+        time, then lowest id.
+        """
+        tip_ids = tree.tip_ids(published_only=published_only)
+        if not tip_ids:
+            raise ChainStructureError("fork choice found no eligible tips")
+        height_of = tree.height_of
+        created_at_of = tree.created_at_of
+        best_id = -1
+        best_key = None
+        for tip in tip_ids:
+            key = (-height_of(tip), created_at_of(tip), tip)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_id = tip
+        return best_id
 
 
 class GhostRule(ForkChoiceRule):

@@ -19,9 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 from ..errors import ChainStructureError
 from ..rewards.breakdown import PartyRewards, RevenueSplit
 from ..rewards.schedule import RewardSchedule
+from .arrays import ArrayBlockTree
 from .block import Block, MinerKind
 from .blocktree import BlockTree
 
@@ -82,7 +85,26 @@ def settle_rewards(
     """
     if tip_id not in tree:
         raise ChainStructureError(f"settlement tip {tip_id} is not in the tree")
+    if isinstance(tree, ArrayBlockTree):
+        settlement = _settle_rewards_arrays(
+            tree, tip_id, schedule, skip_heights_below=skip_heights_below
+        )
+        if settlement is not None:
+            return settlement
+        # A structural violation was detected; replay the walking path over the
+        # same tree (ArrayBlockTree implements the full object API) to raise
+        # the exact first error with the object path's precedence and message.
+    return _settle_rewards_walk(tree, tip_id, schedule, skip_heights_below=skip_heights_below)
 
+
+def _settle_rewards_walk(
+    tree: BlockTree,
+    tip_id: int,
+    schedule: RewardSchedule,
+    *,
+    skip_heights_below: int = 0,
+) -> ChainSettlement:
+    """The block-by-block reference settlement (object trees and error replay)."""
     main_chain = tree.chain_to(tip_id)
     main_ids = {block.block_id for block in main_chain}
 
@@ -179,3 +201,165 @@ def settle_rewards(
         honest_uncle_distance_counts=dict(sorted(honest_distance_counts.items())),
         pool_uncle_distance_counts=dict(sorted(pool_distance_counts.items())),
     )
+
+
+def _settle_rewards_arrays(
+    tree: ArrayBlockTree,
+    tip_id: int,
+    schedule: RewardSchedule,
+    *,
+    skip_heights_below: int = 0,
+) -> ChainSettlement | None:
+    """Vectorised settlement over an :class:`ArrayBlockTree`'s columns.
+
+    Returns ``None`` when a structural violation (main-chain uncle reference,
+    double reference, negative referencing distance) is detected, so the caller
+    can replay the walking path and raise the object path's exact first error.
+
+    Bit-exactness with the walking path rests on two facts: main-chain ids
+    strictly increase towards the tip (a parent's id is smaller than its
+    child's), so the tree's flat reference columns filtered to the included
+    main blocks are already in the walk's credit order; and ``np.bincount``
+    accumulates float weights sequentially in input order, so every per-slot
+    float sum is the same sequence of additions the walk performs.
+    """
+    skip = skip_heights_below
+    heights = tree.height_column()
+    kinds = tree.kind_column()
+    miner_idx = tree.miner_index_column()
+    count = len(heights)
+
+    main_ids = np.asarray(tree.main_chain_ids(tip_id), dtype=np.int64)
+    is_main = np.zeros(count, dtype=bool)
+    is_main[main_ids] = True
+    # Included main blocks (non-genesis, above the warm-up skip), chain order.
+    m_ids = main_ids[1:]
+    if skip > 0:
+        m_ids = m_ids[heights[m_ids] >= skip]
+
+    # Reference pairs recorded by the walk: only included main blocks record
+    # their references (the walk `continue`s past skipped blocks before its
+    # uncle loop), in chain order with slot order within a block.
+    ref_blocks, ref_uncles = tree.reference_columns()
+    included_main = np.zeros(count, dtype=bool)
+    included_main[m_ids] = True
+    ref_mask = included_main[ref_blocks]
+    r_blocks = ref_blocks[ref_mask]
+    r_uncles = ref_uncles[ref_mask]
+
+    if r_uncles.size:
+        if is_main[r_uncles].any():
+            return None  # a main-chain block referenced as an uncle
+        if np.unique(r_uncles).size != r_uncles.size:
+            return None  # an uncle referenced twice along the main chain
+    distances = heights[r_blocks] - heights[r_uncles]
+    if distances.size and int(distances.min()) < 0:
+        return None  # the walking path rejects negative distances
+
+    # Price the encountered distances once (and only those — a custom schedule
+    # must not be probed at distances the walk never evaluates).
+    if distances.size:
+        max_distance = int(distances.max())
+        uncle_table = np.zeros(max_distance + 1, dtype=np.float64)
+        nephew_table = np.zeros(max_distance + 1, dtype=np.float64)
+        for distance in np.unique(distances):
+            distance = int(distance)
+            uncle_table[distance] = schedule.uncle_reward(distance)
+            nephew_table[distance] = schedule.nephew_reward(distance)
+    else:
+        uncle_table = nephew_table = np.zeros(1, dtype=np.float64)
+
+    # Rewarded references: the uncle itself must clear the warm-up skip.
+    if skip > 0:
+        pay_mask = heights[r_uncles] >= skip
+        pr_blocks = r_blocks[pay_mask]
+        pr_uncles = r_uncles[pay_mask]
+        pay_distances = distances[pay_mask]
+    else:
+        pr_blocks = r_blocks
+        pr_uncles = r_uncles
+        pay_distances = distances
+    uncle_amounts = uncle_table[pay_distances]
+    nephew_amounts = nephew_table[pay_distances]
+
+    static_reward = schedule.static_reward
+    m_kinds = kinds[m_ids]
+    static_weights = np.full(m_ids.size, static_reward, dtype=np.float64)
+    static_by_party = np.bincount(m_kinds, weights=static_weights, minlength=2)
+    uncle_by_party = np.bincount(kinds[pr_uncles], weights=uncle_amounts, minlength=2)
+    nephew_by_party = np.bincount(kinds[pr_blocks], weights=nephew_amounts, minlength=2)
+    pool_regular = int(np.count_nonzero(m_kinds))
+    honest_regular = int(m_ids.size) - pool_regular
+
+    # Per-miner totals via composite (kind, miner_index) codes; +1 absorbs the
+    # genesis sentinel index -1 (creditable when skip == 0 pays a genesis uncle).
+    stride = int(miner_idx.max()) + 2
+    codes = 2 * stride
+    static_codes = m_kinds * stride + miner_idx[m_ids] + 1
+    uncle_codes = kinds[pr_uncles] * stride + miner_idx[pr_uncles] + 1
+    nephew_codes = kinds[pr_blocks] * stride + miner_idx[pr_blocks] + 1
+    static_by_code = np.bincount(static_codes, weights=static_weights, minlength=codes)
+    uncle_by_code = np.bincount(uncle_codes, weights=uncle_amounts, minlength=codes)
+    nephew_by_code = np.bincount(nephew_codes, weights=nephew_amounts, minlength=codes)
+    credited = np.union1d(np.union1d(static_codes, uncle_codes), nephew_codes)
+    per_miner: dict[tuple[MinerKind, int], PartyRewards] = {}
+    for code in credited:
+        code = int(code)
+        per_miner[
+            (MinerKind.POOL if code >= stride else MinerKind.HONEST, code % stride - 1)
+        ] = PartyRewards(
+            static=float(static_by_code[code]),
+            uncle=float(uncle_by_code[code]),
+            nephew=float(nephew_by_code[code]),
+        )
+
+    # Classification: every non-genesis block above the skip is regular (on the
+    # main chain), a referenced uncle, or plain stale.
+    included = heights >= skip
+    included[0] = False
+    total = int(np.count_nonzero(included))
+    referenced_flag = np.zeros(count, dtype=bool)
+    referenced_flag[r_uncles] = True
+    classified_ids = np.nonzero(included & referenced_flag)[0]
+    distance_of = np.zeros(count, dtype=np.int64)
+    distance_of[r_uncles] = distances
+    classified_kinds = kinds[classified_ids]
+    classified_distances = distance_of[classified_ids]
+    pool_uncles = int(np.count_nonzero(classified_kinds))
+    honest_uncles = int(classified_ids.size) - pool_uncles
+    stale = total - int(m_ids.size) - pool_uncles - honest_uncles
+
+    pool = PartyRewards(
+        static=float(static_by_party[1]),
+        uncle=float(uncle_by_party[1]),
+        nephew=float(nephew_by_party[1]),
+    )
+    honest = PartyRewards(
+        static=float(static_by_party[0]),
+        uncle=float(uncle_by_party[0]),
+        nephew=float(nephew_by_party[0]),
+    )
+    return ChainSettlement(
+        split=RevenueSplit(pool=pool, honest=honest),
+        per_miner=per_miner,
+        regular_blocks=pool_regular + honest_regular,
+        pool_regular_blocks=pool_regular,
+        honest_regular_blocks=honest_regular,
+        uncle_blocks=pool_uncles + honest_uncles,
+        pool_uncle_blocks=pool_uncles,
+        honest_uncle_blocks=honest_uncles,
+        stale_blocks=stale,
+        total_blocks=total,
+        honest_uncle_distance_counts=_distance_histogram(
+            classified_distances[classified_kinds == 0]
+        ),
+        pool_uncle_distance_counts=_distance_histogram(
+            classified_distances[classified_kinds == 1]
+        ),
+    )
+
+
+def _distance_histogram(distances: np.ndarray) -> dict[int, int]:
+    """``{distance: count}`` ascending by distance (matches the walk's sorted dict)."""
+    values, counts = np.unique(distances, return_counts=True)
+    return {int(value): int(count) for value, count in zip(values, counts)}

@@ -9,8 +9,13 @@ a silently wrong revenue number.
 
 from __future__ import annotations
 
+from itertools import chain
+
+import numpy as np
+
 from ..constants import MAX_UNCLE_DISTANCE, MAX_UNCLES_PER_BLOCK
 from ..errors import ChainStructureError
+from .arrays import ArrayBlockTree
 from .block import GENESIS_ID
 from .blocktree import BlockTree
 
@@ -34,7 +39,35 @@ def validate_tree(
       parent is an ancestor of the referencing block, the distance is within the
       window, no double references along any ancestry path, and no block carries more
       than ``max_uncles_per_block`` references.
+
+    Array-backed trees take a vectorised fast path that tests all invariants in
+    a handful of column passes; only when it flags a (possible) violation does
+    the block-by-block walk below re-run to raise the exact first error with
+    the documented precedence and message.
     """
+    if isinstance(tree, ArrayBlockTree) and _array_tree_valid(
+        tree,
+        max_uncles_per_block=max_uncles_per_block,
+        max_uncle_distance=max_uncle_distance,
+        enforce_uncle_rules=enforce_uncle_rules,
+    ):
+        return
+    _validate_walk(
+        tree,
+        max_uncles_per_block=max_uncles_per_block,
+        max_uncle_distance=max_uncle_distance,
+        enforce_uncle_rules=enforce_uncle_rules,
+    )
+
+
+def _validate_walk(
+    tree: BlockTree,
+    *,
+    max_uncles_per_block: int,
+    max_uncle_distance: int,
+    enforce_uncle_rules: bool,
+) -> None:
+    """The block-by-block validation walk (object trees and error replay)."""
     genesis = tree.genesis
     if genesis.block_id != GENESIS_ID or genesis.height != 0 or genesis.parent_id is not None:
         raise ChainStructureError("malformed genesis block")
@@ -109,3 +142,108 @@ def _validate_uncle_reference(
             )
         if ancestor.height < uncle.height:
             break
+
+
+def _array_tree_valid(
+    tree: ArrayBlockTree,
+    *,
+    max_uncles_per_block: int,
+    max_uncle_distance: int,
+    enforce_uncle_rules: bool,
+) -> bool:
+    """Vectorised invariant test over an :class:`ArrayBlockTree`'s columns.
+
+    Returns True when every invariant provably holds.  False only means the
+    walking path must decide (and raise the exact error when one exists) — a
+    conservative False on a valid tree costs a re-walk, never a wrong verdict.
+    """
+    parents = tree.parent_column()
+    heights = tree.height_column()
+    count = len(parents)
+    if count == 0 or parents[0] != -1 or heights[0] != 0:
+        return False
+    if count > 1:
+        non_genesis_parents = parents[1:]
+        if (non_genesis_parents < 0).any():
+            return False
+        if (non_genesis_parents >= np.arange(1, count)).any():
+            return False
+        if not (heights[1:] == heights[non_genesis_parents] + 1).all():
+            return False
+    # Children lists and parent pointers agree: the flattened children ids
+    # cover 1..count-1 exactly once and each child's parent points back.
+    children_map = tree._children
+    entries = len(children_map)
+    bucket_sizes = np.fromiter(map(len, children_map.values()), dtype=np.int64, count=entries)
+    total_children = int(bucket_sizes.sum())
+    if total_children != count - 1:
+        return False
+    if total_children:
+        child_arr = np.fromiter(
+            chain.from_iterable(children_map.values()), dtype=np.int64, count=total_children
+        )
+        child_parents = np.repeat(
+            np.fromiter(children_map.keys(), dtype=np.int64, count=entries), bucket_sizes
+        )
+        if not np.array_equal(np.sort(child_arr), np.arange(1, count)):
+            return False
+        if not (parents[child_arr] == child_parents).all():
+            return False
+
+    ref_blocks, ref_uncles = tree.reference_columns()
+    if ref_blocks.size == 0:
+        return True
+    if int(np.bincount(ref_blocks, minlength=count).max()) > max_uncles_per_block:
+        return False
+    if (ref_uncles == ref_blocks).any():
+        return False
+    if (ref_uncles == parents[ref_blocks]).any():
+        return False
+    if not enforce_uncle_rules:
+        return True
+    if (ref_uncles == GENESIS_ID).any():
+        return False
+    distances = heights[ref_blocks] - heights[ref_uncles]
+    if (distances < 1).any() or (distances > max_uncle_distance).any():
+        return False
+
+    # Ancestry rules, all references at once: `level` walks the referencing
+    # blocks' ancestor chains in lockstep (k-th step = k-th ancestor of the
+    # referencing block's parent), guarded against the -1 genesis sentinel.
+    # An uncle at distance d must NOT be the (d-1)-th ancestor (it would be on
+    # the chain) and its parent MUST be the d-th (a child of the chain).
+    depth = int(distances.max())
+    level = parents[ref_blocks]
+    uncle_parents = parents[ref_uncles]
+    uncle_parent_on_chain = np.zeros(ref_blocks.size, dtype=bool)
+    for step in range(depth):
+        at_uncle_height = distances - 1 == step
+        if (at_uncle_height & (level == ref_uncles)).any():
+            return False
+        safe = np.where(level >= 0, level, 0)
+        level = np.where(level >= 0, parents[safe], -1)
+        uncle_parent_on_chain |= at_uncle_height & (level == uncle_parents)
+    if not uncle_parent_on_chain.all():
+        return False
+
+    # Double references along an ancestry path: only an uncle referenced more
+    # than once anywhere in the tree can violate this, so scalar-walk exactly
+    # those few references (bounded by the inclusion window).
+    unique_uncles, reference_counts = np.unique(ref_uncles, return_counts=True)
+    if (reference_counts > 1).any():
+        duplicated = set(unique_uncles[reference_counts > 1].tolist())
+        parent_list = tree._parents
+        height_list = tree._heights
+        uncle_tuples = tree._uncle_tuples
+        for block_id, uncle_id in zip(ref_blocks.tolist(), ref_uncles.tolist()):
+            if uncle_id not in duplicated:
+                continue
+            uncle_height = height_list[uncle_id]
+            ancestor = parent_list[block_id]
+            while True:
+                if uncle_id in uncle_tuples[ancestor]:
+                    return False
+                if height_list[ancestor] < uncle_height or ancestor == GENESIS_ID:
+                    break
+                ancestor = parent_list[ancestor]
+    return True

@@ -26,6 +26,10 @@ sub-commands share one set of flags (:class:`ExperimentOptions`):
 * ``--cache-dir`` points the persistent result store at a directory: the
   simulation-backed drivers then execute only the runs missing from the cache
   (a warm re-run of a figure does zero simulation work);
+* ``--profile[=FILE]`` wraps the run in :mod:`cProfile` and prints the stats
+  (sorted by cumulative time) to stderr — with ``FILE`` the raw stats are also
+  dumped for offline analysis.  Only the simulation-backed sub-commands accept
+  it; profiling a purely descriptive table is a usage error, not a no-op;
 * ``--timeout`` / ``--retries`` / ``--fail-fast`` tune the resilient executor
   behind every fan-out: a crashed, hung or failing run is retried with
   deterministic backoff, bit-identically, up to the retry budget.  Without
@@ -263,6 +267,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep only: stop after N grid cells (the rest stay pending for --resume)",
     )
     parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help=(
+            "profile the run with cProfile and print the stats (sorted by "
+            "cumulative time) to stderr; with FILE also dump the raw stats "
+            "there for offline analysis (simulation-backed sub-commands only)"
+        ),
+    )
+    parser.add_argument(
         "--timeout",
         type=_positive_float,
         default=None,
@@ -472,6 +488,30 @@ def run_store(
     return table.render()
 
 
+#: Sub-commands without a simulation (or solver) stage: profiling them would
+#: only measure table formatting, so ``--profile`` rejects them outright.
+_DESCRIPTIVE_EXPERIMENTS = ("figure6", "table1")
+
+
+def _profiled(work: Callable[[], str], dump_path: str) -> str:
+    """Run ``work`` under :mod:`cProfile` and report where the time went.
+
+    The stats print to stderr (sorted by cumulative time) so the report on
+    stdout stays clean; a non-empty ``dump_path`` additionally receives the raw
+    marshalled stats for offline tooling (``pstats.Stats(path)``, snakeviz).
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(work)
+    if dump_path:
+        profiler.dump_stats(dump_path)
+        print(f"profile stats dumped to {dump_path}", file=sys.stderr)
+    pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative").print_stats(30)
+    return result
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -502,6 +542,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--resume only applies to 'sweep'")
         if arguments.max_cells is not None:
             parser.error("--max-cells only applies to 'sweep'")
+        if arguments.profile is not None:
+            parser.error("--profile only applies to the simulation-backed sub-commands")
     else:
         if arguments.scenario is not None:
             parser.error(
@@ -514,6 +556,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--max-cells only applies to 'sweep'")
         if arguments.namespace is not None:
             parser.error("--namespace only applies to 'store'")
+        if arguments.profile is not None and arguments.experiment in _DESCRIPTIVE_EXPERIMENTS:
+            parser.error(
+                f"--profile does not apply to {arguments.experiment!r}: it has no "
+                "simulation or solver stage to profile"
+            )
+        if arguments.profile is not None and arguments.experiment == "all":
+            parser.error("--profile does not apply to 'all'; profile one sub-command at a time")
     if arguments.experiment == "store":
         started = time.time()
         report = run_store(
@@ -526,32 +575,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if arguments.experiment == "sweep":
         started = time.time()
-        report = run_sweep(
-            arguments.scenario,
-            workers=arguments.workers,
-            cache_dir=arguments.cache_dir,
-            resume=arguments.resume,
-            max_cells=arguments.max_cells,
-            timeout=arguments.timeout,
-            retries=arguments.retries,
-            fail_fast=arguments.fail_fast,
-        )
+
+        def run_the_sweep() -> str:
+            return run_sweep(
+                arguments.scenario,
+                workers=arguments.workers,
+                cache_dir=arguments.cache_dir,
+                resume=arguments.resume,
+                max_cells=arguments.max_cells,
+                timeout=arguments.timeout,
+                retries=arguments.retries,
+                fail_fast=arguments.fail_fast,
+            )
+
+        if arguments.profile is not None:
+            report = _profiled(run_the_sweep, arguments.profile)
+        else:
+            report = run_the_sweep()
         print(f"==== sweep ({time.time() - started:.1f}s) ====")
         print(report)
         return 0
     names = sorted(_EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
     for name in names:
         started = time.time()
-        report = run_experiment(
-            name,
-            fast=arguments.fast,
-            workers=arguments.workers,
-            backend=arguments.backend,
-            cache_dir=arguments.cache_dir,
-            timeout=arguments.timeout,
-            retries=arguments.retries,
-            fail_fast=arguments.fail_fast,
-        )
+
+        def run_the_experiment(name: str = name) -> str:
+            return run_experiment(
+                name,
+                fast=arguments.fast,
+                workers=arguments.workers,
+                backend=arguments.backend,
+                cache_dir=arguments.cache_dir,
+                timeout=arguments.timeout,
+                retries=arguments.retries,
+                fail_fast=arguments.fail_fast,
+            )
+
+        if arguments.profile is not None:
+            report = _profiled(run_the_experiment, arguments.profile)
+        else:
+            report = run_the_experiment()
         elapsed = time.time() - started
         print(f"==== {name} ({elapsed:.1f}s) ====")
         print(report)

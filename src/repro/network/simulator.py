@@ -83,11 +83,10 @@ from typing import NamedTuple
 
 import numpy as np
 
-from ..chain.block import Block, MinerKind
-from ..chain.blocktree import BlockTree
+from ..chain.arrays import make_block_tree
+from ..chain.block import GENESIS_ID, MinerKind
 from ..chain.fork_choice import LongestChainRule
 from ..chain.rewards import ChainSettlement, settle_rewards
-from ..chain.uncles import eligible_uncles
 from ..chain.validation import validate_tree
 from ..errors import SimulationError
 from ..rewards.breakdown import PartyRewards
@@ -118,7 +117,7 @@ def _is_always_zero(model: object) -> bool:
 class _MinerState:
     """Local view shared by honest and strategic miners."""
 
-    __slots__ = ("index", "spec", "known", "waiting", "inbox", "blocks_mined")
+    __slots__ = ("index", "spec", "kind", "known", "waiting", "inbox", "blocks_mined")
 
     #: Overridden by :class:`_PoolState`; class attribute so instances stay slotted.
     strategic = False
@@ -126,6 +125,7 @@ class _MinerState:
     def __init__(self, index: int, spec: MinerSpec, genesis_id: int) -> None:
         self.index = index
         self.spec = spec
+        self.kind = MinerKind.POOL if spec.counts_as_pool else MinerKind.HONEST
         self.known = LocalView(genesis_id)
         # Blocks delivered before their parent, buffered per missing parent id.
         self.waiting: dict[int, list[int]] = {}
@@ -155,7 +155,17 @@ class _PoolState(_MinerState):
     longest published block of the local view outside the private branch.
     """
 
-    __slots__ = ("strategy", "anchor_id", "branch", "published_count", "public_tip_id")
+    __slots__ = (
+        "strategy",
+        "anchor_id",
+        "anchor_height",
+        "branch",
+        "published_count",
+        "public_tip_id",
+        "public_tip_height",
+        "fork_id",
+        "fork_height",
+    )
 
     strategic = True
 
@@ -165,9 +175,18 @@ class _PoolState(_MinerState):
         super().__init__(index, spec, genesis_id)
         self.strategy = strategy
         self.anchor_id = genesis_id
+        self.anchor_height = 0
         self.branch: list[int] = []
         self.published_count = 0
         self.public_tip_id = genesis_id
+        self.public_tip_height = 0
+        # Cached fork point between the private tip and ``public_tip_id``.
+        # Maintained incrementally (see ``_pool_observes``): a pool mine and a
+        # public tip that extends the previous one both provably leave the fork
+        # point unchanged, so the tree walk only runs when the public best
+        # jumps to a different branch.
+        self.fork_id = genesis_id
+        self.fork_height = 0
 
     def tip_id(self) -> int:
         """Block the pool mines on (its own private tip)."""
@@ -194,11 +213,12 @@ class NetworkSimulator:
     ) -> None:
         self.config = config
         self.topology = topology if topology is not None else build_topology(config)
-        self.tree = BlockTree()
+        # Array-backed by default (REPRO_OBJECT_TREE=1 swaps in the object
+        # tree); every hot path below reads it through the id+accessor
+        # protocol shared by both trees, never through Block objects.
+        self.tree = make_block_tree(config.num_blocks + 1)
         self.rng = RandomSource(config.seed)
         self.queue = EventQueue()
-        self._blocks_by_id = self.tree.by_id
-        self._fork_children = self.tree.fork_children_index
         self._max_uncles = config.max_uncles_per_block
         self._uncle_distance = config.max_uncle_distance
         self._uncles_enabled = self._max_uncles > 0 and self._uncle_distance > 0
@@ -286,10 +306,10 @@ class NetworkSimulator:
                 max_uncles_per_block=self.config.max_uncles_per_block,
                 max_uncle_distance=self.config.max_uncle_distance,
             )
-        tip = LongestChainRule().best_tip(self.tree, published_only=True)
+        tip_id = LongestChainRule().best_tip_id(self.tree, published_only=True)
         return settle_rewards(
             self.tree,
-            tip.block_id,
+            tip_id,
             self.config.schedule,
             skip_heights_below=self.config.warmup_blocks,
         )
@@ -313,10 +333,17 @@ class NetworkSimulator:
         per-miner delivery processing.
         """
         tree = self.tree
-        by_id = self._blocks_by_id
+        height_of = tree.height_of
+        is_pool_block = tree.is_pool_block
+        select_uncles = tree.select_uncles
+        add_block_id = tree.add_block_id
+        ids_at_height = tree.ids_at_height
         published = tree.published_ids
         miners = self.miners
         pools = [miner for miner in miners if miner.strategic]
+        # The one-pool topology is the dominant configuration; binding the lone
+        # pool's state once drops the per-cascade-entry loop over ``pools``.
+        only_pool = pools[0] if len(pools) == 1 else None
         honest_indices = [miner.index for miner in miners if not miner.strategic]
         for miner in miners:
             if not miner.strategic:
@@ -336,12 +363,15 @@ class NetworkSimulator:
         cascade: deque = deque()
         cascade_pop = cascade.popleft
         self._pending = cascade
-        count_tie = self._count_tie
-        create_block = self._create_block
         pool_mines = self._pool_mines
         pool_observes = self._pool_observes
         overrides_get = overrides.get
-        pool_kind = MinerKind.POOL
+        uncles_enabled = self._uncles_enabled
+        max_uncles = self._max_uncles
+        uncle_distance = self._uncle_distance
+        tie_wins = self.tie_wins
+        tie_losses = self.tie_losses
+        events_run = self._events_run
         times_buf: list[float] = []
         times_pos = 0
         picks_buf: list[int] = []
@@ -363,25 +393,77 @@ class NetworkSimulator:
                 picks_pos += 1
                 miner = miners[index]
                 if miner.strategic:
+                    # _create_block stamps created_at from the attribute; keep
+                    # it in sync with the local counter before delegating.
+                    self._events_run = events_run
                     pool_mines(miner, time)
                 else:
                     parent_id = overrides_get(index, sync_pref_id) if overrides else sync_pref_id
-                    count_tie(miner, parent_id)
-                    block = create_block(miner, parent_id, published=True)
+                    # Inlined _count_tie: the parent always sits at the shared
+                    # height (overrides only hold equal-height competitors), so
+                    # its height is sync_height and the genesis check is just
+                    # sync_height == 0.
+                    if sync_height and len(ids_at_height(sync_height)) > 1:
+                        competitors = [
+                            other
+                            for other in ids_at_height(sync_height)
+                            if other != parent_id and other in published
+                        ]
+                        if competitors:
+                            if is_pool_block(parent_id):
+                                if any(not is_pool_block(other) for other in competitors):
+                                    tie_wins += 1
+                            elif any(is_pool_block(other) for other in competitors):
+                                tie_losses += 1
+                    # Inlined _create_block (honest, always published).
+                    uncle_ids = (
+                        select_uncles(
+                            parent_id,
+                            max_distance=uncle_distance,
+                            max_count=max_uncles,
+                            known=published,
+                        )
+                        if uncles_enabled
+                        else []
+                    )
+                    block_id = add_block_id(
+                        parent_id,
+                        miner.kind,
+                        miner_index=index,
+                        created_at=events_run,
+                        uncle_ids=uncle_ids,
+                        published=True,
+                    )
+                    miner.blocks_mined += 1
                     # The miner adopts its own block; everyone else adopts it in
                     # the same instant through the cascade below, so the shared
-                    # preference moves straight to the new tip.
-                    sync_pref_id = block.block_id
-                    sync_height = block.height
+                    # preference moves straight to the new tip.  The parent is
+                    # always at the shared height (overrides only ever hold
+                    # equal-height competitors), so the height just increments.
+                    sync_pref_id = block_id
+                    sync_height += 1
                     sync_since = time
                     if overrides:
                         overrides.clear()
-                    cascade.append((sync_pref_id, index))
-                self._events_run += 1
+                    # Direct delivery of the honest block to the pools.  Its own
+                    # cascade entry would be a no-op for the shared honest view
+                    # (it *is* the new preferred tip, so the height test and
+                    # every gamma-coin guard fall through), and a freshly
+                    # allocated id cannot already be in any pool's view, so only
+                    # the pool observations remain.  Publications the pools
+                    # react with land on the cascade and drain below, in the
+                    # exact order the general per-entry path would produce.
+                    if only_pool is not None:
+                        only_pool.known.add(block_id)
+                        pool_observes(only_pool, block_id, sync_height, time)
+                    else:
+                        for pool in pools:
+                            pool.known.add(block_id)
+                            pool_observes(pool, block_id, sync_height, time)
+                events_run += 1
                 while cascade:
                     block_id, src = cascade_pop()
-                    block = by_id[block_id]
-                    height = block.height
+                    height = height_of(block_id)
                     if height > sync_height:
                         sync_pref_id = block_id
                         sync_height = height
@@ -392,36 +474,43 @@ class NetworkSimulator:
                         # Same-instant equal-height match: each honest miner
                         # flips its own gamma coin, exactly as per-miner
                         # delivery processing would (in destination order).
-                        challenger_is_pool = block.miner is pool_kind
+                        challenger_is_pool = is_pool_block(block_id)
                         for i in honest_indices:
                             if i == src:
                                 continue
                             pref = overrides_get(i, sync_pref_id)
                             if pref == block_id:
                                 continue
-                            if (by_id[pref].miner is pool_kind) == challenger_is_pool:
+                            if is_pool_block(pref) == challenger_is_pool:
                                 continue
                             switch_probability = (
                                 gamma if challenger_is_pool else 1.0 - gamma
                             )
                             if uniform() < switch_probability:
                                 overrides[i] = block_id
-                    for pool in pools:
-                        # Inlined zero-latency delivery: in this regime a
-                        # published block's parent is always already known
-                        # (publication order is parent-first), so the general
-                        # out-of-order buffering in _deliver cannot trigger.
-                        if pool.index != src and block_id not in pool.known:
-                            pool.known.add(block_id)
-                            pool_observes(pool, block, time)
+                    # Inlined zero-latency delivery: in this regime a published
+                    # block's parent is always already known (publication order
+                    # is parent-first), so the general out-of-order buffering
+                    # in _deliver cannot trigger.  Honest blocks are delivered
+                    # directly at the mine site, so cascade entries are pool
+                    # publications only — with a single pool there is no other
+                    # pool left to observe them.
+                    if only_pool is None:
+                        for pool in pools:
+                            if pool.index != src and block_id not in pool.known:
+                                pool.known.add(block_id)
+                                pool_observes(pool, block_id, height, time)
         finally:
             self._pending = None
+            self._events_run = events_run
+            self.tie_wins = tie_wins
+            self.tie_losses = tie_losses
         # Epilogue: materialise the per-miner views the shared state stands for
         # (diagnostics and the property suite read them).  An honest miner knows
         # every id below the allocator except the still-unpublished pool
         # privates; its preference is the shared tip modulo its override.
         next_id = tree.next_block_id
-        unpublished = [block_id for block_id in by_id if block_id not in published]
+        unpublished = tree.unpublished_ids()
         for miner in miners:
             if miner.strategic:
                 continue
@@ -520,6 +609,7 @@ class NetworkSimulator:
             pending.append((block_id, src.index))
             return
         queue = self.queue
+        queue_push = queue.push
         for model, batch, dst_indices, dst_states in self._broadcast_groups[src.index]:
             if batch is not None:
                 delays = batch(src.index, dst_indices, self.rng)
@@ -527,9 +617,15 @@ class NetworkSimulator:
                 delays = [model.sample(src.index, dst, self.rng) for dst in dst_indices]
             for dst, dst_state, delay in zip(dst_indices, dst_states, delays):
                 if dst_state.strategic:
-                    queue.push(time + delay, DELIVER, block_id, dst)
+                    queue_push(time + delay, DELIVER, block_id, dst)
                 else:
-                    dst_state.inbox.append((time + delay, queue.reserve_seq(), block_id))
+                    # Inlined queue.reserve_seq (one inbox delivery per honest
+                    # miner per block): bump the queue's counter directly so the
+                    # (time, seq) rank interleaves with heap pushes exactly as
+                    # the method call would.
+                    seq = queue._seq
+                    queue._seq = seq + 1
+                    dst_state.inbox.append((time + delay, seq, block_id))
 
     def _drain_inbox(self, miner: _MinerState, cutoff_time: float, cutoff_seq: int) -> None:
         """Process every inbox arrival strictly before ``(cutoff_time, cutoff_seq)``."""
@@ -548,40 +644,91 @@ class NetworkSimulator:
             deliver(arrival, block_id, miner)
 
     def _deliver(self, time: float, block_id: int, miner: _MinerState) -> None:
+        # The view's membership test and add are inlined (same XOR semantics as
+        # LocalView.__contains__/add): at 8+ deliveries per block the three
+        # view calls per delivery dominate this method's cost.
         known = miner.known
-        if block_id in known:
-            return
-        block = self._blocks_by_id[block_id]
-        if block.parent_id not in known:
+        watermark = known.watermark
+        exceptions = known.exceptions
+        if (block_id < watermark) != (block_id in exceptions):
+            return  # already known
+        tree = self.tree
+        parent_id = tree.parent_id_of(block_id)
+        if not ((parent_id < watermark) != (parent_id in exceptions)):
             # Out-of-order arrival: hold the block until its parent is known.
-            miner.waiting.setdefault(block.parent_id, []).append(block_id)
+            miner.waiting.setdefault(parent_id, []).append(block_id)
             return
-        self._receive(miner, block, time)
+        # Mark known: ``block_id`` is absent, so below the watermark it must sit
+        # in the exceptions set and above it must not (LocalView.add's cases
+        # collapsed under that knowledge).
+        if block_id == watermark:
+            watermark += 1
+            if exceptions:
+                while watermark in exceptions:
+                    exceptions.remove(watermark)
+                    watermark += 1
+            known.watermark = watermark
+        elif block_id < watermark:
+            exceptions.remove(block_id)
+        else:
+            exceptions.add(block_id)
+            if len(exceptions) >= known._compact_at:
+                known._compact()
+        # Inlined _receive/_honest_observes (one call frame per delivery is
+        # measurable at 8+ deliveries per block).
+        if miner.strategic:
+            self._pool_observes(miner, block_id, tree.height_of(block_id), time)
+        elif parent_id == miner.preferred_id:
+            # The arrival extends the preferred tip, so it is strictly higher
+            # (height = parent height + 1): adopt without the height lookup.
+            miner.preferred_id = block_id
+            miner.preferred_height += 1
+            miner.preferred_since = time
+        else:
+            # Inlined _honest_observes early-outs; only the rare same-instant
+            # equal-height competitor (the gamma-coin case) takes the call.
+            height = tree.height_of(block_id)
+            preferred_height = miner.preferred_height
+            if height > preferred_height:
+                miner.preferred_id = block_id
+                miner.preferred_height = height
+                miner.preferred_since = time
+            elif (
+                height == preferred_height
+                and block_id != miner.preferred_id
+                and time == miner.preferred_since
+            ):
+                self._honest_observes(miner, block_id, height, time)
+        waiting = miner.waiting
+        if not waiting:
+            return
         # The arrival may release buffered descendants, oldest ancestors first.
-        released = miner.waiting.pop(block_id, None)
+        released = waiting.pop(block_id, None)
         while released:
             next_ids = []
             for held_id in released:
-                held = self._blocks_by_id[held_id]
-                self._receive(miner, held, time)
-                next_ids.extend(miner.waiting.pop(held_id, ()))
+                self._receive(miner, held_id, time)
+                next_ids.extend(waiting.pop(held_id, ()))
             released = next_ids
 
-    def _receive(self, miner: _MinerState, block: Block, time: float) -> None:
-        miner.known.add(block.block_id)
+    def _receive(self, miner: _MinerState, block_id: int, time: float) -> None:
+        miner.known.add(block_id)
+        height = self.tree.height_of(block_id)
         if miner.strategic:
-            self._pool_observes(miner, block, time)
+            self._pool_observes(miner, block_id, height, time)
         else:
-            self._honest_observes(miner, block, time)
+            self._honest_observes(miner, block_id, height, time)
 
     # ------------------------------------------------------------------ honest miners
-    def _honest_observes(self, miner: _HonestState, block: Block, time: float) -> None:
-        if block.height > miner.preferred_height:
-            miner.preferred_id = block.block_id
-            miner.preferred_height = block.height
+    def _honest_observes(
+        self, miner: _HonestState, block_id: int, height: int, time: float
+    ) -> None:
+        if height > miner.preferred_height:
+            miner.preferred_id = block_id
+            miner.preferred_height = height
             miner.preferred_since = time
             return
-        if block.height != miner.preferred_height or block.block_id == miner.preferred_id:
+        if height != miner.preferred_height or block_id == miner.preferred_id:
             return
         # Equal-height competitor.  First-seen wins, except for blocks arriving in
         # the very same instant as the incumbent — the zero-latency signature of a
@@ -589,91 +736,165 @@ class NetworkSimulator:
         # miner's hash power joins.
         if time != miner.preferred_since:
             return
-        incumbent_is_pool = self._blocks_by_id[miner.preferred_id].miner.is_pool
-        challenger_is_pool = block.miner.is_pool
+        is_pool_block = self.tree.is_pool_block
+        incumbent_is_pool = is_pool_block(miner.preferred_id)
+        challenger_is_pool = is_pool_block(block_id)
         if challenger_is_pool == incumbent_is_pool:
             return
         switch_probability = (
             self.config.params.gamma if challenger_is_pool else 1.0 - self.config.params.gamma
         )
         if self.rng.uniform() < switch_probability:
-            miner.preferred_id = block.block_id
+            miner.preferred_id = block_id
 
     def _honest_mines(self, miner: _HonestState, time: float) -> None:
         parent_id = miner.preferred_id
         self._count_tie(miner, parent_id)
-        block = self._create_block(miner, parent_id, published=True)
-        miner.preferred_id = block.block_id
-        miner.preferred_height = block.height
+        # Inlined _create_block/_select_uncles (the honest event-loop hot path).
+        tree = self.tree
+        uncle_ids = (
+            tree.select_uncles(
+                parent_id,
+                max_distance=self._uncle_distance,
+                max_count=self._max_uncles,
+                known=miner.known,
+            )
+            if self._uncles_enabled
+            else []
+        )
+        block_id = tree.add_block_id(
+            parent_id,
+            miner.kind,
+            miner_index=miner.index,
+            created_at=self._events_run,
+            uncle_ids=uncle_ids,
+            published=True,
+        )
+        miner.known.add(block_id)
+        miner.blocks_mined += 1
+        # The parent is the miner's preferred block, so the height increments.
+        miner.preferred_id = block_id
+        miner.preferred_height += 1
         miner.preferred_since = time
-        self._broadcast(miner, block.block_id, time)
+        self._broadcast(miner, block_id, time)
 
-    def _count_tie(self, miner: _HonestState, parent_id: int) -> None:
+    def _count_tie(self, miner: _MinerState, parent_id: int) -> None:
         """Track whether this honest block settles an equal-height fork, and for whom."""
-        parent = self._blocks_by_id[parent_id]
-        if parent.is_genesis or self.tree.count_at_height(parent.height) < 2:
+        if parent_id == GENESIS_ID:
             return
+        tree = self.tree
+        parent_height = tree.height_of(parent_id)
+        if tree.count_at_height(parent_height) < 2:
+            return
+        known = miner.known
         competitors = [
             other
-            for other in self.tree.blocks_at_height(parent.height)
-            if other.block_id != parent_id and other.block_id in miner.known
+            for other in tree.ids_at_height(parent_height)
+            if other != parent_id and other in known
         ]
         if not competitors:
             return
-        if parent.miner.is_pool and any(other.miner.is_honest for other in competitors):
-            self.tie_wins += 1
-        elif parent.miner.is_honest and any(other.miner.is_pool for other in competitors):
+        is_pool_block = tree.is_pool_block
+        if is_pool_block(parent_id):
+            if any(not is_pool_block(other) for other in competitors):
+                self.tie_wins += 1
+        elif any(is_pool_block(other) for other in competitors):
             self.tie_losses += 1
 
     # ------------------------------------------------------------------ strategic miners
-    def _race_numbers(self, pool: _PoolState) -> _RaceNumbers:
-        """Recompute the pool's race view against its current public tip.
+    # The race view a pool hands its strategy is pure arithmetic over cached
+    # state: the fork point between the private tip and the public best is
+    # maintained incrementally (``fork_id``/``fork_height``, see
+    # ``_pool_observes``), so ``_pool_mines`` and ``_pool_observes`` build the
+    # three RaceView integers inline without touching the tree.  Both first
+    # trim the private branch when the public chain has absorbed a prefix of it
+    # (the fork point moved up into the branch), mirroring the chain engine's
+    # bookkeeping.
 
-        As a side effect the private branch is trimmed when the public chain has
-        absorbed a prefix of it (the fork point moved up), mirroring the chain
-        engine's bookkeeping.
-        """
-        if pool.anchor_id == pool.public_tip_id:
-            # No competing public chain above the anchor (the state right after
-            # an adopt/override, until the next foreign block arrives): the fork
-            # point is the anchor itself and no trimming can be due.
-            return _RaceNumbers(len(pool.branch), 0, pool.published_count)
-        tree = self.tree
-        tip_id = pool.tip_id()
-        fork = tree.fork_point(tip_id, pool.public_tip_id)
-        anchor_height = self._blocks_by_id[pool.anchor_id].height
-        if fork.height > anchor_height:
-            # The fork point moved up into the private branch: the agreed prefix
-            # leaves the race and the anchor advances to the fork point.
-            agreed = fork.height - anchor_height
-            if pool.branch[agreed - 1] != fork.block_id:
-                raise SimulationError(
-                    f"miner {pool.spec.name!r}: fork point {fork.block_id} is not on "
-                    "the private branch"
-                )
-            pool.branch = pool.branch[agreed:]
-            pool.published_count = max(0, pool.published_count - agreed)
-            pool.anchor_id = fork.block_id
-            anchor_height = fork.height
-        foreign_prefix = anchor_height - fork.height  # published blocks below the anchor
-        return _RaceNumbers(
-            private_length=len(pool.branch) + foreign_prefix,
-            public_length=self._blocks_by_id[pool.public_tip_id].height - fork.height,
-            published_count=pool.published_count + foreign_prefix,
-        )
+    def _trim_agreed_prefix(self, pool: _PoolState) -> None:
+        """The fork point moved up into the private branch: the agreed prefix
+        leaves the race and the anchor advances to the fork point."""
+        agreed = pool.fork_height - pool.anchor_height
+        if pool.branch[agreed - 1] != pool.fork_id:
+            raise SimulationError(
+                f"miner {pool.spec.name!r}: fork point {pool.fork_id} is not on "
+                "the private branch"
+            )
+        pool.branch = pool.branch[agreed:]
+        pool.published_count = max(0, pool.published_count - agreed)
+        pool.anchor_id = pool.fork_id
+        pool.anchor_height = pool.fork_height
 
-    def _pool_observes(self, pool: _PoolState, block: Block, time: float) -> None:
-        if block.height <= self._blocks_by_id[pool.public_tip_id].height:
+    def _pool_observes(self, pool: _PoolState, block_id: int, height: int, time: float) -> None:
+        if height <= pool.public_tip_height:
             return  # not a new best public chain: first-seen tip stands
-        pool.public_tip_id = block.block_id
-        race = self._race_numbers(pool)
-        self._apply(pool, pool.strategy.after_honest_block(race), race, time)
+        if self.tree.parent_id_of(block_id) != pool.public_tip_id:
+            # The new public best is not a one-block extension of the old one,
+            # so the cached fork point may be stale: recompute it.  (On an
+            # extension the fork point provably stands: the new block was
+            # unknown to this pool a moment ago, so it cannot lie on the
+            # private tip's ancestry, and the rest of its ancestry is the old
+            # public tip's.)
+            tip_id = pool.branch[-1] if pool.branch else pool.anchor_id
+            fork_id = self.tree.fork_point_id(tip_id, block_id)
+            pool.fork_id = fork_id
+            pool.fork_height = self.tree.height_of(fork_id)
+        pool.public_tip_id = block_id
+        pool.public_tip_height = height
+        # Inlined _race_numbers (this runs for every published foreign block).
+        fork_height = pool.fork_height
+        if fork_height > pool.anchor_height:
+            self._trim_agreed_prefix(pool)
+        foreign_prefix = pool.anchor_height - fork_height
+        race = _RaceNumbers(
+            len(pool.branch) + foreign_prefix,
+            height - fork_height,
+            pool.published_count + foreign_prefix,
+        )
+        action = pool.strategy.after_honest_block(race)
+        if action is not Action.WITHHOLD:
+            self._apply(pool, action, race, time)
 
     def _pool_mines(self, pool: _PoolState, time: float) -> None:
-        block = self._create_block(pool, pool.tip_id(), published=False)
-        pool.branch.append(block.block_id)
-        race = self._race_numbers(pool)
-        self._apply(pool, pool.strategy.after_pool_block(race), race, time)
+        # Inlined _create_block/_select_uncles (this is the pools' hot path).
+        tree = self.tree
+        branch = pool.branch
+        parent_id = branch[-1] if branch else pool.anchor_id
+        uncle_ids = (
+            tree.select_uncles(
+                parent_id,
+                max_distance=self._uncle_distance,
+                max_count=self._max_uncles,
+                known=pool.known,
+            )
+            if self._uncles_enabled
+            else []
+        )
+        block_id = tree.add_block_id(
+            parent_id,
+            pool.kind,
+            miner_index=pool.index,
+            created_at=self._events_run,
+            uncle_ids=uncle_ids,
+            published=False,
+        )
+        pool.known.add(block_id)
+        pool.blocks_mined += 1
+        branch.append(block_id)
+        # Inlined _race_numbers (mirrors _pool_observes).
+        fork_height = pool.fork_height
+        if fork_height > pool.anchor_height:
+            self._trim_agreed_prefix(pool)
+            branch = pool.branch  # the trim rebinds the branch list
+        foreign_prefix = pool.anchor_height - fork_height
+        race = _RaceNumbers(
+            len(branch) + foreign_prefix,
+            pool.public_tip_height - fork_height,
+            pool.published_count + foreign_prefix,
+        )
+        action = pool.strategy.after_pool_block(race)
+        if action is not Action.WITHHOLD:
+            self._apply(pool, action, race, time)
 
     def _apply(self, pool: _PoolState, action: Action, race: _RaceNumbers, time: float) -> None:
         if action is Action.WITHHOLD:
@@ -689,13 +910,20 @@ class NetworkSimulator:
         elif action is Action.OVERRIDE:
             self._publish_pool_blocks(pool, upto=len(pool.branch), time=time)
             pool.anchor_id = pool.tip_id()
+            pool.anchor_height += len(pool.branch)
             pool.branch = []
             pool.published_count = 0
             pool.public_tip_id = pool.anchor_id
+            pool.public_tip_height = pool.anchor_height
+            pool.fork_id = pool.anchor_id
+            pool.fork_height = pool.anchor_height
         elif action is Action.ADOPT:
             pool.anchor_id = pool.public_tip_id
+            pool.anchor_height = pool.public_tip_height
             pool.branch = []
             pool.published_count = 0
+            pool.fork_id = pool.anchor_id
+            pool.fork_height = pool.anchor_height
         else:  # pragma: no cover - exhaustive over the Action enum
             raise SimulationError(f"strategy emitted unknown action {action!r}")
 
@@ -706,52 +934,34 @@ class NetworkSimulator:
         pool.published_count = max(pool.published_count, upto)
 
     # ------------------------------------------------------------------ block creation
-    def _select_uncles(self, miner: _MinerState, parent: Block) -> list[int]:
-        """Uncle references for a block mined on ``parent``, from the local view.
+    def _select_uncles(self, miner: _MinerState, parent_id: int) -> list[int]:
+        """Uncle references for a block mined on ``parent_id``, from the local view.
 
-        The height-window scan over the tree's fork-children index is fused with
-        the local-view membership filter, so candidates outside the miner's view
-        are dropped without materialising an intermediate list; the survivors
-        already satisfy the window pre-filter, hence ``window_checked=True``.
+        The tree's fused ``select_uncles`` pass takes the miner's known-set as
+        the candidate filter, so candidates outside the local view are dropped
+        without materialising Block objects or an intermediate list.
         """
         if not self._uncles_enabled:
             return []
-        new_height = parent.height + 1
-        fork_children = self._fork_children
-        by_id = self._blocks_by_id
-        known = miner.known
-        candidates: list[Block] = []
-        for height in range(max(new_height - self._uncle_distance, 1), new_height):
-            ids = fork_children.get(height)
-            if ids:
-                for block_id in ids:
-                    if block_id in known:
-                        candidates.append(by_id[block_id])
-        if not candidates:
-            return []
-        chosen = eligible_uncles(
-            self.tree,
-            parent.block_id,
-            candidates,
-            max_distance=self._uncle_distance,
-            window_checked=True,
-        )
-        return [block.block_id for block in chosen[: self._max_uncles]]
-
-    def _create_block(self, miner: _MinerState, parent_id: int, *, published: bool) -> Block:
-        parent = self._blocks_by_id[parent_id]
-        kind = MinerKind.POOL if miner.spec.counts_as_pool else MinerKind.HONEST
-        block = self.tree.add_block(
+        return self.tree.select_uncles(
             parent_id,
-            kind,
+            max_distance=self._uncle_distance,
+            max_count=self._max_uncles,
+            known=miner.known,
+        )
+
+    def _create_block(self, miner: _MinerState, parent_id: int, *, published: bool) -> int:
+        block_id = self.tree.add_block_id(
+            parent_id,
+            miner.kind,
             miner_index=miner.index,
             created_at=self._events_run,
-            uncle_ids=self._select_uncles(miner, parent),
+            uncle_ids=self._select_uncles(miner, parent_id),
             published=published,
         )
-        miner.known.add(block.block_id)
+        miner.known.add(block_id)
         miner.blocks_mined += 1
-        return block
+        return block_id
 
     # ------------------------------------------------------------------ results
     def _build_result(self, settlement: ChainSettlement) -> NetworkSimulationResult:

@@ -70,17 +70,24 @@ class LocalView:
     def add(self, block_id: int) -> None:
         """Mark ``block_id`` as known (idempotent)."""
         watermark = self.watermark
+        if block_id == watermark:
+            # In-order arrival (the overwhelmingly common case): advance the
+            # watermark directly, swallowing any now-contiguous extras, without
+            # bouncing the id through the exceptions set.
+            watermark += 1
+            exceptions = self.exceptions
+            if exceptions:
+                while watermark in exceptions:
+                    exceptions.remove(watermark)
+                    watermark += 1
+            self.watermark = watermark
+            return
         exceptions = self.exceptions
         if block_id < watermark:
             exceptions.discard(block_id)
             return
         exceptions.add(block_id)
-        if block_id == watermark:
-            while watermark in exceptions:
-                exceptions.remove(watermark)
-                watermark += 1
-            self.watermark = watermark
-        elif len(exceptions) >= self._compact_at:
+        if len(exceptions) >= self._compact_at:
             self._compact()
 
     def _compact(self) -> None:

@@ -39,11 +39,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..chain.arrays import make_block_tree
 from ..chain.block import MinerKind
-from ..chain.blocktree import BlockTree
 from ..chain.fork_choice import LongestChainRule
 from ..chain.rewards import ChainSettlement, settle_rewards
-from ..chain.uncles import eligible_uncles
 from ..chain.validation import validate_tree
 from ..errors import SimulationError
 from ..strategies import Action, MiningStrategy
@@ -103,22 +102,194 @@ class RaceState:
             )
 
 
+class _RaceNumbers:
+    """Plain-attribute :class:`~repro.strategies.base.RaceView` for the fused loop.
+
+    Strategies only read the three protocol integers; handing them a flat
+    snapshot instead of the live :class:`RaceState` avoids ~5 property
+    descriptor + ``len`` round-trips per event.
+    """
+
+    __slots__ = ("private_length", "public_length", "published_count")
+
+
 class ChainSimulator:
     """Simulate one run of a pool strategy racing against honest miners."""
 
     def __init__(self, config: SimulationConfig, *, strategy: MiningStrategy | None = None) -> None:
         self.config = config
         self.strategy = strategy if strategy is not None else config.make_strategy()
-        self.tree = BlockTree()
+        # Array-backed by default (REPRO_OBJECT_TREE=1 swaps in the object
+        # tree); one mining event adds at most one block, so the event budget
+        # is the exact capacity hint.
+        self.tree = make_block_tree(config.num_blocks + 1)
         self.rng = RandomSource(config.seed)
         self.race = RaceState(root_id=self.tree.genesis.block_id)
         self._events_run = 0
+        # Per-event constants, hoisted off the config for the hot loop.
+        self._alpha = config.params.alpha
+        self._gamma = config.params.gamma
+        self._num_honest_miners = config.num_honest_miners
+        self._max_uncle_distance = config.max_uncle_distance
+        self._max_uncles_per_block = config.max_uncles_per_block
 
     # ------------------------------------------------------------------ public API
     def run(self) -> SimulationResult:
-        """Mine ``config.num_blocks`` blocks, settle rewards, and return the result."""
-        for _ in range(self.config.num_blocks):
-            self.step()
+        """Mine ``config.num_blocks`` blocks, settle rewards, and return the result.
+
+        The event loop is the fused equivalent of ``config.num_blocks`` calls to
+        :meth:`step`: identical draws in identical order, identical race-state
+        transitions, identical error behaviour.  Fusing removes the ~40 Python
+        calls per event that the composable methods cost (``step`` stays as the
+        single-event API for tests and interactive use).
+        """
+        race = self.race
+        rng = self.rng
+        tree = self.tree
+        view = _RaceNumbers()
+        mining_event = rng.mining_event
+        honest_on_pool = rng.honest_mines_on_pool_branch
+        select_uncles = tree.select_uncles
+        add_block_id = tree.add_block_id
+        publish = tree.publish
+        published_ids = tree.published_ids  # live membership set on both trees
+        after_pool_block = self.strategy.after_pool_block
+        after_honest_block = self.strategy.after_honest_block
+        alpha = self._alpha
+        gamma = self._gamma
+        num_honest_miners = self._num_honest_miners
+        max_distance = self._max_uncle_distance
+        max_count = self._max_uncles_per_block
+        pool_kind = MinerKind.POOL
+        honest_kind = MinerKind.HONEST
+        withhold = Action.WITHHOLD
+        publish_action = Action.PUBLISH
+        match_action = Action.MATCH
+        override_action = Action.OVERRIDE
+        adopt_action = Action.ADOPT
+
+        start = self._events_run
+        end = start + self.config.num_blocks
+        for event_index in range(start, end):
+            miner_index = mining_event(alpha, num_honest_miners)
+            if miner_index < 0:
+                # -- the pool extends its private branch (see _pool_mines)
+                pool_branch = race.pool_branch
+                parent_id = pool_branch[-1] if pool_branch else race.root_id
+                uncle_ids = select_uncles(
+                    parent_id, max_distance=max_distance, max_count=max_count
+                )
+                block_id = add_block_id(
+                    parent_id,
+                    pool_kind,
+                    miner_index=0,
+                    created_at=event_index,
+                    uncle_ids=uncle_ids,
+                    published=False,
+                )
+                pool_branch.append(block_id)
+                view.private_length = len(pool_branch)
+                view.public_length = len(race.honest_branch)
+                view.published_count = race.published_count
+                action = after_pool_block(view)
+            else:
+                # -- an honest miner extends a longest published branch
+                honest_branch = race.honest_branch
+                on_pool_prefix = False
+                if not honest_branch:
+                    parent_id = race.root_id
+                elif honest_on_pool(gamma):
+                    published_count = race.published_count
+                    parent_id = (
+                        race.pool_branch[published_count - 1]
+                        if published_count
+                        else race.root_id
+                    )
+                    on_pool_prefix = True
+                else:
+                    parent_id = honest_branch[-1]
+                uncle_ids = select_uncles(
+                    parent_id,
+                    max_distance=max_distance,
+                    max_count=max_count,
+                    known=published_ids,
+                )
+                block_id = add_block_id(
+                    parent_id,
+                    honest_kind,
+                    miner_index=miner_index,
+                    created_at=event_index,
+                    uncle_ids=uncle_ids,
+                    published=True,
+                )
+                if on_pool_prefix:
+                    pool_branch = race.pool_branch
+                    published_count = race.published_count
+                    if published_count == len(pool_branch):
+                        # 1-vs-1 tie resolved against the pool: adopt.
+                        race.root_id = block_id
+                        race.pool_branch = []
+                        race.published_count = 0
+                        race.honest_branch = []
+                        continue
+                    race.root_id = (
+                        pool_branch[published_count - 1]
+                        if published_count
+                        else race.root_id
+                    )
+                    race.pool_branch = pool_branch[published_count:]
+                    race.published_count = 0
+                    race.honest_branch = [block_id]
+                else:
+                    honest_branch.append(block_id)
+                view.private_length = len(race.pool_branch)
+                view.public_length = len(race.honest_branch)
+                view.published_count = race.published_count
+                action = after_honest_block(view)
+
+            # -- strategy action (see _apply), then the per-event invariant check
+            if action is withhold:
+                pass
+            elif action is publish_action or action is match_action:
+                pool_branch = race.pool_branch
+                upto = (
+                    race.published_count + 1
+                    if action is publish_action
+                    else len(race.honest_branch)
+                )
+                if upto > len(pool_branch):
+                    upto = len(pool_branch)
+                published_count = race.published_count
+                for position in range(published_count, upto):
+                    publish(pool_branch[position])
+                if upto > published_count:
+                    race.published_count = upto
+            elif action is override_action:
+                pool_branch = race.pool_branch
+                for position in range(race.published_count, len(pool_branch)):
+                    publish(pool_branch[position])
+                if pool_branch:
+                    race.root_id = pool_branch[-1]
+                race.pool_branch = []
+                race.published_count = 0
+                race.honest_branch = []
+            elif action is adopt_action:
+                honest_branch = race.honest_branch
+                if honest_branch:
+                    race.root_id = honest_branch[-1]
+                race.pool_branch = []
+                race.published_count = 0
+                race.honest_branch = []
+            else:  # pragma: no cover - exhaustive over the Action enum
+                raise SimulationError(f"strategy emitted unknown action {action!r}")
+
+            published = race.published_count
+            if published <= len(race.pool_branch) and published == len(race.honest_branch):
+                continue
+            self._events_run = event_index + 1
+            self._raise_inconsistent(event_index)
+
+        self._events_run = end
         self.finalise()
         settlement = self.settle()
         return SimulationResult.from_settlement(self.config, settlement, self._events_run)
@@ -126,12 +297,20 @@ class ChainSimulator:
     def step(self) -> None:
         """Advance the simulation by one mining event."""
         event_index = self._events_run
-        if self.rng.pool_mines_next(self.config.params.alpha):
+        if self.rng.pool_mines_next(self._alpha):
             self._pool_mines(event_index)
         else:
-            miner_index = self.rng.honest_miner_index(self.config.num_honest_miners)
+            miner_index = self.rng.honest_miner_index(self._num_honest_miners)
             self._honest_mines(event_index, miner_index)
         self._events_run += 1
+        race = self.race
+        published = race.published_count
+        if published <= len(race.pool_branch) and published == len(race.honest_branch):
+            return  # invariants hold (the per-event fast path)
+        self._raise_inconsistent(event_index)
+
+    def _raise_inconsistent(self, event_index: int) -> None:
+        """Re-run the invariant check and raise the diagnostic SimulationError."""
         try:
             self.race.check_invariants()
         except SimulationError as exc:
@@ -163,29 +342,27 @@ class ChainSimulator:
                 max_uncles_per_block=self.config.max_uncles_per_block,
                 max_uncle_distance=self.config.max_uncle_distance,
             )
-        tip = LongestChainRule().best_tip(self.tree, published_only=True)
+        tip_id = LongestChainRule().best_tip_id(self.tree, published_only=True)
         return settle_rewards(
             self.tree,
-            tip.block_id,
+            tip_id,
             self.config.schedule,
             skip_heights_below=self.config.warmup_blocks,
         )
 
     # ------------------------------------------------------------------ block creation
     def _select_uncles(self, parent_id: int, *, published_only: bool) -> list[int]:
-        """Uncle references for a block mined on ``parent_id``, protocol-capped."""
-        if self.config.max_uncles_per_block == 0 or self.config.max_uncle_distance == 0:
-            return []
-        new_height = self.tree.block(parent_id).height + 1
-        candidates = self.tree.uncle_candidates(
-            new_height - self.config.max_uncle_distance,
-            new_height - 1,
-            published_only=published_only,
+        """Uncle references for a block mined on ``parent_id``, protocol-capped.
+
+        Honest miners only see published blocks, so their candidate filter is
+        the tree's published set; the pool sees everything (``known=None``).
+        """
+        return self.tree.select_uncles(
+            parent_id,
+            max_distance=self._max_uncle_distance,
+            max_count=self._max_uncles_per_block,
+            known=self.tree.published_ids if published_only else None,
         )
-        chosen = eligible_uncles(
-            self.tree, parent_id, candidates, max_distance=self.config.max_uncle_distance
-        )
-        return [block.block_id for block in chosen[: self.config.max_uncles_per_block]]
 
     def _pool_mines(self, event_index: int) -> None:
         """The pool extends its private branch, then its strategy reacts.
@@ -198,7 +375,7 @@ class ChainSimulator:
         """
         parent_id = self.race.pool_tip()
         uncle_ids = self._select_uncles(parent_id, published_only=False)
-        block = self.tree.add_block(
+        block_id = self.tree.add_block_id(
             parent_id,
             MinerKind.POOL,
             miner_index=0,
@@ -206,23 +383,23 @@ class ChainSimulator:
             uncle_ids=uncle_ids,
             published=False,
         )
-        self.race.pool_branch.append(block.block_id)
+        self.race.pool_branch.append(block_id)
         self._apply(self.strategy.after_pool_block(self.race))
 
     def _honest_mines(self, event_index: int, miner_index: int) -> None:
         """An honest miner extends a longest published branch, then the pool reacts."""
         race = self.race
         on_pool_prefix = False
-        if race.public_length == 0:
+        if not race.honest_branch:
             parent_id = race.root_id
-        elif self.rng.honest_mines_on_pool_branch(self.config.params.gamma):
+        elif self.rng.honest_mines_on_pool_branch(self._gamma):
             parent_id = race.pool_published_tip()
             on_pool_prefix = True
         else:
             parent_id = race.honest_tip()
 
         uncle_ids = self._select_uncles(parent_id, published_only=True)
-        block = self.tree.add_block(
+        block_id = self.tree.add_block_id(
             parent_id,
             MinerKind.HONEST,
             miner_index=miner_index,
@@ -235,7 +412,7 @@ class ChainSimulator:
             if race.published_count == race.private_length:
                 # The pool has nothing withheld (the 1-vs-1 tie): the public chain
                 # through the pool's published block is now the longest; adopt it.
-                self._adopt_public_chain(block.block_id)
+                self._adopt_public_chain(block_id)
                 return
             # The fork point moves up to the pool's published tip; the pool's withheld
             # blocks become the new (shorter) private branch and the honest block is
@@ -243,10 +420,10 @@ class ChainSimulator:
             new_root = race.pool_published_tip()
             race.pool_branch = race.pool_branch[race.published_count :]
             race.published_count = 0
-            race.honest_branch = [block.block_id]
+            race.honest_branch = [block_id]
             race.root_id = new_root
         else:
-            race.honest_branch.append(block.block_id)
+            race.honest_branch.append(block_id)
 
         self._apply(self.strategy.after_honest_block(self.race))
 

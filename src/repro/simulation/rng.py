@@ -214,6 +214,54 @@ class RandomSource:
             return self._bounded_int(num_honest_miners)
         return int(self._generator.integers(0, num_honest_miners))
 
+    def mining_event(self, alpha: float, num_honest_miners: int) -> int:
+        """Attribute one mining event: ``-1`` for the pool, else the honest miner index.
+
+        Draw-for-draw equivalent to :meth:`pool_mines_next` followed (only on the
+        honest outcome) by :meth:`honest_miner_index` — the same underlying
+        outputs are consumed in the same order, so simulators may mix this fused
+        form with the two-call form freely.  Fusing exists for the event loops:
+        one call per event instead of up to four, with the buffered double take
+        and the 32-bit bounded-int fast path inlined (see the note above
+        :meth:`pool_mines_next` about deliberate inlining).
+        """
+        if not 0.0 <= alpha <= 1.0:
+            raise ParameterError(f"alpha must lie in [0, 1], got {alpha}")
+        if num_honest_miners < 1:
+            raise ParameterError(f"num_honest_miners must be positive, got {num_honest_miners}")
+        if self._buffer_size > 1:
+            position = self._pos
+            if position >= len(self._doubles):
+                self._fill()
+                position = 0
+            self._pos = position + 1
+            if self._doubles[position] < alpha:
+                return -1
+            inclusive_range = num_honest_miners - 1
+            if inclusive_range == 0:
+                return 0  # no randomness consumed, as in _bounded_int
+            if 0 < inclusive_range < _MASK32:
+                carry = self._carry32
+                if carry is None:
+                    raw = self._next_raw()
+                    self._carry32 = raw >> 32
+                    carry = raw & _MASK32
+                else:
+                    self._carry32 = None
+                product = carry * num_honest_miners
+                leftover = product & _MASK32
+                if leftover >= num_honest_miners:
+                    return product >> 32
+                threshold = ((1 << 32) - num_honest_miners) % num_honest_miners
+                while leftover < threshold:
+                    product = self._next_uint32() * num_honest_miners
+                    leftover = product & _MASK32
+                return product >> 32
+            return self._bounded_int(num_honest_miners)
+        if self._generator.random() < alpha:
+            return -1
+        return int(self._generator.integers(0, num_honest_miners))
+
     def choice_index(self, count: int) -> int:
         """Uniform index into a collection of ``count`` items."""
         if count < 1:

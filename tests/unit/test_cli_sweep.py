@@ -145,12 +145,62 @@ class TestRejectedFlagCombinations:
             ["store", "compact", "--backend", "markov"],
             ["store", "compact", "--resume"],
             ["store", "compact", "--max-cells", "2"],
+            ["store", "compact", "--profile"],
+            ["table1", "--profile"],
+            ["figure6", "--profile", "stats.prof"],
+            ["all", "--profile"],
         ],
     )
     def test_mismatched_flags_exit_with_usage_error(self, argv):
         with pytest.raises(SystemExit) as excinfo:
             main(argv)
         assert excinfo.value.code == 2
+
+
+class TestProfile:
+    def test_parser_accepts_bare_and_file_forms(self):
+        assert build_parser().parse_args(["figure8"]).profile is None
+        assert build_parser().parse_args(["figure8", "--profile"]).profile == ""
+        arguments = build_parser().parse_args(["figure8", "--profile", "stats.prof"])
+        assert arguments.profile == "stats.prof"
+
+    def test_profiled_sweep_prints_stats_and_dumps_file(self, tmp_path, capsys):
+        import pstats
+
+        dump = tmp_path / "sweep.prof"
+        exit_code = main(
+            [
+                "sweep",
+                str(scenario_file(tmp_path)),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--profile",
+                str(dump),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        # The report stays on stdout; the profile goes to stderr.
+        assert "cli-sweep" in captured.out
+        assert "cumulative" in captured.err
+        assert "run_scenario" in captured.err
+        # The dump is loadable raw-stats data, not text.
+        assert pstats.Stats(str(dump)).total_calls > 0
+
+    def test_bare_profile_prints_without_dumping(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                str(scenario_file(tmp_path)),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--profile",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "cumulative" in captured.err
+        assert "dumped to" not in captured.err
 
 
 class TestRunStore:
